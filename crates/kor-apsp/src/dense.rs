@@ -1,0 +1,315 @@
+//! Dense all-pairs pre-processing (`τ` and `σ` matrices).
+//!
+//! Faithful to §3.1: for every node pair the objective/budget scores of
+//! the minimum-objective path `τ_{i,j}` and the minimum-budget path
+//! `σ_{i,j}`, with next-hop matrices so that the paths themselves can be
+//! reconstructed (needed to materialize result routes). Two builders:
+//!
+//! * [`DenseApsp::floyd_warshall`] — the paper's `O(|V|³)` algorithm;
+//! * [`DenseApsp::by_dijkstra`] — `O(|V|·(|E| + |V| log |V|))`, better for
+//!   sparse graphs; produces identical values (cross-checked in tests).
+//!
+//! Space is `O(|V|²)`; intended for graphs up to a few thousand nodes.
+//! Larger experiments use the lazy per-query structures instead.
+
+use kor_graph::{Graph, NodeId};
+
+use crate::pair::{PairCosts, PathCost};
+use crate::tree::{forward_tree, Metric, NO_NODE};
+
+/// Dense `τ`/`σ` matrices with next-hop path reconstruction.
+#[derive(Debug, Clone)]
+pub struct DenseApsp {
+    n: usize,
+    tau_obj: Vec<f64>,
+    tau_bud: Vec<f64>,
+    tau_next: Vec<u32>,
+    sigma_obj: Vec<f64>,
+    sigma_bud: Vec<f64>,
+    sigma_next: Vec<u32>,
+}
+
+impl DenseApsp {
+    /// Builds the matrices with the Floyd–Warshall algorithm, relaxing the
+    /// lexicographic keys `(objective, budget)` for `τ` and
+    /// `(budget, objective)` for `σ`.
+    pub fn floyd_warshall(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut apsp = Self::empty(n);
+        for v in graph.nodes() {
+            let i = v.index();
+            apsp.tau_obj[i * n + i] = 0.0;
+            apsp.tau_bud[i * n + i] = 0.0;
+            apsp.sigma_obj[i * n + i] = 0.0;
+            apsp.sigma_bud[i * n + i] = 0.0;
+            for e in graph.out_edges(v) {
+                let j = e.node.index();
+                // Parallel edges are rejected by the builder, so direct
+                // assignment is safe; self-loops likewise.
+                apsp.tau_obj[i * n + j] = e.objective;
+                apsp.tau_bud[i * n + j] = e.budget;
+                apsp.tau_next[i * n + j] = e.node.0;
+                apsp.sigma_obj[i * n + j] = e.objective;
+                apsp.sigma_bud[i * n + j] = e.budget;
+                apsp.sigma_next[i * n + j] = e.node.0;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let (tik_o, tik_b) = (apsp.tau_obj[i * n + k], apsp.tau_bud[i * n + k]);
+                let (sik_b, sik_o) = (apsp.sigma_bud[i * n + k], apsp.sigma_obj[i * n + k]);
+                if !tik_o.is_finite() && !sik_b.is_finite() {
+                    continue;
+                }
+                let tau_next_ik = apsp.tau_next[i * n + k];
+                let sigma_next_ik = apsp.sigma_next[i * n + k];
+                for j in 0..n {
+                    // τ: lexicographic (objective, budget)
+                    let cand_o = tik_o + apsp.tau_obj[k * n + j];
+                    if cand_o.is_finite() {
+                        let cand_b = tik_b + apsp.tau_bud[k * n + j];
+                        let cur_o = apsp.tau_obj[i * n + j];
+                        let cur_b = apsp.tau_bud[i * n + j];
+                        if cand_o < cur_o || (cand_o == cur_o && cand_b < cur_b) {
+                            apsp.tau_obj[i * n + j] = cand_o;
+                            apsp.tau_bud[i * n + j] = cand_b;
+                            apsp.tau_next[i * n + j] = tau_next_ik;
+                        }
+                    }
+                    // σ: lexicographic (budget, objective)
+                    let cand_b = sik_b + apsp.sigma_bud[k * n + j];
+                    if cand_b.is_finite() {
+                        let cand_o = sik_o + apsp.sigma_obj[k * n + j];
+                        let cur_b = apsp.sigma_bud[i * n + j];
+                        let cur_o = apsp.sigma_obj[i * n + j];
+                        if cand_b < cur_b || (cand_b == cur_b && cand_o < cur_o) {
+                            apsp.sigma_bud[i * n + j] = cand_b;
+                            apsp.sigma_obj[i * n + j] = cand_o;
+                            apsp.sigma_next[i * n + j] = sigma_next_ik;
+                        }
+                    }
+                }
+            }
+        }
+        apsp
+    }
+
+    /// Builds the same matrices with one forward Dijkstra per node and
+    /// metric; preferable for sparse graphs.
+    pub fn by_dijkstra(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut apsp = Self::empty(n);
+        for v in graph.nodes() {
+            let i = v.index();
+            for (metric, obj, bud, next) in [
+                (
+                    Metric::Objective,
+                    &mut apsp.tau_obj,
+                    &mut apsp.tau_bud,
+                    &mut apsp.tau_next,
+                ),
+                (
+                    Metric::Budget,
+                    &mut apsp.sigma_obj,
+                    &mut apsp.sigma_bud,
+                    &mut apsp.sigma_next,
+                ),
+            ] {
+                let tree = forward_tree(graph, metric, v);
+                for u in graph.nodes() {
+                    let j = u.index();
+                    let spt = tree.node(u);
+                    obj[i * n + j] = spt.objective;
+                    bud[i * n + j] = spt.budget;
+                }
+                // First hops: next[i][j] = j if parent(j) == i, else the
+                // first hop toward parent(j); resolved iteratively with
+                // memoization inside the row.
+                for u in graph.nodes() {
+                    if u == v || !tree.is_reachable(u) {
+                        continue;
+                    }
+                    if next[i * n + u.index()] != NO_NODE {
+                        continue;
+                    }
+                    // Walk up to a node whose first hop is known (or to v).
+                    let mut chain = vec![u];
+                    let mut cur = u;
+                    let hop = loop {
+                        let parent = NodeId(tree.node(cur).link);
+                        if parent == v {
+                            break cur; // cur is the first hop itself
+                        }
+                        let known = next[i * n + parent.index()];
+                        if known != NO_NODE {
+                            break NodeId(known);
+                        }
+                        chain.push(parent);
+                        cur = parent;
+                    };
+                    for node in chain {
+                        next[i * n + node.index()] = hop.0;
+                    }
+                }
+            }
+        }
+        apsp
+    }
+
+    fn empty(n: usize) -> Self {
+        Self {
+            n,
+            tau_obj: vec![f64::INFINITY; n * n],
+            tau_bud: vec![f64::INFINITY; n * n],
+            tau_next: vec![NO_NODE; n * n],
+            sigma_obj: vec![f64::INFINITY; n * n],
+            sigma_bud: vec![f64::INFINITY; n * n],
+            sigma_next: vec![NO_NODE; n * n],
+        }
+    }
+
+    /// Number of nodes covered by the matrices.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn path_from_next(&self, next: &[u32], i: NodeId, j: NodeId) -> Option<Vec<NodeId>> {
+        if i == j {
+            return Some(vec![i]);
+        }
+        let mut path = vec![i];
+        let mut cur = i;
+        while cur != j {
+            let hop = next[cur.index() * self.n + j.index()];
+            if hop == NO_NODE {
+                return None;
+            }
+            cur = NodeId(hop);
+            path.push(cur);
+            debug_assert!(path.len() <= self.n, "next-hop matrix contains a cycle");
+        }
+        Some(path)
+    }
+}
+
+impl PairCosts for DenseApsp {
+    fn tau(&self, i: NodeId, j: NodeId) -> Option<PathCost> {
+        let o = self.tau_obj[i.index() * self.n + j.index()];
+        o.is_finite().then(|| PathCost {
+            objective: o,
+            budget: self.tau_bud[i.index() * self.n + j.index()],
+        })
+    }
+
+    fn sigma(&self, i: NodeId, j: NodeId) -> Option<PathCost> {
+        let b = self.sigma_bud[i.index() * self.n + j.index()];
+        b.is_finite().then(|| PathCost {
+            objective: self.sigma_obj[i.index() * self.n + j.index()],
+            budget: b,
+        })
+    }
+
+    fn tau_path(&self, i: NodeId, j: NodeId) -> Option<Vec<NodeId>> {
+        self.path_from_next(&self.tau_next, i, j)
+    }
+
+    fn sigma_path(&self, i: NodeId, j: NodeId) -> Option<Vec<NodeId>> {
+        self.path_from_next(&self.sigma_next, i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_graph::fixtures::{figure1, v};
+    use kor_graph::Route;
+
+    #[test]
+    fn floyd_matches_paper_preprocessing_example() {
+        let g = figure1();
+        let apsp = DenseApsp::floyd_warshall(&g);
+        // τ(0,7) = ⟨v0,v3,v4,v7⟩ with OS 4, BS 7
+        let tau = apsp.tau(v(0), v(7)).unwrap();
+        assert_eq!((tau.objective, tau.budget), (4.0, 7.0));
+        assert_eq!(
+            apsp.tau_path(v(0), v(7)).unwrap(),
+            vec![v(0), v(3), v(4), v(7)]
+        );
+        // σ(0,7) = ⟨v0,v3,v5,v7⟩ with OS 9, BS 5
+        let sigma = apsp.sigma(v(0), v(7)).unwrap();
+        assert_eq!((sigma.objective, sigma.budget), (9.0, 5.0));
+        assert_eq!(
+            apsp.sigma_path(v(0), v(7)).unwrap(),
+            vec![v(0), v(3), v(5), v(7)]
+        );
+    }
+
+    #[test]
+    fn self_pairs_are_zero() {
+        let g = figure1();
+        let apsp = DenseApsp::floyd_warshall(&g);
+        let c = apsp.tau(v(4), v(4)).unwrap();
+        assert_eq!((c.objective, c.budget), (0.0, 0.0));
+        assert_eq!(apsp.tau_path(v(4), v(4)).unwrap(), vec![v(4)]);
+    }
+
+    #[test]
+    fn unreachable_pairs_are_none() {
+        let g = figure1();
+        let apsp = DenseApsp::floyd_warshall(&g);
+        // v1 has no outgoing edges
+        assert!(apsp.tau(v(1), v(7)).is_none());
+        assert!(apsp.sigma(v(1), v(0)).is_none());
+        assert!(apsp.tau_path(v(1), v(7)).is_none());
+    }
+
+    #[test]
+    fn dijkstra_builder_agrees_with_floyd_on_fixture() {
+        let g = figure1();
+        let a = DenseApsp::floyd_warshall(&g);
+        let b = DenseApsp::by_dijkstra(&g);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(a.tau(i, j), b.tau(i, j), "tau {i}->{j}");
+                assert_eq!(a.sigma(i, j), b.sigma(i, j), "sigma {i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_paths_are_valid_and_score_correctly() {
+        let g = figure1();
+        let apsp = DenseApsp::by_dijkstra(&g);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                if let Some(cost) = apsp.tau(i, j) {
+                    let path = apsp.tau_path(i, j).expect("cost implies path");
+                    let r = Route::new(path);
+                    let (os, bs) = r.scores(&g).expect("path must be valid");
+                    assert!((os - cost.objective).abs() < 1e-9, "tau OS {i}->{j}");
+                    assert!((bs - cost.budget).abs() < 1e-9, "tau BS {i}->{j}");
+                }
+                if let Some(cost) = apsp.sigma(i, j) {
+                    let path = apsp.sigma_path(i, j).expect("cost implies path");
+                    let (os, bs) = Route::new(path).scores(&g).unwrap();
+                    assert!((os - cost.objective).abs() < 1e-9, "sigma OS {i}->{j}");
+                    assert!((bs - cost.budget).abs() < 1e-9, "sigma BS {i}->{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tau_minimizes_objective_sigma_minimizes_budget() {
+        let g = figure1();
+        let apsp = DenseApsp::floyd_warshall(&g);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                if let (Some(t), Some(s)) = (apsp.tau(i, j), apsp.sigma(i, j)) {
+                    assert!(t.objective <= s.objective + 1e-12);
+                    assert!(s.budget <= t.budget + 1e-12);
+                }
+            }
+        }
+    }
+}

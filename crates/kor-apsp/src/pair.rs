@@ -1,0 +1,137 @@
+//! Pairwise `τ`/`σ` cost lookups.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use kor_graph::{Graph, NodeId};
+
+use crate::tree::{forward_tree, Metric, Tree};
+
+/// The two scores of a pre-processed path (`OS`, `BS`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathCost {
+    /// Objective score of the path.
+    pub objective: f64,
+    /// Budget score of the path.
+    pub budget: f64,
+}
+
+/// Access to the paper's pre-processing products for arbitrary node pairs:
+/// the minimum-objective path `τ_{i,j}` and minimum-budget path `σ_{i,j}`
+/// with their `(OS, BS)` scores and, unlike the paper (which discards
+/// them), the paths themselves for route materialization.
+pub trait PairCosts {
+    /// Scores of `τ_{i,j}`, or `None` if `j` is unreachable from `i`.
+    fn tau(&self, i: NodeId, j: NodeId) -> Option<PathCost>;
+    /// Scores of `σ_{i,j}`, or `None` if unreachable.
+    fn sigma(&self, i: NodeId, j: NodeId) -> Option<PathCost>;
+    /// Node sequence of `τ_{i,j}` (inclusive), or `None` if unreachable.
+    fn tau_path(&self, i: NodeId, j: NodeId) -> Option<Vec<NodeId>>;
+    /// Node sequence of `σ_{i,j}` (inclusive), or `None` if unreachable.
+    fn sigma_path(&self, i: NodeId, j: NodeId) -> Option<Vec<NodeId>>;
+}
+
+/// Lazy [`PairCosts`] backed by memoized forward Dijkstra trees.
+///
+/// Each distinct `(source, metric)` pair computes one tree on first use;
+/// the greedy algorithm touches only a handful of sources per query, so
+/// this avoids any `O(|V|²)` pre-processing while returning exactly the
+/// same values as [`crate::DenseApsp`].
+pub struct CachedPairCosts<'g> {
+    graph: &'g Graph,
+    trees: Mutex<HashMap<(NodeId, u8), Arc<Tree>>>,
+}
+
+impl<'g> CachedPairCosts<'g> {
+    /// Creates an empty cache over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            trees: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of trees computed so far (for instrumentation).
+    pub fn cached_tree_count(&self) -> usize {
+        self.trees.lock().len()
+    }
+
+    fn tree(&self, source: NodeId, metric: Metric) -> Arc<Tree> {
+        let key = (source, metric as u8);
+        let mut guard = self.trees.lock();
+        guard
+            .entry(key)
+            .or_insert_with(|| Arc::new(forward_tree(self.graph, metric, source)))
+            .clone()
+    }
+}
+
+impl PairCosts for CachedPairCosts<'_> {
+    fn tau(&self, i: NodeId, j: NodeId) -> Option<PathCost> {
+        let t = self.tree(i, Metric::Objective);
+        t.is_reachable(j).then(|| PathCost {
+            objective: t.objective(j),
+            budget: t.budget(j),
+        })
+    }
+
+    fn sigma(&self, i: NodeId, j: NodeId) -> Option<PathCost> {
+        let t = self.tree(i, Metric::Budget);
+        t.is_reachable(j).then(|| PathCost {
+            objective: t.objective(j),
+            budget: t.budget(j),
+        })
+    }
+
+    fn tau_path(&self, i: NodeId, j: NodeId) -> Option<Vec<NodeId>> {
+        self.tree(i, Metric::Objective).walk_from_source(j)
+    }
+
+    fn sigma_path(&self, i: NodeId, j: NodeId) -> Option<Vec<NodeId>> {
+        self.tree(i, Metric::Budget).walk_from_source(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseApsp;
+    use kor_graph::fixtures::{figure1, v};
+
+    #[test]
+    fn cached_agrees_with_dense() {
+        let g = figure1();
+        let dense = DenseApsp::floyd_warshall(&g);
+        let cached = CachedPairCosts::new(&g);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(dense.tau(i, j), cached.tau(i, j), "tau {i}->{j}");
+                assert_eq!(dense.sigma(i, j), cached.sigma(i, j), "sigma {i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_paths_match_costs() {
+        let g = figure1();
+        let cached = CachedPairCosts::new(&g);
+        let p = cached.tau_path(v(0), v(7)).unwrap();
+        assert_eq!(p, vec![v(0), v(3), v(4), v(7)]);
+        assert_eq!(cached.sigma_path(v(0), v(7)).unwrap(), vec![v(0), v(3), v(5), v(7)]);
+        assert!(cached.tau_path(v(1), v(7)).is_none());
+    }
+
+    #[test]
+    fn trees_are_memoized() {
+        let g = figure1();
+        let cached = CachedPairCosts::new(&g);
+        assert_eq!(cached.cached_tree_count(), 0);
+        let _ = cached.tau(v(0), v(7));
+        let _ = cached.tau(v(0), v(5));
+        assert_eq!(cached.cached_tree_count(), 1);
+        let _ = cached.sigma(v(0), v(7));
+        assert_eq!(cached.cached_tree_count(), 2);
+    }
+}

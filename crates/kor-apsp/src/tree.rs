@@ -1,0 +1,382 @@
+//! Lexicographic single-source / multi-seed Dijkstra trees.
+//!
+//! Every pre-processing value the KOR algorithms consume is a shortest
+//! path under one of two lexicographic orders:
+//!
+//! * [`Metric::Objective`] — minimize objective score, tie-break on budget
+//!   (yields `τ` paths: `OS(τ)` primary, `BS(τ)` secondary);
+//! * [`Metric::Budget`] — minimize budget score, tie-break on objective
+//!   (yields `σ` paths).
+//!
+//! Trees run either *backward* (costs **to** a seed set, following
+//! forward edges — used for to-target bounds and keyword reachability) or
+//! *forward* (costs **from** a single source — used by the greedy
+//! algorithm). Seeds may carry initial potentials, which turns the tree
+//! into a "min over seeds of (path cost + potential)" oracle as needed by
+//! Optimization Strategy 2.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use kor_graph::{Graph, NodeId};
+
+/// Sentinel for "no next hop" (seed nodes / unreachable nodes).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Which edge attribute the tree minimizes (the other tie-breaks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Minimize objective, tie-break budget (`τ` paths).
+    Objective,
+    /// Minimize budget, tie-break objective (`σ` paths).
+    Budget,
+}
+
+impl Metric {
+    #[inline]
+    fn key(self, objective: f64, budget: f64) -> (f64, f64) {
+        match self {
+            Metric::Objective => (objective, budget),
+            Metric::Budget => (budget, objective),
+        }
+    }
+}
+
+/// Per-node result of a tree computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SptNode {
+    /// Accumulated objective score of the chosen path (`+inf` if
+    /// unreachable).
+    pub objective: f64,
+    /// Accumulated budget score of the chosen path (`+inf` if
+    /// unreachable).
+    pub budget: f64,
+    /// Next hop toward the seed set (backward trees) or predecessor on the
+    /// path from the source (forward trees); [`NO_NODE`] at seeds, the
+    /// source, and unreachable nodes.
+    pub link: u32,
+}
+
+impl SptNode {
+    const UNREACHED: SptNode = SptNode {
+        objective: f64::INFINITY,
+        budget: f64::INFINITY,
+        link: NO_NODE,
+    };
+
+    /// Whether the node can reach (or be reached from) the seed set.
+    #[inline]
+    pub fn is_reachable(&self) -> bool {
+        self.objective.is_finite()
+    }
+}
+
+/// A computed shortest-path tree (forward or backward).
+#[derive(Debug, Clone)]
+pub struct Tree {
+    metric: Metric,
+    nodes: Vec<SptNode>,
+}
+
+impl Tree {
+    /// The minimized metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Per-node costs and link.
+    #[inline]
+    pub fn node(&self, v: NodeId) -> SptNode {
+        self.nodes[v.index()]
+    }
+
+    /// Objective score of the chosen path for `v` (`+inf` if unreachable).
+    #[inline]
+    pub fn objective(&self, v: NodeId) -> f64 {
+        self.nodes[v.index()].objective
+    }
+
+    /// Budget score of the chosen path for `v` (`+inf` if unreachable).
+    #[inline]
+    pub fn budget(&self, v: NodeId) -> f64 {
+        self.nodes[v.index()].budget
+    }
+
+    /// Whether `v` is connected to the seed set / source.
+    #[inline]
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.nodes[v.index()].is_reachable()
+    }
+
+    /// For a **backward** tree: the node sequence `v, …, seed` following
+    /// forward edges. `None` if unreachable.
+    pub fn walk_to_seed(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while self.nodes[cur.index()].link != NO_NODE {
+            cur = NodeId(self.nodes[cur.index()].link);
+            path.push(cur);
+        }
+        Some(path)
+    }
+
+    /// For a **forward** tree: the node sequence `source, …, v`. `None` if
+    /// unreachable.
+    pub fn walk_from_source(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = self.walk_to_seed(v)?;
+        path.reverse();
+        Some(path)
+    }
+
+    /// The seed (terminal) node of `v`'s backward path — for multi-seed
+    /// trees this identifies the nearest seed. `None` if unreachable.
+    pub fn terminal(&self, v: NodeId) -> Option<NodeId> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut cur = v;
+        while self.nodes[cur.index()].link != NO_NODE {
+            cur = NodeId(self.nodes[cur.index()].link);
+        }
+        Some(cur)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    key: (f64, f64),
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need smallest key first.
+        // Keys are finite (infinities never enter the heap), but total_cmp
+        // keeps this robust anyway. Node id breaks ties deterministically.
+        other
+            .key
+            .0
+            .total_cmp(&self.key.0)
+            .then_with(|| other.key.1.total_cmp(&self.key.1))
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn run_dijkstra<E>(
+    n: usize,
+    metric: Metric,
+    seeds: &[(NodeId, f64, f64)],
+    mut edges_into: impl FnMut(NodeId) -> E,
+) -> Tree
+where
+    E: Iterator<Item = (NodeId, f64, f64)>,
+{
+    let mut nodes = vec![SptNode::UNREACHED; n];
+    let mut heap = BinaryHeap::new();
+    for &(seed, pot_obj, pot_bud) in seeds {
+        let cand = SptNode {
+            objective: pot_obj,
+            budget: pot_bud,
+            link: NO_NODE,
+        };
+        let entry = &mut nodes[seed.index()];
+        if metric.key(cand.objective, cand.budget) < metric.key(entry.objective, entry.budget) {
+            *entry = cand;
+            heap.push(HeapItem {
+                key: metric.key(cand.objective, cand.budget),
+                node: seed,
+            });
+        }
+    }
+    while let Some(HeapItem { key, node }) = heap.pop() {
+        let cur = nodes[node.index()];
+        if key > metric.key(cur.objective, cur.budget) {
+            continue; // stale entry
+        }
+        for (other, eo, eb) in edges_into(node) {
+            let cand_obj = cur.objective + eo;
+            let cand_bud = cur.budget + eb;
+            let entry = &mut nodes[other.index()];
+            if metric.key(cand_obj, cand_bud) < metric.key(entry.objective, entry.budget) {
+                *entry = SptNode {
+                    objective: cand_obj,
+                    budget: cand_bud,
+                    link: node.0,
+                };
+                heap.push(HeapItem {
+                    key: metric.key(cand_obj, cand_bud),
+                    node: other,
+                });
+            }
+        }
+    }
+    Tree { metric, nodes }
+}
+
+/// Computes a backward tree: for every node `v`, the lexicographically
+/// minimal cost of a forward path from `v` into the seed set, where each
+/// seed contributes an initial potential `(objective, budget)`.
+///
+/// With a single seed `(t, 0, 0)` and [`Metric::Objective`] this yields
+/// `OS(τ_{v,t})` / `BS(τ_{v,t})` for all `v` — the to-target bounds used
+/// throughout Algorithms 1 and 2.
+pub fn backward_tree(graph: &Graph, metric: Metric, seeds: &[(NodeId, f64, f64)]) -> Tree {
+    run_dijkstra(graph.node_count(), metric, seeds, |v| {
+        graph.in_edges(v).map(|e| (e.node, e.objective, e.budget))
+    })
+}
+
+/// Computes a forward tree: costs of paths **from** `source` to every
+/// node. Used by the greedy algorithm's pairwise lookups.
+pub fn forward_tree(graph: &Graph, metric: Metric, source: NodeId) -> Tree {
+    run_dijkstra(graph.node_count(), metric, &[(source, 0.0, 0.0)], |v| {
+        graph.out_edges(v).map(|e| (e.node, e.objective, e.budget))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_graph::fixtures::{figure1, v};
+    use kor_graph::GraphBuilder;
+
+    #[test]
+    fn tau_to_target_matches_paper() {
+        // §3.1: τ(0,7) has OS 4, BS 7; Example 2: OS(τ3,7)=2 with BS 5,
+        // OS(τ5,7)=3 with BS 4.
+        let g = figure1();
+        let tau = backward_tree(&g, Metric::Objective, &[(v(7), 0.0, 0.0)]);
+        assert_eq!(tau.objective(v(0)), 4.0);
+        assert_eq!(tau.budget(v(0)), 7.0);
+        assert_eq!(tau.objective(v(3)), 2.0);
+        assert_eq!(tau.budget(v(3)), 5.0);
+        assert_eq!(tau.objective(v(5)), 3.0);
+        assert_eq!(tau.budget(v(5)), 4.0);
+        assert_eq!(tau.walk_to_seed(v(0)).unwrap(), vec![v(0), v(3), v(4), v(7)]);
+    }
+
+    #[test]
+    fn sigma_to_target_matches_paper() {
+        // §3.1: σ(0,7) has OS 9, BS 5; Example 2: BS(σ6,7) = 7.
+        let g = figure1();
+        let sigma = backward_tree(&g, Metric::Budget, &[(v(7), 0.0, 0.0)]);
+        assert_eq!(sigma.budget(v(0)), 5.0);
+        assert_eq!(sigma.objective(v(0)), 9.0);
+        assert_eq!(sigma.budget(v(6)), 7.0);
+        assert_eq!(
+            sigma.walk_to_seed(v(0)).unwrap(),
+            vec![v(0), v(3), v(5), v(7)]
+        );
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let g = figure1();
+        // v1 (keyword t5) has no outgoing edges, so it cannot reach v7.
+        let tau = backward_tree(&g, Metric::Objective, &[(v(7), 0.0, 0.0)]);
+        assert!(!tau.is_reachable(v(1)));
+        assert!(tau.objective(v(1)).is_infinite());
+        assert_eq!(tau.walk_to_seed(v(1)), None);
+        assert_eq!(tau.terminal(v(1)), None);
+    }
+
+    #[test]
+    fn seed_has_zero_cost_and_is_own_terminal() {
+        let g = figure1();
+        let tau = backward_tree(&g, Metric::Objective, &[(v(7), 0.0, 0.0)]);
+        assert_eq!(tau.objective(v(7)), 0.0);
+        assert_eq!(tau.budget(v(7)), 0.0);
+        assert_eq!(tau.terminal(v(7)), Some(v(7)));
+        assert_eq!(tau.walk_to_seed(v(7)).unwrap(), vec![v(7)]);
+    }
+
+    #[test]
+    fn multi_seed_picks_nearest() {
+        let g = figure1();
+        // Seeds at the two t1 nodes, v3 and v6, minimizing budget: from v2
+        // the nearest t1 node by budget is v6 (edge budget 1) not v3 (2).
+        let t1_tree = backward_tree(
+            &g,
+            Metric::Budget,
+            &[(v(3), 0.0, 0.0), (v(6), 0.0, 0.0)],
+        );
+        assert_eq!(t1_tree.budget(v(2)), 1.0);
+        assert_eq!(t1_tree.terminal(v(2)), Some(v(6)));
+        assert_eq!(t1_tree.budget(v(0)), 2.0);
+        assert_eq!(t1_tree.terminal(v(0)), Some(v(3)));
+    }
+
+    #[test]
+    fn potentials_shift_the_optimum() {
+        let g = figure1();
+        // Same seeds, but v6 starts with a potential of 5 budget: now v3
+        // wins from v2 (2 < 1+5).
+        let tree = backward_tree(
+            &g,
+            Metric::Budget,
+            &[(v(3), 0.0, 0.0), (v(6), 0.0, 5.0)],
+        );
+        assert_eq!(tree.budget(v(2)), 2.0);
+        assert_eq!(tree.terminal(v(2)), Some(v(3)));
+    }
+
+    #[test]
+    fn forward_tree_from_source() {
+        let g = figure1();
+        let from0 = forward_tree(&g, Metric::Objective, v(0));
+        assert_eq!(from0.objective(v(7)), 4.0);
+        assert_eq!(from0.budget(v(7)), 7.0);
+        assert_eq!(
+            from0.walk_from_source(v(7)).unwrap(),
+            vec![v(0), v(3), v(4), v(7)]
+        );
+        assert_eq!(from0.objective(v(0)), 0.0);
+    }
+
+    #[test]
+    fn lexicographic_tie_break_prefers_smaller_secondary() {
+        // Two parallel routes with equal objective but different budget:
+        // the tree must pick the cheaper-budget one.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node(["s"]);
+        let a = b.add_node(["a"]);
+        let c = b.add_node(["c"]);
+        let t = b.add_node(["t"]);
+        b.add_edge(s, a, 1.0, 10.0).unwrap();
+        b.add_edge(a, t, 1.0, 10.0).unwrap();
+        b.add_edge(s, c, 1.0, 1.0).unwrap();
+        b.add_edge(c, t, 1.0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let tau = backward_tree(&g, Metric::Objective, &[(t, 0.0, 0.0)]);
+        assert_eq!(tau.objective(s), 2.0);
+        assert_eq!(tau.budget(s), 2.0);
+        assert_eq!(tau.walk_to_seed(s).unwrap(), vec![s, c, t]);
+    }
+
+    #[test]
+    fn empty_seed_set_reaches_nothing() {
+        let g = figure1();
+        let tree = backward_tree(&g, Metric::Budget, &[]);
+        for n in g.nodes() {
+            assert!(!tree.is_reachable(n));
+        }
+    }
+
+    #[test]
+    fn metric_accessor() {
+        let g = figure1();
+        let tree = backward_tree(&g, Metric::Budget, &[(v(7), 0.0, 0.0)]);
+        assert_eq!(tree.metric(), Metric::Budget);
+    }
+}

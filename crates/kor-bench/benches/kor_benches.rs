@@ -1,0 +1,294 @@
+//! Criterion micro-benchmarks, one group per paper figure family.
+//!
+//! These complement the `experiments` binary (which reproduces the
+//! figures' data series): Criterion provides statistically robust
+//! per-operation timings on fixed, representative inputs.
+//!
+//! ```bash
+//! cargo bench -p kor-bench
+//! ```
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kor_apsp::{CachedPairCosts, DenseApsp, PairCosts, QueryContext};
+use kor_core::{
+    BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams,
+};
+use kor_data::{
+    generate_roadnet, generate_workload, QuerySpec, RoadNetConfig, WorkloadConfig,
+};
+use kor_graph::fixtures::figure1;
+use kor_graph::Graph;
+use kor_index::{DiskInvertedIndex, InvertedIndex};
+
+fn bench_graph() -> Graph {
+    generate_roadnet(&RoadNetConfig {
+        nodes: 1_500,
+        area_km: 40.0,
+        vocab_size: 2_000,
+        seed: 2012,
+        ..RoadNetConfig::with_nodes(1_500)
+    })
+}
+
+fn specs(graph: &Graph, keyword_counts: &[usize], per_set: usize) -> Vec<Vec<QuerySpec>> {
+    let index = InvertedIndex::build(graph);
+    generate_workload(
+        graph,
+        &index,
+        &WorkloadConfig {
+            keyword_counts: keyword_counts.to_vec(),
+            queries_per_set: per_set,
+            frequency_weighted: true,
+            max_euclidean_km: Some(15.0),
+            min_doc_fraction: 0.0,
+            seed: 7,
+        },
+    )
+    .into_iter()
+    .map(|s| s.queries)
+    .collect()
+}
+
+fn query(graph: &Graph, spec: &QuerySpec, delta: f64) -> KorQuery {
+    KorQuery::new(graph, spec.source, spec.target, spec.keywords.clone(), delta).unwrap()
+}
+
+/// Figure 4/18 analogue: per-algorithm runtime as keyword count grows.
+fn algorithms_vs_keywords(c: &mut Criterion) {
+    let graph = bench_graph();
+    let engine = KorEngine::new(&graph);
+    let sets = specs(&graph, &[2, 6, 10], 4);
+    let delta = 25.0;
+    let mut group = c.benchmark_group("runtime_vs_keywords");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (set, &m) in sets.iter().zip(&[2usize, 6, 10]) {
+        let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, delta)).collect();
+        group.bench_with_input(BenchmarkId::new("os_scaling", m), &queries, |b, qs| {
+            let params = OsScalingParams::default();
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.os_scaling(q, &params).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_bound", m), &queries, |b, qs| {
+            let params = BucketBoundParams::default();
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.bucket_bound(q, &params).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy1", m), &queries, |b, qs| {
+            let params = GreedyParams::with_beam(1);
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.greedy(q, &params).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy2", m), &queries, |b, qs| {
+            let params = GreedyParams::with_beam(2);
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.greedy(q, &params).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6 analogue: OSScaling runtime across ε.
+fn epsilon_sweep(c: &mut Criterion) {
+    let graph = bench_graph();
+    let engine = KorEngine::new(&graph);
+    let set = &specs(&graph, &[6], 4)[0];
+    let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 25.0)).collect();
+    let mut group = c.benchmark_group("epsilon_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for eps in [0.1, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &queries, |b, qs| {
+            let params = OsScalingParams::with_epsilon(eps);
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.os_scaling(q, &params).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8 analogue: BucketBound runtime across β.
+fn beta_sweep(c: &mut Criterion) {
+    let graph = bench_graph();
+    let engine = KorEngine::new(&graph);
+    let set = &specs(&graph, &[6], 4)[0];
+    let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 25.0)).collect();
+    let mut group = c.benchmark_group("beta_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for beta in [1.2, 1.6, 2.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &queries, |b, qs| {
+            let params = BucketBoundParams::with(0.5, beta);
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.bucket_bound(q, &params).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 16 analogue: KkR runtime across k.
+fn topk_sweep(c: &mut Criterion) {
+    let graph = bench_graph();
+    let engine = KorEngine::new(&graph);
+    let set = &specs(&graph, &[4], 3)[0];
+    let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 25.0)).collect();
+    let mut group = c.benchmark_group("topk");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for k in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("os_scaling", k), &queries, |b, qs| {
+            let params = OsScalingParams::default();
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.top_k_os_scaling(q, &params, k).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_bound", k), &queries, |b, qs| {
+            let params = BucketBoundParams::default();
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.top_k_bucket_bound(q, &params, k).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 17 analogue: scalability over graph size.
+fn scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for nodes in [500usize, 1_000, 2_000] {
+        let graph = generate_roadnet(&RoadNetConfig::with_nodes(nodes));
+        let engine = KorEngine::new(&graph);
+        let set = &specs(&graph, &[6], 3)[0];
+        let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 30.0)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("bucket_bound", nodes),
+            &queries,
+            |b, qs| {
+                let params = BucketBoundParams::default();
+                b.iter(|| {
+                    for q in qs {
+                        let _ = engine.bucket_bound(q, &params).unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// §4.2.1 claim: the optimization strategies' speed-up.
+fn optimization_ablation(c: &mut Criterion) {
+    let graph = bench_graph();
+    let engine = KorEngine::new(&graph);
+    let set = &specs(&graph, &[6], 3)[0];
+    let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 25.0)).collect();
+    let mut group = c.benchmark_group("opt_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_with_input(BenchmarkId::new("os_scaling", "with"), &queries, |b, qs| {
+        let params = OsScalingParams::default();
+        b.iter(|| {
+            for q in qs {
+                let _ = engine.os_scaling(q, &params).unwrap();
+            }
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("os_scaling", "without"),
+        &queries,
+        |b, qs| {
+            let params = OsScalingParams::without_optimizations(0.5);
+            b.iter(|| {
+                for q in qs {
+                    let _ = engine.os_scaling(q, &params).unwrap();
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Substrate benchmarks: pre-processing and index lookups (§3.1).
+fn substrates(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("query_context_build", |b| {
+        let target = kor_graph::NodeId(0);
+        b.iter(|| QueryContext::new(&graph, target))
+    });
+    group.bench_function("inverted_index_build", |b| {
+        b.iter(|| InvertedIndex::build(&graph))
+    });
+    let dir = std::env::temp_dir().join("kor-bench-idx");
+    std::fs::create_dir_all(&dir).unwrap();
+    let disk = DiskInvertedIndex::build(&graph, &dir.join("bench.idx")).unwrap();
+    let mem = InvertedIndex::build(&graph);
+    let terms: Vec<String> = graph
+        .vocab()
+        .iter()
+        .filter(|(k, _)| mem.doc_frequency(*k) > 0)
+        .take(64)
+        .map(|(_, t)| t.to_string())
+        .collect();
+    group.bench_function("bptree_lookup_64_terms", |b| {
+        b.iter(|| {
+            for t in &terms {
+                let _ = disk.postings(t).unwrap();
+            }
+        })
+    });
+    // Floyd–Warshall is cubic: measure it on the Figure-1 fixture where a
+    // single iteration is cheap, and Dijkstra-APSP on the big graph.
+    let small = figure1();
+    group.bench_function("floyd_warshall_fixture", |b| {
+        b.iter(|| DenseApsp::floyd_warshall(&small))
+    });
+    group.bench_function("pairwise_tau_cached", |b| {
+        let pairs = CachedPairCosts::new(&graph);
+        let nodes: Vec<_> = graph.nodes().take(16).collect();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s in &nodes {
+                if let Some(c) = pairs.tau(s, kor_graph::NodeId(0)) {
+                    acc += c.objective;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    algorithms_vs_keywords,
+    epsilon_sweep,
+    beta_sweep,
+    topk_sweep,
+    scalability,
+    optimization_ablation,
+    substrates
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Dataset inspection tool: prints the generated datasets' shape and the
+//! workload's feasibility profile, mirroring the paper's §4.1 dataset
+//! description. Useful when calibrating generator parameters.
+//!
+//! ```bash
+//! cargo run --release -p kor-bench --bin dataset-report [--paper]
+//! ```
+
+use kor_bench::{Context, Profile};
+use kor_core::{KorEngine, KorQuery, OsScalingParams};
+
+fn main() {
+    let profile = if std::env::args().any(|a| a == "--paper") {
+        Profile::paper()
+    } else {
+        Profile::quick()
+    };
+    println!("profile: {}", profile.name);
+    let ctx = Context::new(profile);
+
+    let graph = ctx.flickr();
+    println!("\n== Flickr-like dataset ==\n{}", graph.stats());
+
+    let engine = KorEngine::new(&graph);
+    println!("\nfeasibility (queries with a feasible route / total):");
+    println!("{:>10} {:>8} {:>8} {:>8}", "keywords", "Δ=3", "Δ=6", "Δ=15");
+    for &m in &ctx.profile.keyword_counts {
+        let sets = ctx.workload(&graph, &[m]);
+        let mut cells = Vec::new();
+        for delta in [3.0, 6.0, 15.0] {
+            let mut feasible = 0;
+            for spec in &sets[0].queries {
+                let q = KorQuery::new(&graph, spec.source, spec.target, spec.keywords.clone(), delta)
+                    .expect("valid spec");
+                if engine
+                    .os_scaling(&q, &OsScalingParams::default())
+                    .expect("valid params")
+                    .route
+                    .is_some()
+                {
+                    feasible += 1;
+                }
+            }
+            cells.push(format!("{feasible}/{}", sets[0].queries.len()));
+        }
+        println!("{m:>10} {:>8} {:>8} {:>8}", cells[0], cells[1], cells[2]);
+    }
+
+    for &size in &ctx.profile.road_sizes[..1] {
+        let road = ctx.road(size);
+        println!("\n== Road network ({size} nodes) ==\n{}", road.stats());
+    }
+}

@@ -1,0 +1,87 @@
+//! CLI driver: regenerates the paper's tables and figures.
+//!
+//! ```bash
+//! experiments [--paper|--quick] [--out DIR] [--list] [ids…]
+//! ```
+//!
+//! Without ids, every experiment runs (in the paper's order). Tables are
+//! printed to stdout and written as CSV under `results/<profile>/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use kor_bench::experiments;
+use kor_bench::{Context, Profile};
+
+fn main() -> ExitCode {
+    let mut profile = Profile::quick();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--paper" => profile = Profile::paper(),
+            "--quick" => profile = Profile::quick(),
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for e in experiments::all() {
+                    println!("{:<10} {}", e.id, e.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--paper|--quick] [--out DIR] [--list] [ids…]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; see --help");
+                return ExitCode::FAILURE;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    let selected = if ids.is_empty() {
+        experiments::all()
+    } else {
+        match experiments::select(&ids) {
+            Some(sel) => sel,
+            None => {
+                eprintln!("unknown experiment id; use --list");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("results").join(&profile.name));
+    println!(
+        "KOR experiment suite — profile '{}' ({} queries/set) → {}",
+        profile.name,
+        profile.queries_per_set,
+        out_dir.display()
+    );
+    let ctx = Context::new(profile);
+    let suite_start = Instant::now();
+    for exp in selected {
+        println!("\n=== {} — {}", exp.id, exp.title);
+        let start = Instant::now();
+        let tables = (exp.run)(&ctx);
+        for table in &tables {
+            println!("\n{table}");
+            match table.write_csv(&out_dir) {
+                Ok(path) => println!("[csv] {}", path.display()),
+                Err(e) => eprintln!("[csv] write failed: {e}"),
+            }
+        }
+        println!("[time] {} took {:.1?}", exp.id, start.elapsed());
+    }
+    println!("\nSuite finished in {:.1?}", suite_start.elapsed());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,142 @@
+//! Shared, lazily-built experiment datasets.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use kor_data::{
+    generate_flickr, generate_roadnet, generate_workload, QuerySet, RoadNetConfig, WorkloadConfig,
+};
+use kor_graph::Graph;
+use kor_index::InvertedIndex;
+
+use crate::profile::Profile;
+
+/// Lazily generates and caches the datasets the experiments share, so a
+/// run of many figures builds the Flickr-like graph exactly once.
+pub struct Context {
+    /// The sizing profile.
+    pub profile: Profile,
+    flickr: OnceLock<Arc<Graph>>,
+    roads: Mutex<HashMap<usize, Arc<Graph>>>,
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new(profile: Profile) -> Self {
+        Self {
+            profile,
+            flickr: OnceLock::new(),
+            roads: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The Flickr-like dataset (generated on first use).
+    pub fn flickr(&self) -> Arc<Graph> {
+        self.flickr
+            .get_or_init(|| {
+                let (graph, stats) = generate_flickr(&self.profile.flickr);
+                eprintln!(
+                    "[data] flickr-like graph: {} locations, {} edges, {} tags ({} photos)",
+                    stats.locations, stats.edges, stats.tags_used, stats.photos
+                );
+                Arc::new(graph)
+            })
+            .clone()
+    }
+
+    /// The road network of a given size (generated on first use).
+    pub fn road(&self, nodes: usize) -> Arc<Graph> {
+        let mut roads = self.roads.lock().expect("context poisoned");
+        roads
+            .entry(nodes)
+            .or_insert_with(|| {
+                let graph = generate_roadnet(&RoadNetConfig {
+                    area_km: self.profile.road_area_km,
+                    ..RoadNetConfig::with_nodes(nodes)
+                });
+                eprintln!(
+                    "[data] road network: {} nodes, {} edges",
+                    graph.node_count(),
+                    graph.edge_count()
+                );
+                Arc::new(graph)
+            })
+            .clone()
+    }
+
+    /// The standard workload on a graph: one query set per keyword count,
+    /// `queries_per_set` queries each, endpoints capped per the profile.
+    pub fn workload(&self, graph: &Graph, keyword_counts: &[usize]) -> Vec<QuerySet> {
+        self.workload_capped(graph, keyword_counts, self.profile.endpoint_cap_km)
+    }
+
+    /// Road-network workload: same shape, road endpoint cap.
+    pub fn road_workload(&self, graph: &Graph, keyword_counts: &[usize]) -> Vec<QuerySet> {
+        self.workload_capped(graph, keyword_counts, self.profile.road_endpoint_cap_km)
+    }
+
+    /// Workload with an explicit endpoint cap.
+    pub fn workload_capped(
+        &self,
+        graph: &Graph,
+        keyword_counts: &[usize],
+        cap: Option<f64>,
+    ) -> Vec<QuerySet> {
+        let index = InvertedIndex::build(graph);
+        generate_workload(
+            graph,
+            &index,
+            &WorkloadConfig {
+                keyword_counts: keyword_counts.to_vec(),
+                queries_per_set: self.profile.queries_per_set,
+                frequency_weighted: true,
+                max_euclidean_km: cap,
+                min_doc_fraction: self.profile.min_doc_fraction,
+                seed: self.profile.seed,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_profile() -> Profile {
+        let mut p = Profile::quick();
+        p.queries_per_set = 2;
+        p.flickr.users = 150;
+        p.flickr.city_km = 6.0;
+        p.flickr.vocab_size = 200;
+        p.flickr.min_photos_per_location = 3;
+        p.road_sizes = vec![100];
+        p
+    }
+
+    #[test]
+    fn flickr_is_cached() {
+        let ctx = Context::new(tiny_profile());
+        let a = ctx.flickr();
+        let b = ctx.flickr();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.node_count() > 0);
+    }
+
+    #[test]
+    fn roads_cached_per_size() {
+        let ctx = Context::new(tiny_profile());
+        let a = ctx.road(100);
+        let b = ctx.road(100);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.node_count(), 100);
+    }
+
+    #[test]
+    fn workload_respects_profile() {
+        let ctx = Context::new(tiny_profile());
+        let g = ctx.road(100);
+        let sets = ctx.workload(&g, &[2, 4]);
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].queries.len(), 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 16: KkR (top-k) runtime as k grows.
+
+use kor_core::{BucketBoundParams, OsScalingParams};
+
+use crate::context::Context;
+use crate::report::{fmt_ms, Table};
+use crate::runner::{mean_ms, run_algo, to_query, Algo, QueryRun};
+
+/// Figure 16: runtime of the KkR variants of `OSScaling` and
+/// `BucketBound` for k = 1…5 (ε = 0.5, β = 1.2, Δ = 6 km, averaged over
+/// all keyword counts).
+pub fn fig16(ctx: &Context) -> Vec<Table> {
+    let graph = ctx.flickr();
+    let engine = kor_core::KorEngine::new(&graph);
+    let sets = ctx.workload(&graph, &ctx.profile.keyword_counts);
+    let delta = ctx.profile.default_delta_km;
+    let queries: Vec<_> = sets
+        .iter()
+        .flat_map(|set| set.queries.iter().map(|s| to_query(&graph, s, delta)))
+        .collect();
+
+    let mut table = Table::new(
+        "fig16",
+        "KkR runtime vs k (ε = 0.5, β = 1.2, Δ = 6 km)",
+        vec!["k", "OSScaling (ms)", "BucketBound (ms)"],
+    );
+    for &k in &ctx.profile.ks {
+        let os: Vec<QueryRun> = queries
+            .iter()
+            .map(|q| {
+                run_algo(
+                    &engine,
+                    q,
+                    &Algo::TopKOsScaling(OsScalingParams::default(), k),
+                )
+            })
+            .collect();
+        let bb: Vec<QueryRun> = queries
+            .iter()
+            .map(|q| {
+                run_algo(
+                    &engine,
+                    q,
+                    &Algo::TopKBucketBound(BucketBoundParams::default(), k),
+                )
+            })
+            .collect();
+        table.push_row(vec![
+            k.to_string(),
+            fmt_ms(mean_ms(&os)),
+            fmt_ms(mean_ms(&bb)),
+        ]);
+    }
+    vec![table]
+}

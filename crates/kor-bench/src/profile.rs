@@ -1,0 +1,149 @@
+//! Experiment sizing profiles.
+
+use kor_data::FlickrConfig;
+
+/// All knobs the experiments read. Two presets: [`Profile::paper`]
+/// mirrors the paper's §4.1 setup; [`Profile::quick`] shrinks datasets
+/// and query counts so the full suite completes in a couple of minutes.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Preset name (used for the output directory).
+    pub name: String,
+    /// Queries per query set (paper: 50).
+    pub queries_per_set: usize,
+    /// Flickr-like dataset configuration.
+    pub flickr: FlickrConfig,
+    /// The Δ sweep on the Flickr dataset, km (paper: 3–15).
+    pub flickr_deltas_km: Vec<f64>,
+    /// Default Δ for parameter sweeps (paper: 6 km).
+    pub default_delta_km: f64,
+    /// Keyword-count sweep (paper: 2–10).
+    pub keyword_counts: Vec<usize>,
+    /// Default keyword count for parameter sweeps (paper: 6).
+    pub default_keywords: usize,
+    /// Road-network sizes for the scalability experiment
+    /// (paper: 5k/10k/15k/20k).
+    pub road_sizes: Vec<usize>,
+    /// Δ for road-network experiments (paper: 30 km).
+    pub road_delta_km: f64,
+    /// Square extent of the generated road networks, km.
+    pub road_area_km: f64,
+    /// Endpoint sampling cap for road-network workloads, km.
+    pub road_endpoint_cap_km: Option<f64>,
+    /// Δ sweep for the synthetic-dataset experiment (paper Figure 19).
+    pub road_deltas_km: Vec<f64>,
+    /// ε sweep (paper: 0.1–0.9).
+    pub epsilons: Vec<f64>,
+    /// β sweep (paper: 1.2–2.0).
+    pub betas: Vec<f64>,
+    /// α sweep (paper: 0–1).
+    pub alphas: Vec<f64>,
+    /// k sweep for KkR (paper: 1–5).
+    pub ks: Vec<usize>,
+    /// Equal theoretical approximation ratios (paper §4.2.3: 2–10).
+    pub equal_bounds: Vec<f64>,
+    /// Endpoint sampling cap in km (keeps the Δ sweep meaningful).
+    pub endpoint_cap_km: Option<f64>,
+    /// Document-frequency floor for query keywords (see
+    /// `WorkloadConfig::min_doc_fraction`).
+    pub min_doc_fraction: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Profile {
+    /// The paper's full experiment sizing.
+    pub fn paper() -> Self {
+        Self {
+            name: "paper".into(),
+            queries_per_set: 50,
+            flickr: FlickrConfig::paper_scale(),
+            flickr_deltas_km: vec![3.0, 6.0, 9.0, 12.0, 15.0],
+            default_delta_km: 6.0,
+            keyword_counts: vec![2, 4, 6, 8, 10],
+            default_keywords: 6,
+            road_sizes: vec![5_000, 10_000, 15_000, 20_000],
+            road_delta_km: 30.0,
+            road_area_km: 30.0,
+            road_endpoint_cap_km: Some(8.0),
+            road_deltas_km: vec![3.0, 6.0, 9.0, 12.0, 15.0],
+            epsilons: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            betas: vec![1.2, 1.4, 1.6, 1.8, 2.0],
+            alphas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            ks: vec![1, 2, 3, 4, 5],
+            equal_bounds: vec![2.0, 4.0, 6.0, 8.0, 10.0],
+            endpoint_cap_km: Some(4.0),
+            min_doc_fraction: 0.005,
+            seed: 42,
+        }
+    }
+
+    /// A scaled-down preset: same sweeps, smaller datasets and fewer
+    /// queries, for CI and iteration.
+    pub fn quick() -> Self {
+        Self {
+            name: "quick".into(),
+            queries_per_set: 8,
+            flickr: FlickrConfig {
+                users: 2_500,
+                photos_per_user: 40,
+                attraction_centers: 30,
+                city_km: 10.0,
+                cell_km: 0.35,
+                min_photos_per_location: 8,
+                vocab_size: 4_000,
+                tag_exponent: 1.0,
+                max_tags_per_location: 16,
+                hop_scale_km: 2.0,
+                seed: 2012,
+            },
+            flickr_deltas_km: vec![3.0, 6.0, 9.0, 12.0, 15.0],
+            default_delta_km: 6.0,
+            keyword_counts: vec![2, 4, 6, 8, 10],
+            default_keywords: 6,
+            road_sizes: vec![1_000, 2_000, 3_000, 4_000],
+            road_delta_km: 30.0,
+            road_area_km: 30.0,
+            road_endpoint_cap_km: Some(8.0),
+            road_deltas_km: vec![3.0, 6.0, 9.0, 12.0, 15.0],
+            epsilons: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            betas: vec![1.2, 1.4, 1.6, 1.8, 2.0],
+            alphas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            ks: vec![1, 2, 3, 4, 5],
+            equal_bounds: vec![2.0, 4.0, 6.0, 8.0, 10.0],
+            endpoint_cap_km: Some(3.5),
+            min_doc_fraction: 0.005,
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let p = Profile::paper();
+        assert_eq!(p.queries_per_set, 50);
+        assert_eq!(p.keyword_counts, vec![2, 4, 6, 8, 10]);
+        assert_eq!(p.flickr_deltas_km, vec![3.0, 6.0, 9.0, 12.0, 15.0]);
+        assert_eq!(p.road_sizes, vec![5_000, 10_000, 15_000, 20_000]);
+        assert_eq!(p.road_delta_km, 30.0);
+        assert_eq!(p.epsilons.len(), 5);
+        assert_eq!(p.betas, vec![1.2, 1.4, 1.6, 1.8, 2.0]);
+        assert_eq!(p.ks, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = Profile::quick();
+        let p = Profile::paper();
+        assert!(q.queries_per_set < p.queries_per_set);
+        assert!(q.flickr.users < p.flickr.users);
+        assert!(q.road_sizes.iter().max() < p.road_sizes.iter().max());
+        // ...but the sweeps are identical, so figures keep their x-axes.
+        assert_eq!(q.keyword_counts, p.keyword_counts);
+        assert_eq!(q.epsilons, p.epsilons);
+    }
+}

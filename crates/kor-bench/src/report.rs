@@ -1,0 +1,196 @@
+//! Table rendering and CSV export.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One result table (a figure's data series or a paper table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Stable identifier, e.g. `fig4`.
+    pub id: String,
+    /// Human title, e.g. `Runtime vs number of query keywords (Flickr)`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (pre-formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: Vec<impl Into<String>>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// CSV rendering (header + rows).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        writeln!(f, "{}", header_line.join("  "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "{}", rule.join("  "))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats milliseconds with sensible precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.4}")
+    }
+}
+
+/// Formats a ratio with 4 decimals (the paper's relative-ratio axes).
+pub fn fmt_ratio(r: f64) -> String {
+    if r.is_finite() {
+        format!("{r:.4}")
+    } else {
+        "n/a".into()
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig0", "demo", vec!["m", "OSScaling", "Greedy-1"]);
+        t.push_row(vec!["2".into(), "10.5".into(), "0.3".into()]);
+        t.push_row(vec!["4".into(), "20.1".into(), "0.4".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().to_string();
+        assert!(text.contains("## fig0 — demo"));
+        assert!(text.contains("OSScaling"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "m,OSScaling,Greedy-1");
+        assert_eq!(lines[1], "2,10.5,0.3");
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut t = Table::new("x", "t", vec!["a"]);
+        t.push_row(vec!["va,l\"ue".into()]);
+        assert_eq!(t.to_csv().lines().nth(1).unwrap(), "\"va,l\"\"ue\"");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("kor-report-tests");
+        let path = sample().write_csv(&dir).unwrap();
+        assert!(path.exists());
+        assert!(std::fs::read_to_string(path).unwrap().starts_with("m,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", "t", vec!["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ms(123.4), "123");
+        assert_eq!(fmt_ms(12.345), "12.35");
+        assert_eq!(fmt_ms(0.1234), "0.1234");
+        assert_eq!(fmt_ratio(1.23456), "1.2346");
+        assert_eq!(fmt_ratio(f64::NAN), "n/a");
+        assert_eq!(fmt_pct(12.34), "12.3%");
+    }
+}

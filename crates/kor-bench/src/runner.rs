@@ -1,0 +1,221 @@
+//! Measurement helpers shared by all experiments.
+
+use std::time::Instant;
+
+use kor_core::{
+    BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams,
+};
+use kor_data::QuerySpec;
+use kor_graph::Graph;
+
+/// The algorithm variants the figures compare.
+#[derive(Debug, Clone)]
+pub enum Algo {
+    /// `OSScaling` with the given parameters.
+    OsScaling(OsScalingParams),
+    /// `BucketBound` with the given parameters.
+    BucketBound(BucketBoundParams),
+    /// `Greedy` with the given parameters.
+    Greedy(GreedyParams),
+    /// KkR via `OSScaling`.
+    TopKOsScaling(OsScalingParams, usize),
+    /// KkR via `BucketBound`.
+    TopKBucketBound(BucketBoundParams, usize),
+}
+
+impl Algo {
+    /// Display name used in table headers.
+    pub fn label(&self) -> String {
+        match self {
+            Algo::OsScaling(_) => "OSScaling".into(),
+            Algo::BucketBound(_) => "BucketBound".into(),
+            Algo::Greedy(p) => format!("Greedy-{}", p.beam_width),
+            Algo::TopKOsScaling(_, k) => format!("OSScaling k={k}"),
+            Algo::TopKBucketBound(_, k) => format!("BucketBound k={k}"),
+        }
+    }
+
+    /// The paper's defaults: ε = 0.5, β = 1.2, α = 0.5.
+    pub fn defaults() -> Vec<Algo> {
+        vec![
+            Algo::OsScaling(OsScalingParams::default()),
+            Algo::BucketBound(BucketBoundParams::default()),
+            Algo::Greedy(GreedyParams::with_beam(2)),
+            Algo::Greedy(GreedyParams::with_beam(1)),
+        ]
+    }
+}
+
+/// Outcome of one (algorithm, query) measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRun {
+    /// Whether a feasible route was produced (for greedy: both hard
+    /// constraints met).
+    pub feasible: bool,
+    /// The objective score of the returned feasible route.
+    pub objective: Option<f64>,
+    /// Wall-clock time in microseconds.
+    pub micros: u64,
+}
+
+/// Runs one algorithm on one query.
+pub fn run_algo(engine: &KorEngine<'_>, query: &KorQuery, algo: &Algo) -> QueryRun {
+    let start = Instant::now();
+    let (feasible, objective) = match algo {
+        Algo::OsScaling(p) => {
+            let r = engine.os_scaling(query, p).expect("valid params");
+            (r.route.is_some(), r.route.map(|x| x.objective))
+        }
+        Algo::BucketBound(p) => {
+            let r = engine.bucket_bound(query, p).expect("valid params");
+            (r.route.is_some(), r.route.map(|x| x.objective))
+        }
+        Algo::Greedy(p) => match engine.greedy(query, p).expect("valid params") {
+            Some(r) if r.is_feasible() => (true, Some(r.objective)),
+            _ => (false, None),
+        },
+        Algo::TopKOsScaling(p, k) => {
+            let r = engine.top_k_os_scaling(query, p, *k).expect("valid params");
+            (r.is_feasible(), r.best().map(|x| x.objective))
+        }
+        Algo::TopKBucketBound(p, k) => {
+            let r = engine.top_k_bucket_bound(query, p, *k).expect("valid params");
+            (r.is_feasible(), r.best().map(|x| x.objective))
+        }
+    };
+    QueryRun {
+        feasible,
+        objective,
+        micros: start.elapsed().as_micros() as u64,
+    }
+}
+
+/// Instantiates a spec with a budget.
+pub fn to_query(graph: &Graph, spec: &QuerySpec, delta: f64) -> KorQuery {
+    KorQuery::new(graph, spec.source, spec.target, spec.keywords.clone(), delta)
+        .expect("generated specs are valid")
+}
+
+/// Mean runtime in milliseconds.
+pub fn mean_ms(runs: &[QueryRun]) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter().map(|r| r.micros as f64).sum::<f64>() / runs.len() as f64 / 1_000.0
+}
+
+/// Mean ratio `run.objective / base.objective` over queries where both
+/// sides found a feasible route (the paper's relative-ratio measure).
+pub fn relative_ratio(runs: &[QueryRun], base: &[QueryRun]) -> f64 {
+    assert_eq!(runs.len(), base.len(), "ratio needs aligned run vectors");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (r, b) in runs.iter().zip(base) {
+        if let (Some(ro), Some(bo)) = (r.objective, b.objective) {
+            if bo > 0.0 {
+                sum += ro / bo;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Percentage of queries with no feasible answer from this algorithm,
+/// among queries the reference found feasible (the paper's greedy
+/// failure percentage).
+pub fn failure_pct(runs: &[QueryRun], base: &[QueryRun]) -> f64 {
+    assert_eq!(runs.len(), base.len());
+    let mut failures = 0usize;
+    let mut total = 0usize;
+    for (r, b) in runs.iter().zip(base) {
+        if b.feasible {
+            total += 1;
+            if !r.feasible {
+                failures += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * failures as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_graph::fixtures::{figure1, t, v};
+
+    fn run(feasible: bool, objective: Option<f64>, micros: u64) -> QueryRun {
+        QueryRun {
+            feasible,
+            objective,
+            micros,
+        }
+    }
+
+    #[test]
+    fn mean_ms_averages() {
+        let runs = vec![run(true, Some(1.0), 1000), run(true, Some(2.0), 3000)];
+        assert!((mean_ms(&runs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean_ms(&[]), 0.0);
+    }
+
+    #[test]
+    fn relative_ratio_skips_infeasible() {
+        let base = vec![run(true, Some(2.0), 0), run(false, None, 0), run(true, Some(4.0), 0)];
+        let runs = vec![run(true, Some(3.0), 0), run(true, Some(9.0), 0), run(false, None, 0)];
+        // only the first pair counts: 3/2
+        assert!((relative_ratio(&runs, &base) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_pct_counts_reference_feasible_only() {
+        let base = vec![run(true, Some(1.0), 0), run(true, Some(1.0), 0), run(false, None, 0)];
+        let runs = vec![run(false, None, 0), run(true, Some(2.0), 0), run(false, None, 0)];
+        assert!((failure_pct(&runs, &base) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_algo_measures_all_variants() {
+        let g = figure1();
+        let engine = KorEngine::new(&g);
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        for algo in Algo::defaults() {
+            let r = run_algo(&engine, &q, &algo);
+            assert!(r.feasible, "{}", algo.label());
+            assert!(r.objective.unwrap() > 0.0);
+        }
+        let topk = run_algo(
+            &engine,
+            &q,
+            &Algo::TopKOsScaling(OsScalingParams::default(), 3),
+        );
+        assert!(topk.feasible);
+        let topb = run_algo(
+            &engine,
+            &q,
+            &Algo::TopKBucketBound(BucketBoundParams::default(), 2),
+        );
+        assert!(topb.feasible);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(Algo::OsScaling(OsScalingParams::default()).label(), "OSScaling");
+        assert_eq!(
+            Algo::Greedy(GreedyParams::with_beam(2)).label(),
+            "Greedy-2"
+        );
+        assert_eq!(
+            Algo::TopKBucketBound(BucketBoundParams::default(), 4).label(),
+            "BucketBound k=4"
+        );
+    }
+}

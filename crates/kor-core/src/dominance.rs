@@ -1,0 +1,503 @@
+//! Label dominance store (Definition 6 and the KkR k-dominance of §3.5).
+
+use std::collections::HashMap;
+
+use kor_graph::{subsets_of, supersets_of};
+
+use crate::label::{Label, LabelArena};
+
+/// Which objective representation dominance compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomMode {
+    /// Compare scaled objective scores `ÔS` — the paper's `OSScaling` /
+    /// `BucketBound` behaviour (approximate, bounded label count).
+    Scaled,
+    /// Compare exact objective scores `OS` — yields the exact optimum
+    /// (the `ε → 0` limit) at the cost of more labels.
+    Exact,
+}
+
+impl DomMode {
+    /// A monotone `u64` ordering key for the objective under this mode.
+    ///
+    /// Exact mode uses the IEEE-754 bit pattern, which orders identically
+    /// to the value for non-negative finite floats (edge objectives are
+    /// validated positive).
+    #[inline]
+    fn key(self, label: &Label) -> u64 {
+        match self {
+            DomMode::Scaled => label.scaled,
+            DomMode::Exact => label.objective.to_bits(),
+        }
+    }
+}
+
+/// One stored label: `(objective key, budget, arena id)`.
+type Entry = (u64, f64, u32);
+
+/// Per-node label store with (k-)dominance checks.
+///
+/// A label `L_a` dominates `L_b` iff `L_a.λ ⊇ L_b.λ`, `ÔS_a ≤ ÔS_b`, and
+/// `BS_a ≤ BS_b` (Definition 6). A label is rejected when at least `k`
+/// alive labels dominate it (`k = 1` for plain KOR); inserting a label
+/// evicts stored labels that become k-dominated.
+///
+/// Labels are grouped by `(node, λ)`; cross-mask dominance enumerates
+/// superset/subset masks with bit tricks (`2^(m−|λ|)` groups for `m`
+/// query keywords). For `k = 1` each group is a **Pareto frontier**:
+/// sorted by ascending objective key with strictly decreasing budgets, so
+/// a dominance test is one binary search and evictions splice a
+/// contiguous range. For `k > 1` groups are plain lists scanned linearly
+/// (top-k workloads are small).
+#[derive(Debug)]
+pub struct LabelStore {
+    mode: DomMode,
+    k: usize,
+    full_mask: u32,
+    groups: Vec<HashMap<u32, Vec<Entry>>>,
+    dominated: u64,
+    evicted: u64,
+}
+
+impl LabelStore {
+    /// Creates a store for `node_count` nodes, query mask universe
+    /// `full_mask`, and dominance threshold `k ≥ 1`.
+    pub fn new(mode: DomMode, node_count: usize, full_mask: u32, k: usize) -> Self {
+        assert!(k >= 1, "dominance threshold must be ≥ 1");
+        Self {
+            mode,
+            k,
+            full_mask,
+            groups: vec![HashMap::new(); node_count],
+            dominated: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Labels rejected at insert time so far.
+    pub fn dominated_count(&self) -> u64 {
+        self.dominated
+    }
+
+    /// Stored labels evicted by newer labels so far.
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Number of alive labels currently stored on `node`.
+    pub fn alive_on(&self, arena: &LabelArena, node: usize) -> usize {
+        self.groups[node]
+            .values()
+            .flatten()
+            .filter(|&&(_, _, id)| arena.get(id).alive)
+            .count()
+    }
+
+    /// Attempts to insert label `id`. Returns `false` (and records a
+    /// domination) if `k` alive labels already dominate it; otherwise
+    /// inserts it and evicts labels it k-dominates.
+    pub fn try_insert(&mut self, arena: &mut LabelArena, id: u32) -> bool {
+        let label = *arena.get(id);
+        let key = self.mode.key(&label);
+        if self.k == 1 {
+            self.try_insert_frontier(arena, id, &label, key)
+        } else {
+            self.try_insert_k(arena, id, &label, key)
+        }
+    }
+
+    /// Fast path (`k = 1`): Pareto frontiers per `(node, mask)`.
+    fn try_insert_frontier(
+        &mut self,
+        arena: &mut LabelArena,
+        id: u32,
+        label: &Label,
+        key: u64,
+    ) -> bool {
+        let node = label.node.index();
+
+        // Enumerating all 2^(m−|λ|) superset masks is wasteful when the
+        // node has seen only a few distinct masks; iterate whichever set
+        // is smaller.
+        let present = self.groups[node].len();
+        let free_bits = (self.full_mask & !label.mask).count_ones();
+        let enumerate_bitmasks = free_bits < 10 && (1usize << free_bits) <= present * 2;
+
+        // Dominance test: in every superset-mask frontier, the candidate
+        // is dominated iff the entry with the largest key ≤ `key` has
+        // budget ≤ `label.budget` (budgets fall as keys grow).
+        let dominated_in = |group: &Vec<Entry>| -> bool {
+            let pos = group.partition_point(|e| e.0 <= key);
+            pos > 0 && group[pos - 1].1 <= label.budget
+        };
+        let is_dominated = if enumerate_bitmasks {
+            supersets_of(label.mask, self.full_mask).any(|sup| {
+                self.groups[node].get(&sup).is_some_and(dominated_in)
+            })
+        } else {
+            self.groups[node]
+                .iter()
+                .any(|(&m, group)| m & label.mask == label.mask && dominated_in(group))
+        };
+        if is_dominated {
+            self.dominated += 1;
+            return false;
+        }
+
+        // Eviction: in every subset-mask frontier, entries with key ≥
+        // `key` and budget ≥ `label.budget` form a contiguous run.
+        let mask_bits = label.mask.count_ones();
+        let subset_masks: Vec<u32> =
+            if mask_bits < 10 && (1usize << mask_bits) <= present * 2 {
+                subsets_of(label.mask)
+                    .filter(|m| self.groups[node].contains_key(m))
+                    .collect()
+            } else {
+                self.groups[node]
+                    .keys()
+                    .copied()
+                    .filter(|&m| m & label.mask == m)
+                    .collect()
+            };
+        for sub in subset_masks {
+            let group = self.groups[node].get_mut(&sub).expect("key exists");
+            let start = group.partition_point(|e| e.0 < key);
+            let mut end = start;
+            while end < group.len() && group[end].1 >= label.budget {
+                end += 1;
+            }
+            if end > start {
+                for &(_, _, victim) in &group[start..end] {
+                    arena.kill(victim);
+                }
+                self.evicted += (end - start) as u64;
+                group.drain(start..end);
+            }
+        }
+
+        let group = self.groups[node].entry(label.mask).or_default();
+        let pos = group.partition_point(|e| e.0 < key);
+        group.insert(pos, (key, label.budget, id));
+        debug_assert!(
+            group.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1),
+            "frontier invariant broken"
+        );
+        true
+    }
+
+    /// General path (`k ≥ 2`): linear scans with k-dominance counting.
+    fn try_insert_k(&mut self, arena: &mut LabelArena, id: u32, label: &Label, key: u64) -> bool {
+        let node = label.node.index();
+        if self.count_dominators(arena, node, label.mask, key, label.budget, self.k, id)
+            >= self.k
+        {
+            self.dominated += 1;
+            return false;
+        }
+
+        // Evict stored labels now k-dominated by the newcomer.
+        let mut victims: Vec<u32> = Vec::new();
+        for sub in subsets_of(label.mask) {
+            let Some(group) = self.groups[node].get(&sub) else {
+                continue;
+            };
+            for &(okey, obud, other) in group {
+                if other == id {
+                    continue;
+                }
+                if arena.get(other).alive && key <= okey && label.budget <= obud {
+                    victims.push(other);
+                }
+            }
+        }
+        for victim in victims {
+            let v = *arena.get(victim);
+            // The newcomer counts as one dominator and is not yet in the
+            // store, hence limit k-1 over stored labels.
+            let dooms = 1 + self.count_dominators(
+                arena,
+                node,
+                v.mask,
+                self.mode.key(&v),
+                v.budget,
+                self.k - 1,
+                victim,
+            ) >= self.k;
+            if dooms {
+                arena.kill(victim);
+                self.evicted += 1;
+            }
+        }
+
+        // Insert and lazily compact dead ids in the target group.
+        let group = self.groups[node].entry(label.mask).or_default();
+        group.retain(|&(_, _, other)| arena.get(other).alive);
+        group.push((key, label.budget, id));
+        true
+    }
+
+    /// Counts alive labels dominating a hypothetical label with the given
+    /// coordinates, stopping at `limit`.
+    #[allow(clippy::too_many_arguments)]
+    fn count_dominators(
+        &self,
+        arena: &LabelArena,
+        node: usize,
+        mask: u32,
+        key: u64,
+        budget: f64,
+        limit: usize,
+        exclude: u32,
+    ) -> usize {
+        let mut count = 0;
+        for sup in supersets_of(mask, self.full_mask) {
+            let Some(group) = self.groups[node].get(&sup) else {
+                continue;
+            };
+            for &(okey, obud, other) in group {
+                if other == exclude {
+                    continue;
+                }
+                if arena.get(other).alive && okey <= key && obud <= budget {
+                    count += 1;
+                    if count >= limit {
+                        return count;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::NO_LABEL;
+    use kor_graph::NodeId;
+
+    fn mk(arena: &mut LabelArena, node: u32, mask: u32, scaled: u64, budget: f64) -> u32 {
+        arena.push(Label {
+            node: NodeId(node),
+            mask,
+            scaled,
+            objective: scaled as f64,
+            budget,
+            parent: NO_LABEL,
+            alive: true,
+        })
+    }
+
+    fn store(k: usize) -> LabelStore {
+        LabelStore::new(DomMode::Scaled, 4, 0b111, k)
+    }
+
+    #[test]
+    fn paper_example_l04_dominates_l14() {
+        // Example 1: L04 = ({t1,t2,t4}, 100, 5, 7) dominates
+        // L14 = ({t1,t2,t4}, 120, 6, 11) on the same node.
+        let mut arena = LabelArena::new();
+        let mut s = store(1);
+        let l04 = mk(&mut arena, 0, 0b111, 100, 7.0);
+        assert!(s.try_insert(&mut arena, l04));
+        let l14 = mk(&mut arena, 0, 0b111, 120, 11.0);
+        assert!(!s.try_insert(&mut arena, l14));
+        assert_eq!(s.dominated_count(), 1);
+    }
+
+    #[test]
+    fn superset_mask_dominates_subset() {
+        let mut arena = LabelArena::new();
+        let mut s = store(1);
+        let big = mk(&mut arena, 1, 0b011, 10, 5.0);
+        assert!(s.try_insert(&mut arena, big));
+        // Same scores, smaller coverage → dominated.
+        let small = mk(&mut arena, 1, 0b001, 10, 5.0);
+        assert!(!s.try_insert(&mut arena, small));
+    }
+
+    #[test]
+    fn subset_mask_does_not_dominate() {
+        let mut arena = LabelArena::new();
+        let mut s = store(1);
+        let small = mk(&mut arena, 1, 0b001, 1, 1.0);
+        assert!(s.try_insert(&mut arena, small));
+        // Better coverage, worse scores → incomparable, kept.
+        let big = mk(&mut arena, 1, 0b011, 5, 5.0);
+        assert!(s.try_insert(&mut arena, big));
+    }
+
+    #[test]
+    fn incomparable_scores_coexist() {
+        let mut arena = LabelArena::new();
+        let mut s = store(1);
+        let a = mk(&mut arena, 2, 0b1, 10, 1.0);
+        let b = mk(&mut arena, 2, 0b1, 1, 10.0);
+        assert!(s.try_insert(&mut arena, a));
+        assert!(s.try_insert(&mut arena, b));
+        assert_eq!(s.alive_on(&arena, 2), 2);
+    }
+
+    #[test]
+    fn newcomer_evicts_dominated() {
+        let mut arena = LabelArena::new();
+        let mut s = store(1);
+        let old = mk(&mut arena, 0, 0b001, 100, 9.0);
+        assert!(s.try_insert(&mut arena, old));
+        let newer = mk(&mut arena, 0, 0b011, 50, 3.0);
+        assert!(s.try_insert(&mut arena, newer));
+        assert!(!arena.get(old).alive, "old label must be tombstoned");
+        assert_eq!(s.evicted_count(), 1);
+        assert_eq!(s.alive_on(&arena, 0), 1);
+    }
+
+    #[test]
+    fn eviction_removes_contiguous_run_only() {
+        let mut arena = LabelArena::new();
+        let mut s = store(1);
+        // Frontier: (10, 9.0), (20, 7.0), (30, 5.0), (40, 3.0)
+        let ids: Vec<u32> = [(10u64, 9.0f64), (20, 7.0), (30, 5.0), (40, 3.0)]
+            .iter()
+            .map(|&(k, b)| {
+                let id = mk(&mut arena, 0, 0b1, k, b);
+                assert!(s.try_insert(&mut arena, id));
+                id
+            })
+            .collect();
+        // (25, 4.0) evicts (30, 5.0) but not (40, 3.0) or the cheaper keys.
+        let newcomer = mk(&mut arena, 0, 0b1, 25, 4.0);
+        assert!(s.try_insert(&mut arena, newcomer));
+        assert!(arena.get(ids[0]).alive);
+        assert!(arena.get(ids[1]).alive);
+        assert!(!arena.get(ids[2]).alive);
+        assert!(arena.get(ids[3]).alive);
+        assert_eq!(s.alive_on(&arena, 0), 4);
+    }
+
+    #[test]
+    fn different_nodes_never_interact() {
+        let mut arena = LabelArena::new();
+        let mut s = store(1);
+        let a = mk(&mut arena, 0, 0b111, 1, 1.0);
+        let b = mk(&mut arena, 1, 0b001, 100, 100.0);
+        assert!(s.try_insert(&mut arena, a));
+        assert!(s.try_insert(&mut arena, b));
+        assert!(arena.get(b).alive);
+    }
+
+    #[test]
+    fn identical_label_is_dominated() {
+        let mut arena = LabelArena::new();
+        let mut s = store(1);
+        let a = mk(&mut arena, 3, 0b010, 7, 2.0);
+        assert!(s.try_insert(&mut arena, a));
+        let twin = mk(&mut arena, 3, 0b010, 7, 2.0);
+        assert!(!s.try_insert(&mut arena, twin));
+        // ...and the original survives (non-strict dominance only rejects
+        // the newcomer, never evicts an equal incumbent).
+        assert!(arena.get(a).alive);
+    }
+
+    #[test]
+    fn k2_needs_two_dominators() {
+        let mut arena = LabelArena::new();
+        let mut s = store(2);
+        let a = mk(&mut arena, 0, 0b11, 10, 2.0);
+        let b = mk(&mut arena, 0, 0b11, 12, 2.5);
+        let c = mk(&mut arena, 0, 0b11, 15, 3.0);
+        assert!(s.try_insert(&mut arena, a)); // no dominators
+        assert!(s.try_insert(&mut arena, b)); // 1 dominator (a) < k
+        assert!(!s.try_insert(&mut arena, c)); // dominated by a and b
+        assert_eq!(s.dominated_count(), 1);
+        // both incumbents stay alive under k = 2
+        assert!(arena.get(a).alive && arena.get(b).alive);
+    }
+
+    #[test]
+    fn k2_eviction_requires_two_dominators() {
+        let mut arena = LabelArena::new();
+        let mut s = store(2);
+        let worst = mk(&mut arena, 0, 0b01, 20, 9.0);
+        assert!(s.try_insert(&mut arena, worst));
+        // One better label arrives: worst has only 1 dominator, survives.
+        let better = mk(&mut arena, 0, 0b01, 10, 5.0);
+        assert!(s.try_insert(&mut arena, better));
+        assert!(arena.get(worst).alive);
+        // A second better label: now worst has 2 dominators and dies.
+        let best = mk(&mut arena, 0, 0b11, 5, 1.0);
+        assert!(s.try_insert(&mut arena, best));
+        assert!(!arena.get(worst).alive);
+        assert_eq!(s.evicted_count(), 1);
+    }
+
+    #[test]
+    fn exact_mode_compares_objectives() {
+        let mut arena = LabelArena::new();
+        let mut s = LabelStore::new(DomMode::Exact, 2, 0b1, 1);
+        // Same scaled score but different exact objective: in Exact mode
+        // the cheaper objective dominates.
+        let a = arena.push(Label {
+            node: NodeId(0),
+            mask: 0b1,
+            scaled: 5,
+            objective: 1.0,
+            budget: 1.0,
+            parent: NO_LABEL,
+            alive: true,
+        });
+        let b = arena.push(Label {
+            node: NodeId(0),
+            mask: 0b1,
+            scaled: 5,
+            objective: 2.0,
+            budget: 1.0,
+            parent: NO_LABEL,
+            alive: true,
+        });
+        assert!(s.try_insert(&mut arena, a));
+        assert!(!s.try_insert(&mut arena, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn zero_k_panics() {
+        let _ = LabelStore::new(DomMode::Scaled, 1, 0, 0);
+    }
+
+    /// Brute-force reference check of the frontier path on a random
+    /// label stream.
+    #[test]
+    fn frontier_agrees_with_naive_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut arena = LabelArena::new();
+        let mut s = LabelStore::new(DomMode::Scaled, 1, 0b11, 1);
+        // naive mirror: Vec of alive (mask, key, budget)
+        let mut naive: Vec<(u32, u64, f64, u32)> = Vec::new();
+        for _ in 0..500 {
+            let mask = rng.gen_range(0..4u32);
+            let key = rng.gen_range(0..30u64);
+            let budget = rng.gen_range(0..30) as f64;
+            let id = mk(&mut arena, 0, mask, key, budget);
+            let dominated = naive.iter().any(|&(m, k, b, nid)| {
+                arena.get(nid).alive && m & mask == mask && k <= key && b <= budget
+            });
+            let inserted = s.try_insert(&mut arena, id);
+            assert_eq!(inserted, !dominated, "divergence at mask={mask} key={key} b={budget}");
+            if inserted {
+                // every stored label the newcomer dominates must be dead
+                for &(m, k, b, nid) in naive.iter() {
+                    if mask & m == m && key <= k && budget <= b && nid != id {
+                        assert!(
+                            !arena.get(nid).alive,
+                            "frontier failed to evict ({m:#b},{k},{b})"
+                        );
+                    }
+                }
+                naive.push((mask, key, budget, id));
+            }
+            naive.retain(|&(_, _, _, nid)| arena.get(nid).alive);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Convenience facade bundling the index and pre-processing caches.
+
+use kor_apsp::CachedPairCosts;
+use kor_graph::Graph;
+use kor_index::InvertedIndex;
+
+use crate::brute::{brute_force, BruteForceParams};
+use crate::bucket::{bucket_bound, top_k_bucket_bound};
+use crate::error::KorError;
+use crate::greedy::{greedy, GreedyParams, GreedyRoute};
+use crate::labeling::{exact_labeling, os_scaling, top_k_os_scaling};
+use crate::params::{BucketBoundParams, OsScalingParams};
+use crate::query::KorQuery;
+use crate::result::{SearchResult, TopKResult};
+
+/// One-stop query engine: owns the inverted index and the forward-tree
+/// cache used by the greedy algorithm, mirroring the paper's setup where
+/// the index and pre-processing are built once per dataset.
+pub struct KorEngine<'g> {
+    graph: &'g Graph,
+    index: InvertedIndex,
+    pairs: CachedPairCosts<'g>,
+}
+
+impl<'g> KorEngine<'g> {
+    /// Builds the engine (indexes the graph's keywords).
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            index: InvertedIndex::build(graph),
+            pairs: CachedPairCosts::new(graph),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// `OSScaling` (Algorithm 1).
+    pub fn os_scaling(
+        &self,
+        query: &KorQuery,
+        params: &OsScalingParams,
+    ) -> Result<SearchResult, KorError> {
+        os_scaling(self.graph, &self.index, query, params)
+    }
+
+    /// `BucketBound` (Algorithm 2).
+    pub fn bucket_bound(
+        &self,
+        query: &KorQuery,
+        params: &BucketBoundParams,
+    ) -> Result<SearchResult, KorError> {
+        bucket_bound(self.graph, &self.index, query, params)
+    }
+
+    /// The greedy heuristic (Algorithm 3).
+    pub fn greedy(
+        &self,
+        query: &KorQuery,
+        params: &GreedyParams,
+    ) -> Result<Option<GreedyRoute>, KorError> {
+        greedy(self.graph, &self.index, &self.pairs, query, params)
+    }
+
+    /// Exact optimum via unscaled label dominance (ground truth).
+    pub fn exact(&self, query: &KorQuery) -> Result<SearchResult, KorError> {
+        exact_labeling(self.graph, &self.index, query)
+    }
+
+    /// The exhaustive §3.2 baseline (tiny graphs only).
+    pub fn brute_force(
+        &self,
+        query: &KorQuery,
+        params: &BruteForceParams,
+    ) -> Result<SearchResult, KorError> {
+        brute_force(self.graph, query, params)
+    }
+
+    /// KkR top-k via `OSScaling` (§3.5).
+    pub fn top_k_os_scaling(
+        &self,
+        query: &KorQuery,
+        params: &OsScalingParams,
+        k: usize,
+    ) -> Result<TopKResult, KorError> {
+        top_k_os_scaling(self.graph, &self.index, query, params, k)
+    }
+
+    /// KkR top-k via `BucketBound` (§3.5).
+    pub fn top_k_bucket_bound(
+        &self,
+        query: &KorQuery,
+        params: &BucketBoundParams,
+        k: usize,
+    ) -> Result<TopKResult, KorError> {
+        top_k_bucket_bound(self.graph, &self.index, query, params, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedyMode;
+    use kor_graph::fixtures::{figure1, t, v};
+
+    #[test]
+    fn all_algorithms_run_through_the_facade() {
+        let g = figure1();
+        let engine = KorEngine::new(&g);
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+
+        let os = engine.os_scaling(&q, &OsScalingParams::default()).unwrap();
+        let bb = engine.bucket_bound(&q, &BucketBoundParams::default()).unwrap();
+        let ex = engine.exact(&q).unwrap();
+        let bf = engine.brute_force(&q, &BruteForceParams::default()).unwrap();
+        let gr = engine.greedy(&q, &GreedyParams::default()).unwrap();
+        let tk = engine
+            .top_k_os_scaling(&q, &OsScalingParams::default(), 2)
+            .unwrap();
+        let tb = engine
+            .top_k_bucket_bound(&q, &BucketBoundParams::default(), 2)
+            .unwrap();
+
+        assert_eq!(ex.route.as_ref().unwrap().objective, 6.0);
+        assert_eq!(bf.route.as_ref().unwrap().objective, 6.0);
+        assert_eq!(os.route.as_ref().unwrap().objective, 6.0);
+        assert!(bb.route.as_ref().unwrap().objective <= 6.0 * 2.4);
+        assert!(gr.is_some());
+        assert!(!tk.routes.is_empty());
+        assert!(!tb.routes.is_empty());
+        assert_eq!(engine.index().node_count(), 8);
+        assert_eq!(engine.graph().node_count(), 8);
+    }
+
+    #[test]
+    fn greedy_modes_through_facade() {
+        let g = figure1();
+        let engine = KorEngine::new(&g);
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 5.0).unwrap();
+        let kw_first = engine.greedy(&q, &GreedyParams::default()).unwrap();
+        let budget_first = engine
+            .greedy(
+                &q,
+                &GreedyParams {
+                    mode: GreedyMode::BudgetFirst,
+                    ..GreedyParams::default()
+                },
+            )
+            .unwrap();
+        if let Some(r) = kw_first {
+            assert!(r.covers_keywords);
+        }
+        if let Some(r) = budget_first {
+            assert!(r.within_budget);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Node labels and the label arena (Definition 5).
+
+use kor_graph::NodeId;
+
+/// Sentinel for "no parent label".
+pub const NO_LABEL: u32 = u32::MAX;
+
+/// A node label `(λ, ÔS, OS, BS)` plus the node it sits on and the parent
+/// link used to reconstruct the partial route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Label {
+    /// The node this label belongs to.
+    pub node: NodeId,
+    /// Covered query keywords `λ` as a query-local bitmask.
+    pub mask: u32,
+    /// Scaled objective score `ÔS` (dominance key for `OSScaling`).
+    pub scaled: u64,
+    /// Exact objective score `OS`.
+    pub objective: f64,
+    /// Budget score `BS`.
+    pub budget: f64,
+    /// Arena index of the predecessor label ([`NO_LABEL`] at the source).
+    pub parent: u32,
+    /// Tombstone flag: dead labels are skipped at dequeue time (lazy
+    /// priority-queue deletion after dominance evictions).
+    pub alive: bool,
+}
+
+/// A snapshot of a label for golden-trace tests (paper Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelSnapshot {
+    /// Node the label was created on.
+    pub node: NodeId,
+    /// Covered query keyword mask.
+    pub mask: u32,
+    /// Scaled objective score.
+    pub scaled: u64,
+    /// Objective score.
+    pub objective: f64,
+    /// Budget score.
+    pub budget: f64,
+}
+
+impl From<&Label> for LabelSnapshot {
+    fn from(l: &Label) -> Self {
+        Self {
+            node: l.node,
+            mask: l.mask,
+            scaled: l.scaled,
+            objective: l.objective,
+            budget: l.budget,
+        }
+    }
+}
+
+/// Append-only arena of labels; parent links index into it.
+#[derive(Debug, Default)]
+pub struct LabelArena {
+    labels: Vec<Label>,
+}
+
+impl LabelArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a label, returning its id.
+    pub fn push(&mut self, label: Label) -> u32 {
+        let id = self.labels.len() as u32;
+        self.labels.push(label);
+        id
+    }
+
+    /// The label with id `id`.
+    #[inline]
+    pub fn get(&self, id: u32) -> &Label {
+        &self.labels[id as usize]
+    }
+
+    /// Mutable access (tombstoning).
+    #[inline]
+    pub fn get_mut(&mut self, id: u32) -> &mut Label {
+        &mut self.labels[id as usize]
+    }
+
+    /// Marks a label dead.
+    pub fn kill(&mut self, id: u32) {
+        self.labels[id as usize].alive = false;
+    }
+
+    /// Number of labels ever created.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The node sequence of the partial route ending at `id`
+    /// (source first).
+    pub fn path_nodes(&self, id: u32) -> Vec<NodeId> {
+        let mut nodes = Vec::new();
+        let mut cur = id;
+        while cur != NO_LABEL {
+            let l = &self.labels[cur as usize];
+            nodes.push(l.node);
+            cur = l.parent;
+        }
+        nodes.reverse();
+        nodes
+    }
+
+    /// Iterates all labels (including dead ones) in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Label> {
+        self.labels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(node: u32, parent: u32) -> Label {
+        Label {
+            node: NodeId(node),
+            mask: 0,
+            scaled: 0,
+            objective: 0.0,
+            budget: 0.0,
+            parent,
+            alive: true,
+        }
+    }
+
+    #[test]
+    fn path_reconstruction_walks_parents() {
+        let mut arena = LabelArena::new();
+        let a = arena.push(label(0, NO_LABEL));
+        let b = arena.push(label(2, a));
+        let c = arena.push(label(3, b));
+        assert_eq!(
+            arena.path_nodes(c),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(arena.path_nodes(a), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn kill_tombstones() {
+        let mut arena = LabelArena::new();
+        let a = arena.push(label(0, NO_LABEL));
+        assert!(arena.get(a).alive);
+        arena.kill(a);
+        assert!(!arena.get(a).alive);
+    }
+
+    #[test]
+    fn snapshot_copies_scores() {
+        let l = Label {
+            node: NodeId(4),
+            mask: 0b11,
+            scaled: 100,
+            objective: 5.0,
+            budget: 7.0,
+            parent: NO_LABEL,
+            alive: true,
+        };
+        let s = LabelSnapshot::from(&l);
+        assert_eq!(s.node, NodeId(4));
+        assert_eq!(s.mask, 0b11);
+        assert_eq!(s.scaled, 100);
+        assert_eq!(s.objective, 5.0);
+        assert_eq!(s.budget, 7.0);
+    }
+
+    #[test]
+    fn len_tracks_pushes() {
+        let mut arena = LabelArena::new();
+        assert!(arena.is_empty());
+        arena.push(label(0, NO_LABEL));
+        arena.push(label(1, 0));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.iter().count(), 2);
+    }
+}

@@ -1,0 +1,860 @@
+//! The label-search engine: `OSScaling` (Algorithm 1), its exact-dominance
+//! variant, and the KkR top-k extension (§3.5).
+//!
+//! One engine implements all three because they share every mechanism —
+//! label creation (Definition 7), dominance (Definition 6 / k-dominance),
+//! the priority order (Definition 8), the feasibility and upper-bound
+//! pruning of Algorithm 1, and the two optimization strategies — and
+//! differ only in the dominance key (scaled vs. exact objective) and in
+//! how many result routes are tracked.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use kor_apsp::{backward_tree, KeywordReach, Metric, QueryContext, Tree};
+use kor_graph::{Graph, NodeId, Route};
+use kor_index::InvertedIndex;
+
+use crate::dominance::{DomMode, LabelStore};
+use crate::error::KorError;
+use crate::label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
+use crate::params::OsScalingParams;
+use crate::query::KorQuery;
+use crate::result::{RouteResult, SearchResult, TopKResult};
+use crate::scale::Scaler;
+use crate::stats::SearchStats;
+
+/// Runs `OSScaling` (Algorithm 1): the `1/(1−ε)`-approximation.
+pub fn os_scaling(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    params: &OsScalingParams,
+) -> Result<SearchResult, KorError> {
+    params.validate()?;
+    let cfg = EngineConfig {
+        mode: ScoreMode::Scaled(Scaler::new(graph, params.epsilon, query.budget)),
+        k: 1,
+        use_opt1: params.use_opt1,
+        use_opt2: params.use_opt2,
+        infrequent_threshold: params.infrequent_threshold,
+        collect_labels: params.collect_labels,
+    };
+    let mut engine = Engine::new(graph, index, query, cfg);
+    let mut routes = engine.run();
+    Ok(SearchResult {
+        route: routes.pop(),
+        stats: engine.stats,
+        labels: engine.snapshots,
+    })
+}
+
+/// Runs the exact variant: label dominance on unscaled objective scores,
+/// which preserves at least one optimal label chain and therefore returns
+/// the true optimum (the `ε → 0` limit of `OSScaling`). Exponentially
+/// more labels in the worst case — intended as the accuracy ground truth.
+pub fn exact_labeling(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+) -> Result<SearchResult, KorError> {
+    let cfg = EngineConfig {
+        mode: ScoreMode::Exact,
+        k: 1,
+        use_opt1: true,
+        use_opt2: true,
+        infrequent_threshold: 0.01,
+        collect_labels: false,
+    };
+    let mut engine = Engine::new(graph, index, query, cfg);
+    let mut routes = engine.run();
+    Ok(SearchResult {
+        route: routes.pop(),
+        stats: engine.stats,
+        labels: engine.snapshots,
+    })
+}
+
+/// Runs the KkR extension of `OSScaling`: k-dominance plus a top-k result
+/// set whose k-th objective serves as the pruning bound `U`.
+pub fn top_k_os_scaling(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    params: &OsScalingParams,
+    k: usize,
+) -> Result<TopKResult, KorError> {
+    params.validate()?;
+    if k == 0 {
+        return Err(KorError::InvalidK);
+    }
+    let cfg = EngineConfig {
+        mode: ScoreMode::Scaled(Scaler::new(graph, params.epsilon, query.budget)),
+        k,
+        use_opt1: params.use_opt1,
+        use_opt2: params.use_opt2,
+        infrequent_threshold: params.infrequent_threshold,
+        collect_labels: params.collect_labels,
+    };
+    let mut engine = Engine::new(graph, index, query, cfg);
+    let routes = engine.run();
+    Ok(TopKResult {
+        routes,
+        stats: engine.stats,
+    })
+}
+
+/// Objective representation used for dominance and ordering.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ScoreMode {
+    Scaled(Scaler),
+    Exact,
+}
+
+impl ScoreMode {
+    #[inline]
+    pub(crate) fn dom_mode(&self) -> DomMode {
+        match self {
+            ScoreMode::Scaled(_) => DomMode::Scaled,
+            ScoreMode::Exact => DomMode::Exact,
+        }
+    }
+
+    /// The child's ordering/dominance key after traversing an edge with
+    /// objective `edge_obj` from `parent`, where the child's exact
+    /// objective is `child_obj`.
+    #[inline]
+    pub(crate) fn child_key(&self, parent: &Label, edge_obj: f64, child_obj: f64) -> u64 {
+        match self {
+            ScoreMode::Scaled(s) => parent.scaled + s.scale(edge_obj),
+            ScoreMode::Exact => child_obj.to_bits(),
+        }
+    }
+}
+
+struct EngineConfig {
+    mode: ScoreMode,
+    k: usize,
+    use_opt1: bool,
+    use_opt2: bool,
+    infrequent_threshold: f64,
+    collect_labels: bool,
+}
+
+/// Priority-queue item implementing the label order of Definition 8:
+/// more covered keywords first, then smaller scaled objective, then
+/// smaller budget, then node id, then creation sequence.
+#[derive(PartialEq)]
+pub(crate) struct QItem {
+    pub(crate) covered: u32,
+    pub(crate) key: u64,
+    pub(crate) budget: f64,
+    pub(crate) node: u32,
+    pub(crate) id: u32,
+}
+
+impl Eq for QItem {}
+
+impl Ord for QItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap pops the maximum, so "pops first" must be "greater".
+        self.covered
+            .cmp(&other.covered)
+            .then_with(|| other.key.cmp(&self.key))
+            .then_with(|| other.budget.total_cmp(&self.budget))
+            .then_with(|| other.node.cmp(&self.node))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for QItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A completed (label + τ-completion) candidate route.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub(crate) nodes: Vec<NodeId>,
+    pub(crate) objective: f64,
+    pub(crate) budget: f64,
+}
+
+/// Sorted top-k candidate set; its k-th objective is the bound `U`.
+struct TopSet {
+    k: usize,
+    items: Vec<Candidate>,
+}
+
+impl TopSet {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            items: Vec::with_capacity(k),
+        }
+    }
+
+    /// Current upper bound `U`: the k-th best objective, `+inf` while
+    /// fewer than `k` candidates exist.
+    fn bound(&self) -> f64 {
+        if self.items.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.items.last().expect("k ≥ 1").objective
+        }
+    }
+
+    /// Inserts if the candidate improves the set; returns whether it did.
+    /// Candidates describing a route already in the set are ignored: a
+    /// label and its extensions along the τ-completion materialize the
+    /// same final route.
+    fn insert(&mut self, c: Candidate) -> bool {
+        if c.objective >= self.bound() {
+            return false;
+        }
+        if self.items.iter().any(|x| x.nodes == c.nodes) {
+            return false;
+        }
+        let at = self
+            .items
+            .partition_point(|x| (x.objective, x.budget) <= (c.objective, c.budget));
+        self.items.insert(at, c);
+        self.items.truncate(self.k);
+        true
+    }
+}
+
+/// Optimization Strategy 2 state: the infrequent query keyword bit plus
+/// the two "through an infrequent-keyword node" lower-bound trees.
+pub(crate) struct Opt2 {
+    pub(crate) bit_mask: u32,
+    pub(crate) obj_bound: Tree,
+    pub(crate) bud_bound: Tree,
+}
+
+struct Engine<'a> {
+    graph: &'a Graph,
+    query: &'a KorQuery,
+    cfg: EngineConfig,
+    ctx: QueryContext<'a>,
+    reach: Option<KeywordReach>,
+    opt2: Option<Opt2>,
+    arena: LabelArena,
+    store: LabelStore,
+    heap: BinaryHeap<QItem>,
+    top: TopSet,
+    pub stats: SearchStats,
+    pub snapshots: Vec<LabelSnapshot>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        graph: &'a Graph,
+        index: &'a InvertedIndex,
+        query: &'a KorQuery,
+        cfg: EngineConfig,
+    ) -> Self {
+        let ctx = QueryContext::new(graph, query.target);
+        let reach = (cfg.use_opt1 && !query.keywords.is_empty())
+            .then(|| KeywordReach::new(graph, &query.keywords, &index.query_postings(&query.keywords)));
+        let opt2 = cfg.use_opt2.then(|| build_opt2(graph, index, query, &ctx, cfg.infrequent_threshold)).flatten();
+        let store = LabelStore::new(
+            cfg.mode.dom_mode(),
+            graph.node_count(),
+            query.keywords.full_mask(),
+            cfg.k,
+        );
+        let k = cfg.k;
+        Self {
+            graph,
+            query,
+            cfg,
+            ctx,
+            reach,
+            opt2,
+            arena: LabelArena::new(),
+            store,
+            heap: BinaryHeap::new(),
+            top: TopSet::new(k),
+            stats: SearchStats::default(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Runs the search to exhaustion and materializes the result routes in
+    /// ascending objective order.
+    fn run(&mut self) -> Vec<RouteResult> {
+        let source = self.query.source;
+        if !self.ctx.reaches_target(source) {
+            return Vec::new();
+        }
+
+        // Initial label (Algorithm 1 lines 2–4).
+        let init = Label {
+            node: source,
+            mask: self.query.keywords.mask_of(self.graph.keywords(source)),
+            scaled: 0,
+            objective: 0.0,
+            budget: 0.0,
+            parent: NO_LABEL,
+            alive: true,
+        };
+        let init_id = self.arena.push(init);
+        self.record(init_id);
+        self.store.try_insert(&mut self.arena, init_id);
+        // The initial label may already cover everything (then its best
+        // completion is τ(s,t) — handled by the same completion check the
+        // children go through).
+        self.try_complete(init_id);
+        self.push_queue(init_id);
+
+        while let Some(item) = self.heap.pop() {
+            let label = *self.arena.get(item.id);
+            if !label.alive {
+                self.stats.labels_skipped += 1;
+                continue;
+            }
+            // Algorithm 1 line 7: the best completion cannot beat U.
+            if label.objective + self.ctx.os_tau(label.node) > self.top.bound() {
+                self.stats.labels_skipped += 1;
+                continue;
+            }
+            self.stats.labels_expanded += 1;
+            self.expand(item.id);
+        }
+
+        let candidates = std::mem::take(&mut self.top.items);
+        candidates
+            .into_iter()
+            .map(|c| RouteResult {
+                route: Route::new(c.nodes),
+                objective: c.objective,
+                budget: c.budget,
+            })
+            .collect()
+    }
+
+    /// Label treatment (Definition 7) over all outgoing edges, plus the
+    /// Optimization-Strategy-1 jump.
+    fn expand(&mut self, id: u32) {
+        let label = *self.arena.get(id);
+        let out: Vec<(NodeId, f64, f64)> = self
+            .graph
+            .out_edges(label.node)
+            .map(|e| (e.node, e.objective, e.budget))
+            .collect();
+        for (node, eo, eb) in out {
+            self.make_child(id, node, eo, eb);
+        }
+        if self.reach.is_some() && !self.query.keywords.is_covering(label.mask) {
+            self.opt1_jump(id);
+        }
+    }
+
+    /// Creates, checks, and files one child label; returns its id if it
+    /// survived all checks.
+    fn make_child(&mut self, parent_id: u32, node: NodeId, edge_obj: f64, edge_bud: f64) -> Option<u32> {
+        let parent = *self.arena.get(parent_id);
+        let objective = parent.objective + edge_obj;
+        let budget = parent.budget + edge_bud;
+        let child = Label {
+            node,
+            mask: parent.mask | self.query.keywords.mask_of(self.graph.keywords(node)),
+            scaled: self.cfg.mode.child_key(&parent, edge_obj, objective),
+            objective,
+            budget,
+            parent: parent_id,
+            alive: true,
+        };
+        self.stats.labels_created += 1;
+        if self.cfg.collect_labels {
+            self.snapshots.push(LabelSnapshot {
+                node: child.node,
+                mask: child.mask,
+                scaled: child.scaled,
+                objective: child.objective,
+                budget: child.budget,
+            });
+        }
+
+        // Algorithm 1 line 10, first two filters: the label must still be
+        // able to produce a feasible route (budget via the min-budget
+        // completion σ) that beats the bound (objective via the
+        // min-objective completion τ).
+        if child.budget + self.ctx.bs_sigma(child.node) > self.query.budget {
+            self.stats.labels_pruned += 1;
+            return None;
+        }
+        if child.objective + self.ctx.os_tau(child.node) >= self.top.bound() {
+            self.stats.labels_pruned += 1;
+            return None;
+        }
+        // Optimization Strategy 2.
+        if let Some(opt2) = &self.opt2 {
+            if child.mask & opt2.bit_mask == 0 {
+                let through_obj = opt2.obj_bound.objective(child.node);
+                let through_bud = opt2.bud_bound.budget(child.node);
+                if child.objective + through_obj > self.top.bound()
+                    || child.budget + through_bud > self.query.budget
+                {
+                    self.stats.opt2_discards += 1;
+                    return None;
+                }
+            }
+        }
+
+        let id = self.arena.push(child);
+        if !self.store.try_insert(&mut self.arena, id) {
+            self.arena.kill(id);
+            self.sync_store_stats();
+            return None;
+        }
+        self.sync_store_stats();
+
+        // Algorithm 1 lines 16–20: completion handling for covering
+        // labels; non-covering labels are enqueued.
+        if self.query.keywords.is_covering(self.arena.get(id).mask) {
+            let completed = self.try_complete(id);
+            // k = 1: a feasible completion is the best this label can do
+            // (τ is the min-objective completion), so it is not enqueued.
+            // For k > 1 further extensions may yield additional routes.
+            if !completed || self.cfg.k > 1 {
+                self.push_queue(id);
+            }
+        } else {
+            self.push_queue(id);
+        }
+        Some(id)
+    }
+
+    /// Optimization Strategy 1: jump to the nearest (by budget) node
+    /// holding an uncovered query keyword, materializing the actual
+    /// `σ_{i,j}` path so scores and coverage stay exact.
+    fn opt1_jump(&mut self, id: u32) {
+        let label = *self.arena.get(id);
+        let reach = self.reach.as_ref().expect("opt1 enabled");
+        let mut best: Option<(f64, u32)> = None;
+        for (bit, _) in self.query.keywords.uncovered(label.mask) {
+            if let Some((dist, j)) = reach.nearest(bit, label.node) {
+                // Feasibility: jump there and still finish within budget.
+                if label.budget + dist + self.ctx.bs_sigma(j) <= self.query.budget {
+                    let better = match best {
+                        None => true,
+                        Some((d, _)) => dist < d,
+                    };
+                    if better {
+                        best = Some((dist, bit));
+                    }
+                }
+            }
+        }
+        let Some((_, bit)) = best else { return };
+        let Some(path) = reach.path_to_nearest(bit, label.node) else {
+            return;
+        };
+        if path.len() < 2 {
+            return;
+        }
+        self.stats.opt1_jumps += 1;
+        // Fold the jump path into chained labels; only the terminal label
+        // enters the store/queue, intermediates exist for reconstruction.
+        let mut cur = id;
+        for step in path.windows(2) {
+            let (from, to) = (step[0], step[1]);
+            let e = self
+                .graph
+                .edge_between(from, to)
+                .expect("reach paths follow graph edges");
+            let is_last = to == *path.last().expect("non-empty");
+            if is_last {
+                self.make_child(cur, to, e.objective, e.budget);
+            } else {
+                let parent = *self.arena.get(cur);
+                let objective = parent.objective + e.objective;
+                let child = Label {
+                    node: to,
+                    mask: parent.mask | self.query.keywords.mask_of(self.graph.keywords(to)),
+                    scaled: self.cfg.mode.child_key(&parent, e.objective, objective),
+                    objective,
+                    budget: parent.budget + e.budget,
+                    parent: cur,
+                    alive: true,
+                };
+                cur = self.arena.push(child);
+            }
+        }
+    }
+
+    /// Lines 16–19: if the label covers all keywords and its τ-completion
+    /// fits the budget, record the candidate route. Returns whether a
+    /// feasible completion existed.
+    fn try_complete(&mut self, id: u32) -> bool {
+        let label = *self.arena.get(id);
+        if !self.query.keywords.is_covering(label.mask) {
+            return false;
+        }
+        let tau = self.ctx.os_tau(label.node);
+        if !tau.is_finite() {
+            return false;
+        }
+        if label.budget + self.ctx.bs_tau(label.node) <= self.query.budget {
+            let objective = label.objective + tau;
+            if objective < self.top.bound() {
+                let cand = Candidate {
+                    nodes: self.route_nodes(id),
+                    objective,
+                    budget: label.budget + self.ctx.bs_tau(label.node),
+                };
+                if self.top.insert(cand) {
+                    self.stats.upper_bound_updates += 1;
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The node sequence `path(label) + τ(label.node, t)`.
+    fn route_nodes(&self, id: u32) -> Vec<NodeId> {
+        let label = self.arena.get(id);
+        let mut nodes = self.arena.path_nodes(id);
+        let completion = self
+            .ctx
+            .tau_route(label.node)
+            .expect("candidates reach the target");
+        nodes.extend_from_slice(&completion.nodes()[1..]);
+        nodes
+    }
+
+    fn push_queue(&mut self, id: u32) {
+        let label = self.arena.get(id);
+        self.heap.push(QItem {
+            covered: label.mask.count_ones(),
+            key: label.scaled,
+            budget: label.budget,
+            node: label.node.0,
+            id,
+        });
+        self.stats.queue_pushes += 1;
+    }
+
+    fn record(&mut self, id: u32) {
+        self.stats.labels_created += 1;
+        if self.cfg.collect_labels {
+            self.snapshots.push(LabelSnapshot::from(self.arena.get(id)));
+        }
+    }
+
+    fn sync_store_stats(&mut self) {
+        self.stats.labels_dominated = self.store.dominated_count();
+        self.stats.labels_evicted = self.store.evicted_count();
+    }
+
+}
+
+/// Builds Optimization-Strategy-2 state when the least frequent query
+/// keyword is rare enough.
+pub(crate) fn build_opt2(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    ctx: &QueryContext<'_>,
+    threshold: f64,
+) -> Option<Opt2> {
+    let (kw, df) = index.least_frequent(query.keywords.ids())?;
+    if graph.node_count() == 0 || df as f64 / graph.node_count() as f64 >= threshold {
+        return None;
+    }
+    let bit = query.keywords.bit(kw)?;
+    // Seeds carry the to-target completion as initial potential, so each
+    // tree bounds "go through an infrequent-keyword node, then finish".
+    let mut obj_seeds = Vec::new();
+    let mut bud_seeds = Vec::new();
+    for &l in index.postings(kw) {
+        if let Some(tau) = ctx.tau_to_target(l) {
+            obj_seeds.push((l, tau.objective, tau.budget));
+        }
+        if let Some(sigma) = ctx.sigma_to_target(l) {
+            bud_seeds.push((l, sigma.objective, sigma.budget));
+        }
+    }
+    Some(Opt2 {
+        bit_mask: 1 << bit,
+        obj_bound: backward_tree(graph, Metric::Objective, &obj_seeds),
+        bud_bound: backward_tree(graph, Metric::Budget, &bud_seeds),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_graph::fixtures::{figure1, t, v};
+
+    fn setup() -> (Graph, InvertedIndex) {
+        let g = figure1();
+        let idx = InvertedIndex::build(&g);
+        (g, idx)
+    }
+
+    fn plain_params(epsilon: f64) -> OsScalingParams {
+        OsScalingParams {
+            epsilon,
+            use_opt1: false,
+            use_opt2: false,
+            collect_labels: true,
+            ..OsScalingParams::default()
+        }
+    }
+
+    #[test]
+    fn example2_returns_r1() {
+        // Q = ⟨v0, v7, {t1, t2}, 10⟩, ε = 0.5 ⇒ R1 = ⟨v0,v2,v3,v4,v7⟩,
+        // OS 6, BS 10.
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        let route = r.route.expect("feasible");
+        assert_eq!(route.route.nodes(), &[v(0), v(2), v(3), v(4), v(7)]);
+        assert_eq!(route.objective, 6.0);
+        assert_eq!(route.budget, 10.0);
+    }
+
+    #[test]
+    fn example2_table1_labels() {
+        // The nine labels of Table 1 (ÔS at θ = 1/20) must all be created.
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        // (node, mask {t1=bit0, t2=bit1}, ÔS, OS, BS)
+        let expected: [(u32, u32, u64, f64, f64); 9] = [
+            (0, 0b00, 0, 0.0, 0.0),    // L00
+            (1, 0b00, 80, 4.0, 1.0),   // L01
+            (1, 0b01, 60, 3.0, 4.0),   // L11
+            (2, 0b10, 20, 1.0, 3.0),   // L02
+            (3, 0b01, 40, 2.0, 2.0),   // L03
+            (3, 0b11, 80, 4.0, 5.0),   // L13
+            (4, 0b01, 60, 3.0, 4.0),   // L04
+            (5, 0b11, 100, 5.0, 4.0),  // L05
+            (6, 0b11, 40, 2.0, 4.0),   // L06 (created, then budget-pruned)
+        ];
+        for (node, mask, scaled, os, bs) in expected {
+            assert!(
+                r.labels.iter().any(|l| l.node == v(node)
+                    && l.mask == mask
+                    && l.scaled == scaled
+                    && l.objective == os
+                    && l.budget == bs),
+                "missing label ({node}, {mask:#b}, {scaled}, {os}, {bs})\nhave: {:?}",
+                r.labels
+            );
+        }
+    }
+
+    #[test]
+    fn example2_with_optimizations_same_answer() {
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &OsScalingParams::default()).unwrap();
+        let route = r.route.expect("feasible");
+        assert_eq!(route.objective, 6.0);
+        assert_eq!(route.budget, 10.0);
+    }
+
+    #[test]
+    fn definition4_delta6() {
+        // Q = ⟨v0, v7, {t1,t2,t3}, 6⟩ ⇒ ⟨v0,v3,v5,v7⟩ with OS 9, BS 5.
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2), t(3)], 6.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        let route = r.route.expect("feasible");
+        assert_eq!(route.route.nodes(), &[v(0), v(3), v(5), v(7)]);
+        assert_eq!(route.objective, 9.0);
+        assert_eq!(route.budget, 5.0);
+    }
+
+    #[test]
+    fn infeasible_when_budget_too_small() {
+        let (g, idx) = setup();
+        // The cheapest-budget covering route for {t1,t2} needs BS ≥ 5.
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 4.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        assert!(r.route.is_none());
+    }
+
+    #[test]
+    fn infeasible_when_keyword_unreachable() {
+        let (g, idx) = setup();
+        // t5 lives only at v1, which has no outgoing edges: covering t5
+        // strands the route.
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(5)], 100.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        assert!(r.route.is_none());
+    }
+
+    #[test]
+    fn empty_keywords_degenerate_to_wcspp() {
+        // Without keywords the answer is the min-objective path meeting Δ.
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![], 10.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        let route = r.route.expect("feasible");
+        assert_eq!(route.route.nodes(), &[v(0), v(3), v(4), v(7)]);
+        assert_eq!(route.objective, 4.0);
+        // With Δ = 6 the τ path (BS 7) is out; σ (OS 9, BS 5) wins.
+        let q6 = KorQuery::new(&g, v(0), v(7), vec![], 6.0).unwrap();
+        let r6 = os_scaling(&g, &idx, &q6, &plain_params(0.5)).unwrap();
+        assert_eq!(r6.route.unwrap().objective, 9.0);
+    }
+
+    #[test]
+    fn source_equals_target_trivial() {
+        let (g, idx) = setup();
+        // v0 holds t3; querying t3 from v0 to v0 is satisfied by standing
+        // still.
+        let q = KorQuery::new(&g, v(0), v(0), vec![t(3)], 5.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        let route = r.route.expect("feasible");
+        assert_eq!(route.route.nodes(), &[v(0)]);
+        assert_eq!(route.objective, 0.0);
+        assert_eq!(route.budget, 0.0);
+    }
+
+    #[test]
+    fn source_equals_target_requires_cycle() {
+        let (g, idx) = setup();
+        // From v5 back to v5 covering t4 (at v4): needs a cycle, but v5
+        // is unreachable from v4's continuations ⇒ infeasible.
+        let q = KorQuery::new(&g, v(5), v(5), vec![t(4)], 100.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        assert!(r.route.is_none());
+    }
+
+    #[test]
+    fn unreachable_target_is_infeasible() {
+        let (g, idx) = setup();
+        // v1 has no outgoing edges; nothing reaches v0 either.
+        let q = KorQuery::new(&g, v(1), v(7), vec![], 100.0).unwrap();
+        assert!(os_scaling(&g, &idx, &q, &plain_params(0.5))
+            .unwrap()
+            .route
+            .is_none());
+        let q2 = KorQuery::new(&g, v(7), v(0), vec![], 100.0).unwrap();
+        assert!(os_scaling(&g, &idx, &q2, &plain_params(0.5))
+            .unwrap()
+            .route
+            .is_none());
+    }
+
+    #[test]
+    fn exact_labeling_matches_os_scaling_small_eps() {
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let exact = exact_labeling(&g, &idx, &q).unwrap();
+        let approx = os_scaling(&g, &idx, &q, &plain_params(0.01)).unwrap();
+        assert_eq!(exact.route.as_ref().unwrap().objective, 6.0);
+        assert_eq!(
+            exact.route.unwrap().objective,
+            approx.route.unwrap().objective
+        );
+    }
+
+    #[test]
+    fn approximation_bound_holds_on_fixture() {
+        let (g, idx) = setup();
+        for m in [vec![t(1)], vec![t(1), t(2)], vec![t(1), t(2), t(3)]] {
+            for delta in [5.0, 6.0, 8.0, 10.0, 14.0] {
+                let q = KorQuery::new(&g, v(0), v(7), m.clone(), delta).unwrap();
+                let exact = exact_labeling(&g, &idx, &q).unwrap();
+                for eps in [0.1, 0.5, 0.9] {
+                    let r = os_scaling(&g, &idx, &q, &plain_params(eps)).unwrap();
+                    match (&exact.route, &r.route) {
+                        (None, None) => {}
+                        (Some(opt), Some(found)) => {
+                            assert!(
+                                found.objective <= opt.objective / (1.0 - eps) + 1e-9,
+                                "eps={eps} delta={delta}: {} > {}/(1-{eps})",
+                                found.objective,
+                                opt.objective
+                            );
+                            assert!(found.budget <= delta + 1e-9);
+                        }
+                        (a, b) => panic!("feasibility disagreement: exact={a:?} approx={b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_returns_distinct_sorted_routes() {
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 12.0).unwrap();
+        let r = top_k_os_scaling(&g, &idx, &q, &plain_params(0.2), 3).unwrap();
+        assert!(!r.routes.is_empty());
+        for w in r.routes.windows(2) {
+            assert!(w[0].objective <= w[1].objective);
+            assert_ne!(w[0].route.nodes(), w[1].route.nodes());
+        }
+        for route in &r.routes {
+            assert!(route.budget <= 12.0 + 1e-9);
+            let (os, bs) = route.route.scores(&g).unwrap();
+            assert!((os - route.objective).abs() < 1e-9);
+            assert!((bs - route.budget).abs() < 1e-9);
+            assert!(route.route.covers(&g, &[t(1), t(2)]));
+        }
+        // k = 1 must agree with the single-route search.
+        let single = os_scaling(&g, &idx, &q, &plain_params(0.2)).unwrap();
+        let top1 = top_k_os_scaling(&g, &idx, &q, &plain_params(0.2), 1).unwrap();
+        assert_eq!(
+            single.route.unwrap().objective,
+            top1.routes[0].objective
+        );
+    }
+
+    #[test]
+    fn top_k_zero_is_error() {
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![], 10.0).unwrap();
+        assert!(matches!(
+            top_k_os_scaling(&g, &idx, &q, &OsScalingParams::default(), 0),
+            Err(KorError::InvalidK)
+        ));
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![], 10.0).unwrap();
+        assert!(matches!(
+            os_scaling(&g, &idx, &q, &plain_params(0.0)),
+            Err(KorError::InvalidEpsilon(_))
+        ));
+    }
+
+    #[test]
+    fn returned_route_scores_verify_against_graph() {
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2), t(4)], 12.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &OsScalingParams::default()).unwrap();
+        let route = r.route.expect("feasible");
+        let (os, bs) = route.route.scores(&g).unwrap();
+        assert!((os - route.objective).abs() < 1e-9);
+        assert!((bs - route.budget).abs() < 1e-9);
+        assert!(route.route.covers(&g, &[t(1), t(2), t(4)]));
+        assert_eq!(route.route.nodes().first(), Some(&v(0)));
+        assert_eq!(route.route.nodes().last(), Some(&v(7)));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
+        assert!(r.stats.labels_created >= 9);
+        assert!(r.stats.labels_expanded > 0);
+        assert!(r.stats.queue_pushes > 0);
+        assert!(r.stats.upper_bound_updates >= 1);
+    }
+}

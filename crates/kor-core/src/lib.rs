@@ -1,0 +1,67 @@
+//! Keyword-aware Optimal Route (KOR) search algorithms.
+//!
+//! Reproduction of *"Keyword-aware Optimal Route Search"* (Cao, Chen,
+//! Cong, Xiao — PVLDB 5(11), 2012). Given a directed graph whose nodes
+//! carry keywords and whose edges carry an objective value and a budget
+//! value, a KOR query `⟨v_s, v_t, ψ, Δ⟩` asks for the route from `v_s` to
+//! `v_t` minimizing the objective score subject to covering all keywords
+//! in `ψ` and keeping the budget score within `Δ` — an NP-hard problem.
+//!
+//! Algorithms provided (all exposed through [`KorEngine`]):
+//!
+//! * [`os_scaling`] — Algorithm 1, the `1/(1−ε)`-approximation via
+//!   objective-score scaling, with the paper's Optimization Strategies
+//!   1 & 2;
+//! * [`bucket_bound`] — Algorithm 2, the faster `β/(1−ε)`-approximation
+//!   that organizes labels into geometric buckets;
+//! * [`greedy`] — Algorithm 3, the α-weighted greedy heuristic
+//!   (Greedy-1 / Greedy-2 beams, keyword-first or budget-first);
+//! * [`exact_labeling`] — exact optimum via label dominance on unscaled
+//!   scores (the `ε → 0` limit; ground truth for accuracy studies);
+//! * [`brute_force`] — the paper's §3.2 exhaustive baseline;
+//! * [`top_k_os_scaling`] / [`top_k_bucket_bound`] — the KkR top-k
+//!   extension (§3.5) via k-dominance.
+//!
+//! # Example
+//!
+//! ```
+//! use kor_core::{KorEngine, KorQuery, OsScalingParams};
+//! use kor_graph::fixtures::{figure1, t, v};
+//!
+//! let graph = figure1();
+//! let engine = KorEngine::new(&graph);
+//! // Example 2 of the paper: Q = ⟨v0, v7, {t1, t2}, 10⟩, ε = 0.5.
+//! let query = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+//! let result = engine.os_scaling(&query, &OsScalingParams::default()).unwrap();
+//! let route = result.route.expect("feasible");
+//! assert_eq!(route.objective, 6.0);
+//! assert_eq!(route.budget, 10.0);
+//! ```
+
+mod brute;
+mod bucket;
+mod dominance;
+mod engine;
+mod error;
+mod greedy;
+mod label;
+mod labeling;
+mod params;
+mod query;
+mod result;
+mod scale;
+mod stats;
+
+pub use brute::{brute_force, BruteForceParams};
+pub use bucket::{bucket_bound, top_k_bucket_bound};
+pub use dominance::{DomMode, LabelStore};
+pub use engine::KorEngine;
+pub use error::KorError;
+pub use greedy::{greedy, GreedyMode, GreedyParams, GreedyRoute};
+pub use label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
+pub use labeling::{exact_labeling, os_scaling, top_k_os_scaling};
+pub use params::{BucketBoundParams, OsScalingParams};
+pub use query::KorQuery;
+pub use result::{RouteResult, SearchResult, TopKResult};
+pub use scale::Scaler;
+pub use stats::SearchStats;

@@ -1,0 +1,138 @@
+//! The KOR query type (Definition 4).
+
+use kor_graph::{Graph, KeywordId, NodeId, QueryKeywords};
+
+use crate::error::KorError;
+
+/// A keyword-aware optimal route query `Q = ⟨v_s, v_t, ψ, Δ⟩`.
+///
+/// The answer is the route from `source` to `target` minimizing `OS(R)`
+/// subject to `ψ ⊆ ⋃_{v∈R} v.ψ` and `BS(R) ≤ Δ`.
+#[derive(Debug, Clone)]
+pub struct KorQuery {
+    /// Source location `v_s`.
+    pub source: NodeId,
+    /// Target location `v_t`.
+    pub target: NodeId,
+    /// Query keywords `ψ` with their bit assignment.
+    pub keywords: QueryKeywords,
+    /// Budget limit `Δ`.
+    pub budget: f64,
+}
+
+impl KorQuery {
+    /// Builds and validates a query from keyword ids.
+    pub fn new(
+        graph: &Graph,
+        source: NodeId,
+        target: NodeId,
+        keywords: Vec<KeywordId>,
+        budget: f64,
+    ) -> Result<Self, KorError> {
+        if !graph.contains(source) {
+            return Err(KorError::UnknownNode(source));
+        }
+        if !graph.contains(target) {
+            return Err(KorError::UnknownNode(target));
+        }
+        if !budget.is_finite() || budget < 0.0 {
+            return Err(KorError::InvalidBudget(budget));
+        }
+        Ok(Self {
+            source,
+            target,
+            keywords: QueryKeywords::new(keywords)?,
+            budget,
+        })
+    }
+
+    /// Builds a query from textual keywords resolved against the graph's
+    /// vocabulary.
+    pub fn from_terms<I, S>(
+        graph: &Graph,
+        source: NodeId,
+        target: NodeId,
+        terms: I,
+        budget: f64,
+    ) -> Result<Self, KorError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        if !graph.contains(source) {
+            return Err(KorError::UnknownNode(source));
+        }
+        if !graph.contains(target) {
+            return Err(KorError::UnknownNode(target));
+        }
+        if !budget.is_finite() || budget < 0.0 {
+            return Err(KorError::InvalidBudget(budget));
+        }
+        Ok(Self {
+            source,
+            target,
+            keywords: QueryKeywords::from_terms(graph.vocab(), terms)?,
+            budget,
+        })
+    }
+
+    /// Number of query keywords `m`.
+    pub fn keyword_count(&self) -> usize {
+        self.keywords.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_graph::fixtures::{figure1, t, v};
+
+    #[test]
+    fn valid_query_builds() {
+        let g = figure1();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        assert_eq!(q.keyword_count(), 2);
+        assert_eq!(q.keywords.full_mask(), 0b11);
+    }
+
+    #[test]
+    fn from_terms_resolves() {
+        let g = figure1();
+        let q = KorQuery::from_terms(&g, v(0), v(7), ["t1", "t2"], 8.0).unwrap();
+        assert_eq!(q.keyword_count(), 2);
+        assert!(matches!(
+            KorQuery::from_terms(&g, v(0), v(7), ["zzz"], 8.0),
+            Err(KorError::Keywords(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = figure1();
+        assert!(matches!(
+            KorQuery::new(&g, NodeId(99), v(7), vec![], 1.0),
+            Err(KorError::UnknownNode(NodeId(99)))
+        ));
+        assert!(matches!(
+            KorQuery::new(&g, v(0), NodeId(88), vec![], 1.0),
+            Err(KorError::UnknownNode(NodeId(88)))
+        ));
+        assert!(matches!(
+            KorQuery::new(&g, v(0), v(7), vec![], -2.0),
+            Err(KorError::InvalidBudget(_))
+        ));
+        assert!(matches!(
+            KorQuery::new(&g, v(0), v(7), vec![], f64::NAN),
+            Err(KorError::InvalidBudget(_))
+        ));
+    }
+
+    #[test]
+    fn empty_keywords_allowed() {
+        // Degenerates to the weight-constrained shortest path problem.
+        let g = figure1();
+        let q = KorQuery::new(&g, v(0), v(7), vec![], 10.0).unwrap();
+        assert_eq!(q.keyword_count(), 0);
+        assert!(q.keywords.is_covering(0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Objective-score scaling (§3.2).
+
+use kor_graph::Graph;
+
+/// The scaling transform `ô = ⌊o/θ⌋` with `θ = ε·o_min·b_min/Δ`.
+///
+/// Scaling maps edge objectives to integers so that the number of
+/// non-dominated labels per node is bounded (Lemma 1), at the cost of the
+/// `1/(1−ε)` approximation (Theorem 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scaler {
+    theta: f64,
+}
+
+impl Scaler {
+    /// Builds the scaler for a graph, `ε`, and budget limit `Δ`.
+    ///
+    /// Degenerate inputs (edgeless graph, `Δ = 0`) fall back to `θ = 1`,
+    /// which simply floors objectives; such queries are answered before
+    /// any label is scaled, so the choice never matters.
+    pub fn new(graph: &Graph, epsilon: f64, delta: f64) -> Self {
+        let theta = epsilon * graph.o_min() * graph.b_min() / delta;
+        if theta.is_finite() && theta > 0.0 {
+            Self { theta }
+        } else {
+            Self { theta: 1.0 }
+        }
+    }
+
+    /// A scaler that performs no approximation-relevant rounding is not
+    /// representable (θ → 0), so exact search uses a different dominance
+    /// mode; this constructor exists for tests that need a fixed θ.
+    pub fn with_theta(theta: f64) -> Self {
+        assert!(theta.is_finite() && theta > 0.0, "θ must be positive");
+        Self { theta }
+    }
+
+    /// The scaling factor `θ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Scales one objective value: `⌊o/θ⌋` (saturating).
+    #[inline]
+    pub fn scale(&self, objective: f64) -> u64 {
+        let v = (objective / self.theta).floor();
+        if v >= u64::MAX as f64 {
+            u64::MAX
+        } else if v <= 0.0 {
+            0
+        } else {
+            v as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_graph::fixtures::figure1;
+    use kor_graph::GraphBuilder;
+
+    #[test]
+    fn example1_theta_is_one_twentieth() {
+        // Example 1: Δ = 10, ε = 0.5 ⇒ θ = 0.5·1·1/10 = 1/20, so objective
+        // values scale to 20× their original value.
+        let g = figure1();
+        let s = Scaler::new(&g, 0.5, 10.0);
+        assert!((s.theta() - 0.05).abs() < 1e-15);
+        assert_eq!(s.scale(5.0), 100); // R1's label ÔS in Example 1
+        assert_eq!(s.scale(6.0), 120); // R2's label ÔS
+        assert_eq!(s.scale(1.0), 20);
+        assert_eq!(s.scale(2.0), 40);
+    }
+
+    #[test]
+    fn scaling_floors() {
+        let s = Scaler::with_theta(0.3);
+        assert_eq!(s.scale(1.0), 3); // 3.33… → 3
+        assert_eq!(s.scale(0.29), 0);
+        assert_eq!(s.scale(0.0), 0);
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back() {
+        let empty = GraphBuilder::new().build().unwrap();
+        let s = Scaler::new(&empty, 0.5, 10.0);
+        assert_eq!(s.theta(), 1.0);
+        let g = figure1();
+        let s0 = Scaler::new(&g, 0.5, 0.0);
+        assert_eq!(s0.theta(), 1.0);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let s = Scaler::with_theta(1e-300);
+        assert_eq!(s.scale(1e300), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "θ must be positive")]
+    fn with_theta_rejects_zero() {
+        let _ = Scaler::with_theta(0.0);
+    }
+}

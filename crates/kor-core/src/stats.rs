@@ -1,0 +1,80 @@
+//! Search instrumentation counters.
+
+use std::fmt;
+
+/// Counters describing one search run; used by the experiment harness to
+/// report label volumes (e.g. the paper's observation that `BucketBound`
+/// "generates much fewer labels" than `OSScaling`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Labels materialized (including ones later rejected).
+    pub labels_created: u64,
+    /// Labels rejected because existing labels (k-)dominate them.
+    pub labels_dominated: u64,
+    /// Labels rejected by budget/objective bound checks.
+    pub labels_pruned: u64,
+    /// Labels removed after being dominated by a newer label.
+    pub labels_evicted: u64,
+    /// Labels dequeued and expanded.
+    pub labels_expanded: u64,
+    /// Labels skipped at dequeue time (tombstoned or bound-pruned).
+    pub labels_skipped: u64,
+    /// Queue/bucket insertions.
+    pub queue_pushes: u64,
+    /// Times the upper bound `U` (or the top-k set) improved.
+    pub upper_bound_updates: u64,
+    /// Labels discarded by Optimization Strategy 2.
+    pub opt2_discards: u64,
+    /// Jump labels created by Optimization Strategy 1.
+    pub opt1_jumps: u64,
+    /// Buckets created (`BucketBound` only).
+    pub buckets_created: u64,
+}
+
+impl SearchStats {
+    /// Sum of all rejected labels.
+    pub fn total_rejections(&self) -> u64 {
+        self.labels_dominated + self.labels_pruned + self.opt2_discards
+    }
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "created {} | expanded {} | dominated {} | pruned {} | evicted {} | \
+             skipped {} | pushes {} | bound-updates {} | opt1 {} | opt2 {} | buckets {}",
+            self.labels_created,
+            self.labels_expanded,
+            self.labels_dominated,
+            self.labels_pruned,
+            self.labels_evicted,
+            self.labels_skipped,
+            self.queue_pushes,
+            self.upper_bound_updates,
+            self.opt1_jumps,
+            self.opt2_discards,
+            self.buckets_created,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_display() {
+        let s = SearchStats {
+            labels_dominated: 3,
+            labels_pruned: 4,
+            opt2_discards: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_rejections(), 12);
+        let text = s.to_string();
+        assert!(text.contains("dominated 3"));
+        assert!(text.contains("pruned 4"));
+        assert!(text.contains("opt2 5"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Flickr-like dataset pipeline (§4.1 of the paper, on synthetic photos).
+//!
+//! The paper's pipeline: geo-tagged photos → cluster into locations →
+//! aggregate tags per location → build a trip edge between the locations
+//! of consecutive same-user photos taken less than a day apart → edge
+//! budget = Euclidean distance, edge popularity
+//! `Pr_{i,j} = Num(v_i,v_j)/TotalTrips`, objective `o = ln(1/Pr)` so that
+//! minimizing `OS` maximizes route popularity.
+//!
+//! We reproduce every step on a synthetic photo stream: users wander
+//! between Gaussian attraction centers (tourist hot spots) taking photos;
+//! photos cluster on a regular grid (the clustering of [15] is
+//! grid-based at city scale); tags follow the Zipf model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use kor_graph::{Graph, GraphBuilder};
+
+use crate::tags::TagModel;
+
+/// Configuration for the Flickr-like generator.
+#[derive(Debug, Clone)]
+pub struct FlickrConfig {
+    /// Number of simulated users.
+    pub users: usize,
+    /// Mean photos per user (geometric-ish spread around this).
+    pub photos_per_user: usize,
+    /// Number of Gaussian attraction centers.
+    pub attraction_centers: usize,
+    /// City extent (square of `city_km × city_km`).
+    pub city_km: f64,
+    /// Clustering grid cell edge length in km.
+    pub cell_km: f64,
+    /// Minimum photos for a cell to become a location.
+    pub min_photos_per_location: usize,
+    /// Tag vocabulary size (the paper reports 9,785 tags).
+    pub vocab_size: usize,
+    /// Zipf exponent for tag frequencies.
+    pub tag_exponent: f64,
+    /// Tags per location: uniform in `1..=max_tags_per_location`.
+    pub max_tags_per_location: usize,
+    /// Locality of user movement: the next attraction center is sampled
+    /// with weight `exp(−distance/hop_scale_km)`. Small values concentrate
+    /// trips on short, popular corridors (like real city mobility).
+    pub hop_scale_km: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlickrConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+impl FlickrConfig {
+    /// A configuration calibrated to land near the paper's dataset shape
+    /// (≈5.2k locations from ≈30k users).
+    pub fn paper_scale() -> Self {
+        Self {
+            users: 12_000,
+            photos_per_user: 40,
+            attraction_centers: 60,
+            city_km: 30.0,
+            cell_km: 0.35,
+            min_photos_per_location: 12,
+            vocab_size: 9_785,
+            tag_exponent: 1.0,
+            max_tags_per_location: 24,
+            hop_scale_km: 2.0,
+            seed: 2012,
+        }
+    }
+
+    /// A small configuration for unit tests and examples (hundreds of
+    /// locations, generated in milliseconds).
+    pub fn small() -> Self {
+        Self {
+            users: 400,
+            photos_per_user: 30,
+            attraction_centers: 12,
+            city_km: 10.0,
+            cell_km: 0.5,
+            min_photos_per_location: 4,
+            vocab_size: 600,
+            tag_exponent: 1.0,
+            max_tags_per_location: 6,
+            hop_scale_km: 2.0,
+            seed: 2012,
+        }
+    }
+}
+
+/// Pipeline statistics mirroring the paper's dataset description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlickrStats {
+    /// Photos simulated.
+    pub photos: usize,
+    /// Locations after clustering.
+    pub locations: usize,
+    /// Distinct tags actually used.
+    pub tags_used: usize,
+    /// Total trips (edge traversals) observed.
+    pub total_trips: usize,
+    /// Distinct directed edges.
+    pub edges: usize,
+}
+
+/// Generates the Flickr-like graph; returns it with pipeline statistics.
+pub fn generate_flickr(config: &FlickrConfig) -> (Graph, FlickrStats) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let tags = TagModel::new(config.vocab_size, config.tag_exponent);
+
+    // Attraction centers: tourist hot spots with individual popularity
+    // and spread.
+    let centers: Vec<(f64, f64, f64)> = (0..config.attraction_centers)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..config.city_km),
+                rng.gen_range(0.0..config.city_km),
+                rng.gen_range(0.3..1.5), // σ of the photo scatter, km
+            )
+        })
+        .collect();
+
+    // Locality model: from center c, the next center is sampled with
+    // weight exp(−distance/hop_scale), so trips concentrate on nearby,
+    // popular corridors. Pre-compute the cumulative tables.
+    let hop_cdf: Vec<Vec<f64>> = (0..centers.len())
+        .map(|c| {
+            let (cx, cy, _) = centers[c];
+            let mut acc = 0.0;
+            centers
+                .iter()
+                .map(|&(x, y, _)| {
+                    let d = ((cx - x).powi(2) + (cy - y).powi(2)).sqrt();
+                    acc += (-d / config.hop_scale_km.max(1e-6)).exp();
+                    acc
+                })
+                .collect()
+        })
+        .collect();
+
+    // Photo stream: per user, a day-stamped sequence of positions. Users
+    // hop between centers and take a burst of photos at each.
+    let grid_cols = (config.city_km / config.cell_km).ceil() as i64;
+    let cell_of = |x: f64, y: f64| -> i64 {
+        let cx = (x / config.cell_km).floor() as i64;
+        let cy = (y / config.cell_km).floor() as i64;
+        cy * grid_cols + cx
+    };
+
+    let mut photos_per_cell: HashMap<i64, (usize, f64, f64)> = HashMap::new();
+    // Per user: (day, order, cell) to derive trips later.
+    let mut user_tracks: Vec<Vec<(u32, i64)>> = Vec::with_capacity(config.users);
+    let mut photo_count = 0usize;
+
+    for _ in 0..config.users {
+        let n_photos = rng.gen_range(1..=config.photos_per_user * 2);
+        let mut track = Vec::with_capacity(n_photos);
+        let mut day: u32 = rng.gen_range(0..300);
+        let mut remaining = n_photos;
+        let mut at_center = rng.gen_range(0..centers.len());
+        while remaining > 0 {
+            // A burst at one center: 1–6 photos the same day.
+            let (cx, cy, sigma) = centers[at_center];
+            let burst = rng.gen_range(1..=6usize).min(remaining);
+            for _ in 0..burst {
+                let (dx, dy) = gaussian_pair(&mut rng);
+                let x = (cx + dx * sigma).clamp(0.0, config.city_km - 1e-9);
+                let y = (cy + dy * sigma).clamp(0.0, config.city_km - 1e-9);
+                let cell = cell_of(x, y);
+                let entry = photos_per_cell.entry(cell).or_insert((0, 0.0, 0.0));
+                entry.0 += 1;
+                entry.1 += x;
+                entry.2 += y;
+                track.push((day, cell));
+                photo_count += 1;
+            }
+            remaining -= burst;
+            // Hop to a (usually nearby) center for the next burst.
+            let cdf = &hop_cdf[at_center];
+            let total = *cdf.last().expect("centers exist");
+            let x = rng.gen_range(0.0..total);
+            at_center = cdf.partition_point(|&c| c <= x).min(centers.len() - 1);
+            // Usually the next burst happens the same day (a trip within
+            // the city); sometimes the user pauses for days.
+            if rng.gen_bool(0.3) {
+                day += rng.gen_range(1..10);
+            }
+        }
+        user_tracks.push(track);
+    }
+
+    // Clustering: cells with enough photos become locations (centroid
+    // position); each gets Zipf tags.
+    let mut cell_to_loc: HashMap<i64, u32> = HashMap::new();
+    let mut positions: Vec<(f64, f64)> = Vec::new();
+    let mut builder = GraphBuilder::new();
+    for name in tags.names() {
+        builder.vocab_mut().intern(name);
+    }
+    let mut cells: Vec<(&i64, &(usize, f64, f64))> = photos_per_cell.iter().collect();
+    cells.sort_by_key(|(cell, _)| **cell); // deterministic location ids
+    for (cell, (count, sx, sy)) in cells {
+        if *count < config.min_photos_per_location {
+            continue;
+        }
+        let n_tags = rng.gen_range(1..=config.max_tags_per_location);
+        let tag_ids: Vec<kor_graph::KeywordId> = tags
+            .sample_distinct(&mut rng, n_tags)
+            .into_iter()
+            .map(|rank| kor_graph::KeywordId(rank as u32))
+            .collect();
+        let pos = (sx / *count as f64, sy / *count as f64);
+        let node = builder.add_node_ids_at(tag_ids, pos.0, pos.1);
+        debug_assert_eq!(node.index(), positions.len());
+        positions.push(pos);
+        cell_to_loc.insert(*cell, node.0);
+    }
+
+    // Trips: consecutive photos of the same user, different locations,
+    // taken "less than 1 day apart" (same simulated day).
+    let mut trip_counts: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut total_trips = 0usize;
+    for track in &user_tracks {
+        for w in track.windows(2) {
+            let ((d1, c1), (d2, c2)) = (w[0], w[1]);
+            if d2 - d1 >= 1 {
+                continue;
+            }
+            let (Some(&a), Some(&b)) = (cell_to_loc.get(&c1), cell_to_loc.get(&c2)) else {
+                continue;
+            };
+            if a == b {
+                continue;
+            }
+            *trip_counts.entry((a, b)).or_insert(0) += 1;
+            total_trips += 1;
+        }
+    }
+
+    // Edges: budget = Euclidean km, objective = ln(1/Pr).
+    let mut edges: Vec<(&(u32, u32), &usize)> = trip_counts.iter().collect();
+    edges.sort_by_key(|(pair, _)| **pair);
+    let mut edge_count = 0usize;
+    for ((a, b), count) in edges {
+        let pa = positions[*a as usize];
+        let pb = positions[*b as usize];
+        let dist = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt().max(1e-6);
+        let pr = *count as f64 / total_trips as f64;
+        let objective = (1.0 / pr).ln().max(1e-6);
+        builder
+            .add_edge(kor_graph::NodeId(*a), kor_graph::NodeId(*b), objective, dist)
+            .expect("generated edges are valid");
+        edge_count += 1;
+    }
+
+    let graph = builder.build().expect("generated graph is valid");
+    let tags_used = {
+        let mut used = std::collections::HashSet::new();
+        for (_, kw) in graph.keyword_postings() {
+            used.insert(kw);
+        }
+        used.len()
+    };
+    let stats = FlickrStats {
+        photos: photo_count,
+        locations: graph.node_count(),
+        tags_used,
+        total_trips,
+        edges: edge_count,
+    };
+    (graph, stats)
+}
+
+/// Box–Muller transform (rand's normal distribution lives in the separate
+/// `rand_distr` crate, which we avoid depending on).
+fn gaussian_pair<R: Rng>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_generates_valid_graph() {
+        let (g, stats) = generate_flickr(&FlickrConfig::small());
+        assert!(stats.locations > 50, "{stats:?}");
+        assert!(stats.edges > 100, "{stats:?}");
+        assert!(stats.total_trips > stats.edges / 2, "{stats:?}");
+        assert_eq!(g.node_count(), stats.locations);
+        assert_eq!(g.edge_count(), stats.edges);
+        assert!(g.has_positions());
+        // All weights positive & finite (builder enforces, belt check).
+        assert!(g.o_min() > 0.0 && g.o_max().is_finite());
+        assert!(g.b_min() > 0.0 && g.b_max().is_finite());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (g1, s1) = generate_flickr(&FlickrConfig::small());
+        let (g2, s2) = generate_flickr(&FlickrConfig::small());
+        assert_eq!(s1, s2);
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for v in g1.nodes() {
+            assert_eq!(g1.keywords(v), g2.keywords(v));
+            let e1: Vec<_> = g1.out_edges(v).map(|e| (e.node, e.objective)).collect();
+            let e2: Vec<_> = g2.out_edges(v).map(|e| (e.node, e.objective)).collect();
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = FlickrConfig::small();
+        let (g1, _) = generate_flickr(&cfg);
+        cfg.seed = 999;
+        let (g2, _) = generate_flickr(&cfg);
+        assert_ne!(
+            (g1.node_count(), g1.edge_count()),
+            (g2.node_count(), g2.edge_count())
+        );
+    }
+
+    #[test]
+    fn budgets_are_euclidean_distances() {
+        let (g, _) = generate_flickr(&FlickrConfig::small());
+        for v in g.nodes().take(50) {
+            let (x1, y1) = g.position(v).unwrap();
+            for e in g.out_edges(v) {
+                let (x2, y2) = g.position(e.node).unwrap();
+                let dist = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().max(1e-6);
+                assert!((e.budget - dist).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn objectives_follow_log_inverse_popularity() {
+        // The most popular edges must have the smallest objectives.
+        let (g, stats) = generate_flickr(&FlickrConfig::small());
+        let max_obj = (stats.total_trips as f64).ln();
+        for v in g.nodes() {
+            for e in g.out_edges(v) {
+                assert!(e.objective <= max_obj + 1e-9, "{}", e.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn tag_usage_reported() {
+        let (_, stats) = generate_flickr(&FlickrConfig::small());
+        assert!(stats.tags_used > 100, "{stats:?}");
+        assert!(stats.tags_used <= 600);
+    }
+}

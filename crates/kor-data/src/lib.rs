@@ -1,0 +1,31 @@
+//! Synthetic datasets and query workloads for the KOR experiments.
+//!
+//! The paper evaluates on (1) a graph distilled from 1.5 M geo-tagged
+//! Flickr photos of New York (5,199 locations, 9,785 tags, edges from
+//! consecutive same-user photos less than a day apart, popularity-derived
+//! objectives, Euclidean budgets) and (2) four New York road subgraphs of
+//! 5k–20k nodes with random tags and uniform objectives. Neither dataset
+//! is distributable, so this crate rebuilds both *pipelines* on synthetic
+//! inputs with matching distributions (see DESIGN.md §6):
+//!
+//! * [`flickr`] — photo-stream simulation → grid clustering → location
+//!   graph with `o = ln(1/Pr)` popularity objectives;
+//! * [`roadnet`] — random geometric KNN graphs with Euclidean budgets and
+//!   uniform objectives;
+//! * [`tags`] — the Zipf keyword model shared by both;
+//! * [`queries`] — the 50-query workloads (keyword-count and Δ sweeps);
+//! * [`io`] — a plain-text graph interchange format.
+//!
+//! Every generator is deterministic under an explicit `u64` seed.
+
+pub mod flickr;
+pub mod io;
+pub mod queries;
+pub mod roadnet;
+pub mod tags;
+
+pub use flickr::{generate_flickr, FlickrConfig, FlickrStats};
+pub use io::{graph_from_str, graph_to_string, load_graph, save_graph, LoadError};
+pub use queries::{generate_workload, QuerySet, QuerySpec, WorkloadConfig};
+pub use roadnet::{generate_roadnet, RoadNetConfig};
+pub use tags::TagModel;

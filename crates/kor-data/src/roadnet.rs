@@ -1,0 +1,280 @@
+//! Road-network generator (the paper's four scalability datasets).
+//!
+//! The paper extracts New York road subgraphs of 5k/10k/15k/20k nodes,
+//! attaches random Flickr tags to nodes, uses travel distance as the
+//! budget and a uniform-(0,1) random objective per edge. We generate
+//! random geometric graphs with the same shape: uniform points in a
+//! square, bidirectional edges to the k nearest neighbors (road networks
+//! have degree ≈ 2–4), a connectivity pass so every query has a chance of
+//! being feasible, Euclidean budgets, uniform objectives and Zipf tags.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kor_graph::{Graph, GraphBuilder, KeywordId, NodeId};
+
+use crate::tags::TagModel;
+
+/// Configuration for the road-network generator.
+#[derive(Debug, Clone)]
+pub struct RoadNetConfig {
+    /// Number of nodes (the paper sweeps 5k, 10k, 15k, 20k).
+    pub nodes: usize,
+    /// Undirected edges per node toward nearest neighbors.
+    pub k_neighbors: usize,
+    /// Square extent in km (the paper's scalability Δ is 30 km).
+    pub area_km: f64,
+    /// Tag vocabulary size.
+    pub vocab_size: usize,
+    /// Zipf exponent for tags.
+    pub tag_exponent: f64,
+    /// Tags per node: uniform in `1..=max_tags_per_node`.
+    pub max_tags_per_node: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RoadNetConfig {
+    /// The paper's scalability dataset of the given node count.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            k_neighbors: 3,
+            area_km: 60.0,
+            vocab_size: 9_785,
+            tag_exponent: 1.0,
+            max_tags_per_node: 6,
+            seed: 2012,
+        }
+    }
+
+    /// Small instance for tests.
+    pub fn small() -> Self {
+        Self {
+            nodes: 300,
+            k_neighbors: 3,
+            area_km: 20.0,
+            vocab_size: 400,
+            tag_exponent: 1.0,
+            max_tags_per_node: 4,
+            seed: 7,
+        }
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Generates the road network graph (strongly connected by construction:
+/// all edges are bidirectional and components are bridged).
+pub fn generate_roadnet(config: &RoadNetConfig) -> Graph {
+    assert!(config.nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let tags = TagModel::new(config.vocab_size, config.tag_exponent);
+
+    let points: Vec<(f64, f64)> = (0..config.nodes)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..config.area_km),
+                rng.gen_range(0.0..config.area_km),
+            )
+        })
+        .collect();
+
+    let mut builder =
+        GraphBuilder::with_capacity(config.nodes, config.nodes * config.k_neighbors * 2);
+    for name in tags.names() {
+        builder.vocab_mut().intern(name);
+    }
+    for &(x, y) in &points {
+        let n_tags = rng.gen_range(1..=config.max_tags_per_node);
+        let ids: Vec<KeywordId> = tags
+            .sample_distinct(&mut rng, n_tags)
+            .into_iter()
+            .map(|r| KeywordId(r as u32))
+            .collect();
+        builder.add_node_ids_at(ids, x, y);
+    }
+
+    // Grid buckets with ~1 point per cell accelerate the KNN queries.
+    let cell = (config.area_km / (config.nodes as f64).sqrt()).max(1e-9);
+    let cols = (config.area_km / cell).ceil() as i64 + 2;
+    let mut grid: HashMap<i64, Vec<u32>> = HashMap::new();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let key = (y / cell).floor() as i64 * cols + (x / cell).floor() as i64;
+        grid.entry(key).or_default().push(i as u32);
+    }
+
+    let dist = |a: usize, b: usize| -> f64 {
+        let (x1, y1) = points[a];
+        let (x2, y2) = points[b];
+        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+    };
+
+    let mut uf = UnionFind::new(config.nodes);
+    let add_undirected = |builder: &mut GraphBuilder,
+                              rng: &mut StdRng,
+                              uf: &mut UnionFind,
+                              a: usize,
+                              b: usize| {
+        let (a_id, b_id) = (NodeId(a as u32), NodeId(b as u32));
+        let d = dist(a, b).max(1e-6);
+        if !builder.has_edge(a_id, b_id) {
+            let o = rng.gen_range(1e-6..1.0);
+            builder.add_edge(a_id, b_id, o, d).expect("valid edge");
+        }
+        if !builder.has_edge(b_id, a_id) {
+            let o = rng.gen_range(1e-6..1.0);
+            builder.add_edge(b_id, a_id, o, d).expect("valid edge");
+        }
+        uf.union(a as u32, b as u32);
+    };
+
+    #[allow(clippy::needless_range_loop)] // i is also the node id
+    for i in 0..config.nodes {
+        let (x, y) = points[i];
+        let (ci, cj) = ((x / cell).floor() as i64, (y / cell).floor() as i64);
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut radius = 1i64;
+        // Expand rings until enough candidates (or the whole grid).
+        loop {
+            candidates.clear();
+            for dj in -radius..=radius {
+                for di in -radius..=radius {
+                    if let Some(bucket) = grid.get(&((cj + dj) * cols + ci + di)) {
+                        candidates.extend(bucket.iter().filter(|&&c| c as usize != i));
+                    }
+                }
+            }
+            if candidates.len() >= config.k_neighbors * 3 || radius > 2 * cols {
+                break;
+            }
+            radius += 1;
+        }
+        candidates.sort_by(|&a, &b| {
+            dist(i, a as usize)
+                .total_cmp(&dist(i, b as usize))
+                .then(a.cmp(&b))
+        });
+        for &n in candidates.iter().take(config.k_neighbors) {
+            add_undirected(&mut builder, &mut rng, &mut uf, i, n as usize);
+        }
+    }
+
+    // Bridge remaining components: connect each component representative
+    // to the next one (adds < #components edges; negligible distortion).
+    let mut reps: Vec<u32> = Vec::new();
+    for i in 0..config.nodes as u32 {
+        if uf.find(i) == i {
+            reps.push(i);
+        }
+    }
+    for w in 0..reps.len().saturating_sub(1) {
+        let (a, b) = (reps[w] as usize, reps[w + 1] as usize);
+        add_undirected(&mut builder, &mut rng, &mut uf, a, b);
+    }
+
+    builder.build().expect("generated road network is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_apsp::{backward_tree, Metric};
+
+    #[test]
+    fn generates_requested_node_count() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        assert_eq!(g.node_count(), 300);
+        assert!(g.edge_count() >= 300 * 2, "k-NN should add ≥ 2 edges/node");
+        assert!(g.has_positions());
+    }
+
+    #[test]
+    fn strongly_connected() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        // Backward tree from node 0 must reach every node (bidirectional
+        // edges + component bridging).
+        let tree = backward_tree(&g, Metric::Budget, &[(NodeId(0), 0.0, 0.0)]);
+        for v in g.nodes() {
+            assert!(tree.is_reachable(v), "{v} cannot reach v0");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = generate_roadnet(&RoadNetConfig::small());
+        let g2 = generate_roadnet(&RoadNetConfig::small());
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for v in g1.nodes().take(20) {
+            let e1: Vec<_> = g1.out_edges(v).map(|e| (e.node, e.objective)).collect();
+            let e2: Vec<_> = g2.out_edges(v).map(|e| (e.node, e.objective)).collect();
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn budgets_are_distances_objectives_in_unit_range() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        for v in g.nodes() {
+            let (x1, y1) = g.position(v).unwrap();
+            for e in g.out_edges(v) {
+                let (x2, y2) = g.position(e.node).unwrap();
+                let d = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().max(1e-6);
+                assert!((e.budget - d).abs() < 1e-9);
+                assert!(e.objective > 0.0 && e.objective < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_are_bidirectional() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        for v in g.nodes() {
+            for e in g.out_edges(v) {
+                assert!(
+                    g.edge_between(e.node, v).is_some(),
+                    "missing reverse of {v}->{}",
+                    e.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_resembles_road_networks() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        let stats = g.stats();
+        assert!(
+            stats.avg_out_degree >= 2.0 && stats.avg_out_degree <= 8.0,
+            "{stats:?}"
+        );
+    }
+}

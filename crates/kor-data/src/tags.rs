@@ -1,0 +1,178 @@
+//! Zipf-distributed keyword model.
+//!
+//! Flickr tag frequencies are heavy-tailed; we model the vocabulary as a
+//! Zipf distribution so a few tags ("newyork", "food"…) appear on many
+//! locations while most appear on a handful — the regime Optimization
+//! Strategy 2 exploits. The most frequent ranks carry human-readable POI
+//! words so examples read like the paper's ("jazz", "imax", …).
+
+use rand::Rng;
+
+/// Curated head-of-distribution tag names (rank order). The paper's
+/// example query uses "jazz", "imax", "vegetation", "Cappuccino".
+pub const THEMED_TAGS: &[&str] = &[
+    "newyork", "food", "park", "museum", "shopping mall", "restaurant", "pub", "jazz", "imax",
+    "vegetation", "cappuccino", "hotel", "theatre", "gallery", "pizza", "sushi", "bakery",
+    "library", "cinema", "aquarium", "zoo", "opera", "ramen", "bbq", "brunch", "skyline",
+    "bridge", "ferry", "market", "bookstore", "vinyl", "arcade", "karaoke", "rooftop", "garden",
+    "fountain", "cathedral", "synagogue", "temple", "observatory", "planetarium", "speakeasy",
+    "diner", "deli", "foodtruck", "tapas", "noodles", "espresso", "cocktails", "brewery",
+];
+
+/// A fixed vocabulary with Zipf-distributed sampling.
+#[derive(Debug, Clone)]
+pub struct TagModel {
+    names: Vec<String>,
+    cumulative: Vec<f64>,
+}
+
+impl TagModel {
+    /// Builds a vocabulary of `size` tags with Zipf exponent `s`
+    /// (frequency of rank `r` proportional to `1/r^s`; `s ≈ 1` matches
+    /// web-tag data).
+    pub fn new(size: usize, s: f64) -> Self {
+        assert!(size > 0, "vocabulary must not be empty");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be ≥ 0");
+        let names = (0..size)
+            .map(|i| {
+                THEMED_TAGS
+                    .get(i)
+                    .map(|t| (*t).to_owned())
+                    .unwrap_or_else(|| format!("tag{i:05}"))
+            })
+            .collect();
+        let mut cumulative = Vec::with_capacity(size);
+        let mut acc = 0.0;
+        for r in 1..=size {
+            acc += 1.0 / (r as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { names, cumulative }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The tag name at `rank` (0-based; lower rank = more frequent).
+    pub fn name(&self, rank: usize) -> &str {
+        &self.names[rank]
+    }
+
+    /// All names in rank order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Samples a tag rank from the Zipf distribution.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+
+    /// Samples `n` *distinct* tag ranks (by rejection; `n` must be well
+    /// below the vocabulary size).
+    pub fn sample_distinct<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        assert!(n <= self.names.len(), "cannot draw {n} distinct tags");
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let t = self.sample(rng);
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_ranks_use_themed_names() {
+        let m = TagModel::new(100, 1.0);
+        assert_eq!(m.name(0), "newyork");
+        assert_eq!(m.name(7), "jazz");
+        assert_eq!(m.name(8), "imax");
+        assert!(m.name(60).starts_with("tag"));
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = TagModel::new(500, 1.0);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let sa: Vec<usize> = (0..50).map(|_| m.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..50).map(|_| m.sample(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn zipf_head_is_heavier_than_tail() {
+        let m = TagModel::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..20_000 {
+            let r = m.sample(&mut rng);
+            if r < 10 {
+                head += 1;
+            } else if r >= 500 {
+                tail += 1;
+            }
+        }
+        assert!(
+            head > tail * 2,
+            "head {head} should dominate tail {tail} under Zipf"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let m = TagModel::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5000 {
+            assert!(m.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let m = TagModel::new(100, 0.8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let tags = m.sample_distinct(&mut rng, 10);
+        let set: std::collections::BTreeSet<_> = tags.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn uniform_exponent_zero_spreads() {
+        let m = TagModel::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[m.sample(&mut rng)] += 1;
+        }
+        // Roughly uniform: every bucket within 3x of the mean.
+        for c in counts {
+            assert!(c > 300 && c < 3000, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary must not be empty")]
+    fn empty_vocab_panics() {
+        let _ = TagModel::new(0, 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for graph construction and route validation.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors raised while building or validating a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a node that was never added.
+    UnknownNode(NodeId),
+    /// An edge weight is non-finite or not strictly positive.
+    ///
+    /// The scaling factor `θ = ε·o_min·b_min/Δ` (paper §3.2) and the
+    /// budget-bounded search-depth argument (Lemma 1) both require strictly
+    /// positive edge attributes, so the builder rejects anything else.
+    InvalidWeight {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+        /// Name of the offending attribute (`"objective"` or `"budget"`).
+        attribute: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A self-loop `v → v`; routes never benefit from one and the paper's
+    /// graphs contain none.
+    SelfLoop(NodeId),
+    /// The same directed edge was added twice.
+    DuplicateEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+    /// More than `u32::MAX` nodes or edges.
+    TooLarge,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "unknown node {v}"),
+            GraphError::InvalidWeight {
+                from,
+                to,
+                attribute,
+                value,
+            } => write!(
+                f,
+                "edge {from}->{to}: {attribute} value {value} must be finite and > 0"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self loop on {v}"),
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from}->{to}")
+            }
+            GraphError::TooLarge => write!(f, "graph exceeds u32 id space"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::InvalidWeight {
+            from: NodeId(1),
+            to: NodeId(2),
+            attribute: "objective",
+            value: -1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("v1->v2"));
+        assert!(s.contains("objective"));
+        assert!(s.contains("-1"));
+        assert_eq!(GraphError::SelfLoop(NodeId(3)).to_string(), "self loop on v3");
+        assert!(GraphError::UnknownNode(NodeId(9)).to_string().contains("v9"));
+        assert!(GraphError::DuplicateEdge {
+            from: NodeId(0),
+            to: NodeId(1)
+        }
+        .to_string()
+        .contains("duplicate"));
+        assert!(GraphError::TooLarge.to_string().contains("u32"));
+    }
+}

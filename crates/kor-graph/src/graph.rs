@@ -1,0 +1,315 @@
+//! The immutable CSR graph.
+
+use crate::ids::{EdgeId, KeywordId, NodeId};
+use crate::keyword::{KeywordSet, Vocab};
+use crate::stats::GraphStats;
+
+/// A directed edge seen from one endpoint.
+///
+/// For [`Graph::out_edges`], `node` is the edge *target*; for
+/// [`Graph::in_edges`], `node` is the edge *source*. `id` always refers to
+/// the canonical forward edge id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// Canonical edge id (stable across forward/backward views).
+    pub id: EdgeId,
+    /// The endpoint on the far side of the adjacency being iterated.
+    pub node: NodeId,
+    /// Objective value `o(v_i, v_j)`.
+    pub objective: f64,
+    /// Budget value `b(v_i, v_j)`.
+    pub budget: f64,
+}
+
+/// An immutable directed graph with per-node keyword sets and two positive
+/// weights per edge, stored as CSR adjacency in both directions.
+///
+/// Construct with [`crate::GraphBuilder`].
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    out_objective: Vec<f64>,
+    out_budget: Vec<f64>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<NodeId>,
+    in_objective: Vec<f64>,
+    in_budget: Vec<f64>,
+    in_edge_ids: Vec<EdgeId>,
+    keywords: Vec<KeywordSet>,
+    positions: Option<Vec<(f64, f64)>>,
+    vocab: Vocab,
+    /// `[o_min, o_max, b_min, b_max]`; `o_min`/`b_min` are `+inf` for an
+    /// edgeless graph.
+    extrema: [f64; 4],
+}
+
+impl Graph {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+        out_objective: Vec<f64>,
+        out_budget: Vec<f64>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<NodeId>,
+        in_objective: Vec<f64>,
+        in_budget: Vec<f64>,
+        in_edge_ids: Vec<EdgeId>,
+        keywords: Vec<KeywordSet>,
+        positions: Option<Vec<(f64, f64)>>,
+        vocab: Vocab,
+        extrema: [f64; 4],
+    ) -> Self {
+        Self {
+            out_offsets,
+            out_targets,
+            out_objective,
+            out_budget,
+            in_offsets,
+            in_sources,
+            in_objective,
+            in_budget,
+            in_edge_ids,
+            keywords,
+            positions,
+            vocab,
+            extrema,
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterates all node ids `v0..v_{n-1}`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Whether `v` is a valid node id for this graph.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.node_count()
+    }
+
+    /// Outgoing edges of `v` (the `node` field is the target).
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        (lo..hi).map(move |i| EdgeRef {
+            id: EdgeId(i as u32),
+            node: self.out_targets[i],
+            objective: self.out_objective[i],
+            budget: self.out_budget[i],
+        })
+    }
+
+    /// Incoming edges of `v` (the `node` field is the source).
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        (lo..hi).map(move |i| EdgeRef {
+            id: self.in_edge_ids[i],
+            node: self.in_sources[i],
+            objective: self.in_objective[i],
+            budget: self.in_budget[i],
+        })
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]) as usize
+    }
+
+    /// Largest out-degree in the graph (`d` in the paper's brute-force
+    /// complexity `O(d^{⌊Δ/b_min⌋})`).
+    pub fn max_out_degree(&self) -> usize {
+        self.nodes().map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+
+    /// The directed edge `from → to`, if present (linear scan of the
+    /// out-adjacency of `from`, which is short in practice).
+    pub fn edge_between(&self, from: NodeId, to: NodeId) -> Option<EdgeRef> {
+        self.out_edges(from).find(|e| e.node == to)
+    }
+
+    /// Keyword set `v.ψ` of node `v`.
+    #[inline]
+    pub fn keywords(&self, v: NodeId) -> &KeywordSet {
+        &self.keywords[v.index()]
+    }
+
+    /// Whether node `v` contains keyword `t`.
+    #[inline]
+    pub fn node_has_keyword(&self, v: NodeId, t: KeywordId) -> bool {
+        self.keywords[v.index()].contains(t)
+    }
+
+    /// Planar position of `v`, if the graph was built with positions.
+    pub fn position(&self, v: NodeId) -> Option<(f64, f64)> {
+        self.positions.as_ref().map(|p| p[v.index()])
+    }
+
+    /// Whether positional data is available.
+    pub fn has_positions(&self) -> bool {
+        self.positions.is_some()
+    }
+
+    /// The keyword vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Smallest edge objective value `o_min` (`+inf` if edgeless).
+    #[inline]
+    pub fn o_min(&self) -> f64 {
+        self.extrema[0]
+    }
+
+    /// Largest edge objective value `o_max` (`0` if edgeless).
+    #[inline]
+    pub fn o_max(&self) -> f64 {
+        self.extrema[1]
+    }
+
+    /// Smallest edge budget value `b_min` (`+inf` if edgeless).
+    #[inline]
+    pub fn b_min(&self) -> f64 {
+        self.extrema[2]
+    }
+
+    /// Largest edge budget value `b_max` (`0` if edgeless).
+    #[inline]
+    pub fn b_max(&self) -> f64 {
+        self.extrema[3]
+    }
+
+    /// Summary statistics (degree distribution, weight extrema, keywords).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(self)
+    }
+
+    /// Iterates `(node, keyword)` pairs — the raw postings used to build
+    /// inverted indexes.
+    pub fn keyword_postings(&self) -> impl Iterator<Item = (NodeId, KeywordId)> + '_ {
+        self.nodes()
+            .flat_map(move |v| self.keywords(v).iter().map(move |t| (v, t)))
+    }
+
+    /// Restores internal lookup tables after deserialization.
+    #[cfg(feature = "serde")]
+    pub fn rebuild_after_deserialize(&mut self) {
+        self.vocab.rebuild_lookup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // v0 -> v1 -> v3, v0 -> v2 -> v3
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node(["s"]);
+        let v1 = b.add_node(["a"]);
+        let v2 = b.add_node(["b"]);
+        let v3 = b.add_node(["t"]);
+        b.add_edge(v0, v1, 1.0, 1.0).unwrap();
+        b.add_edge(v0, v2, 2.0, 2.0).unwrap();
+        b.add_edge(v1, v3, 3.0, 3.0).unwrap();
+        b.add_edge(v2, v3, 4.0, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.max_out_degree(), 2);
+    }
+
+    #[test]
+    fn edge_between_finds_weights() {
+        let g = diamond();
+        let e = g.edge_between(NodeId(1), NodeId(3)).unwrap();
+        assert_eq!(e.objective, 3.0);
+        assert_eq!(e.budget, 3.0);
+        assert!(g.edge_between(NodeId(3), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn in_edges_report_canonical_edge_ids() {
+        let g = diamond();
+        for v in g.nodes() {
+            for e in g.in_edges(v) {
+                // The forward view of the same edge id must agree.
+                let fwd = g
+                    .out_edges(e.node)
+                    .find(|f| f.id == e.id)
+                    .expect("in-edge id must exist in source's out list");
+                assert_eq!(fwd.node, v);
+                assert_eq!(fwd.objective, e.objective);
+                assert_eq!(fwd.budget, e.budget);
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_postings_cover_all_nodes() {
+        let g = diamond();
+        let postings: Vec<_> = g.keyword_postings().collect();
+        assert_eq!(postings.len(), 4);
+        assert!(postings.iter().any(|&(v, _)| v == NodeId(2)));
+    }
+
+    #[test]
+    fn contains_checks_range() {
+        let g = diamond();
+        assert!(g.contains(NodeId(3)));
+        assert!(!g.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn node_has_keyword() {
+        let g = diamond();
+        let s = g.vocab().get("s").unwrap();
+        assert!(g.node_has_keyword(NodeId(0), s));
+        assert!(!g.node_has_keyword(NodeId(1), s));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn graph_clone_preserves_structure() {
+        let g = diamond();
+        let g2 = g.clone();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(
+            g2.out_edges(NodeId(0)).collect::<Vec<_>>(),
+            g.out_edges(NodeId(0)).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Query-local keyword bitmasks.
+//!
+//! KOR search labels record the covered query keywords `L.λ` (Definition
+//! 5). With at most a few query keywords (the paper cites map-query logs
+//! with < 5 words and evaluates up to 10), a `u32` bitmask indexed by
+//! *query-local* bit positions is the compact representation; this module
+//! provides the mapping between global [`KeywordId`]s and those bits.
+
+use std::fmt;
+
+use crate::ids::KeywordId;
+use crate::keyword::{KeywordSet, Vocab};
+
+/// Maximum number of keywords in a single query (bits in the mask).
+pub const MAX_QUERY_KEYWORDS: usize = 32;
+
+/// Errors when assembling a query keyword set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryKeywordsError {
+    /// More than [`MAX_QUERY_KEYWORDS`] distinct keywords.
+    TooMany(usize),
+    /// A term is not in the vocabulary (so no node can ever cover it).
+    UnknownTerm(String),
+}
+
+impl fmt::Display for QueryKeywordsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryKeywordsError::TooMany(n) => {
+                write!(f, "{n} query keywords exceed the maximum of {MAX_QUERY_KEYWORDS}")
+            }
+            QueryKeywordsError::UnknownTerm(t) => {
+                write!(f, "query keyword {t:?} does not occur in the vocabulary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryKeywordsError {}
+
+/// The set `ψ` of query keywords with a fixed keyword→bit assignment.
+///
+/// Bit `i` of a coverage mask corresponds to `self.ids()[i]`; ids are kept
+/// sorted so equal keyword sets produce identical masks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryKeywords {
+    ids: Vec<KeywordId>,
+    full_mask: u32,
+}
+
+impl QueryKeywords {
+    /// Builds from keyword ids (sorted and deduplicated).
+    pub fn new(mut ids: Vec<KeywordId>) -> Result<Self, QueryKeywordsError> {
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() > MAX_QUERY_KEYWORDS {
+            return Err(QueryKeywordsError::TooMany(ids.len()));
+        }
+        let full_mask = if ids.is_empty() {
+            0
+        } else {
+            (u32::MAX) >> (32 - ids.len() as u32)
+        };
+        Ok(Self { ids, full_mask })
+    }
+
+    /// Builds from textual terms resolved against `vocab`.
+    pub fn from_terms<I, S>(vocab: &Vocab, terms: I) -> Result<Self, QueryKeywordsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ids = Vec::new();
+        for t in terms {
+            let t = t.as_ref();
+            match vocab.get(t) {
+                Some(id) => ids.push(id),
+                None => return Err(QueryKeywordsError::UnknownTerm(t.to_owned())),
+            }
+        }
+        Self::new(ids)
+    }
+
+    /// Number of query keywords `m`.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the query has no keyword constraint.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The mask with all query keyword bits set.
+    #[inline]
+    pub fn full_mask(&self) -> u32 {
+        self.full_mask
+    }
+
+    /// The sorted query keyword ids.
+    pub fn ids(&self) -> &[KeywordId] {
+        &self.ids
+    }
+
+    /// The bit position of `id`, if it is a query keyword.
+    pub fn bit(&self, id: KeywordId) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|i| i as u32)
+    }
+
+    /// The keyword id at bit position `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.len()`.
+    pub fn id_at(&self, bit: u32) -> KeywordId {
+        self.ids[bit as usize]
+    }
+
+    /// The coverage mask contributed by a node keyword set `v.ψ`
+    /// (merge-walk over the two sorted slices).
+    pub fn mask_of(&self, node_keywords: &KeywordSet) -> u32 {
+        let mut mask = 0u32;
+        let mut qi = 0usize;
+        for kw in node_keywords.iter() {
+            while qi < self.ids.len() && self.ids[qi] < kw {
+                qi += 1;
+            }
+            if qi == self.ids.len() {
+                break;
+            }
+            if self.ids[qi] == kw {
+                mask |= 1 << qi;
+                qi += 1;
+            }
+        }
+        mask
+    }
+
+    /// Whether `mask` covers all query keywords.
+    #[inline]
+    pub fn is_covering(&self, mask: u32) -> bool {
+        mask & self.full_mask == self.full_mask
+    }
+
+    /// Keywords *not* covered by `mask`, as `(bit, id)` pairs.
+    pub fn uncovered(&self, mask: u32) -> impl Iterator<Item = (u32, KeywordId)> + '_ {
+        let missing = self.full_mask & !mask;
+        (0..self.ids.len() as u32)
+            .filter(move |b| missing & (1 << b) != 0)
+            .map(move |b| (b, self.ids[b as usize]))
+    }
+}
+
+/// Enumerates all masks `μ ⊇ λ` within `universe` (including `λ` itself).
+///
+/// Used for dominance checks: a label with coverage `λ` can only be
+/// dominated by labels whose coverage is a superset of `λ` (Definition 6).
+pub fn supersets_of(lambda: u32, universe: u32) -> SupersetIter {
+    SupersetIter {
+        lambda,
+        free: universe & !lambda,
+        sub: universe & !lambda,
+        done: false,
+    }
+}
+
+/// Enumerates all masks `μ ⊆ λ` (including `λ` itself and 0).
+pub fn subsets_of(lambda: u32) -> SubsetIter {
+    SubsetIter {
+        lambda,
+        sub: lambda,
+        done: false,
+    }
+}
+
+/// Iterator over supersets; see [`supersets_of`].
+#[derive(Debug, Clone)]
+pub struct SupersetIter {
+    lambda: u32,
+    free: u32,
+    sub: u32,
+    done: bool,
+}
+
+impl Iterator for SupersetIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.done {
+            return None;
+        }
+        let out = self.lambda | self.sub;
+        if self.sub == 0 {
+            self.done = true;
+        } else {
+            self.sub = (self.sub - 1) & self.free;
+        }
+        Some(out)
+    }
+}
+
+/// Iterator over subsets; see [`subsets_of`].
+#[derive(Debug, Clone)]
+pub struct SubsetIter {
+    lambda: u32,
+    sub: u32,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.done {
+            return None;
+        }
+        let out = self.sub;
+        if self.sub == 0 {
+            self.done = true;
+        } else {
+            self.sub = (self.sub - 1) & self.lambda;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab_with(terms: &[&str]) -> Vocab {
+        let mut v = Vocab::new();
+        for t in terms {
+            v.intern(t);
+        }
+        v
+    }
+
+    #[test]
+    fn from_terms_resolves_and_sorts() {
+        let v = vocab_with(&["pub", "mall", "cafe"]);
+        let q = QueryKeywords::from_terms(&v, ["cafe", "pub"]).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.full_mask(), 0b11);
+        // ids sorted ascending regardless of term order
+        assert!(q.ids()[0] < q.ids()[1]);
+    }
+
+    #[test]
+    fn unknown_term_is_an_error() {
+        let v = vocab_with(&["pub"]);
+        let err = QueryKeywords::from_terms(&v, ["zoo"]).unwrap_err();
+        assert_eq!(err, QueryKeywordsError::UnknownTerm("zoo".into()));
+    }
+
+    #[test]
+    fn too_many_keywords_is_an_error() {
+        let ids: Vec<KeywordId> = (0..33).map(KeywordId).collect();
+        assert!(matches!(
+            QueryKeywords::new(ids),
+            Err(QueryKeywordsError::TooMany(33))
+        ));
+    }
+
+    #[test]
+    fn thirty_two_keywords_full_mask() {
+        let ids: Vec<KeywordId> = (0..32).map(KeywordId).collect();
+        let q = QueryKeywords::new(ids).unwrap();
+        assert_eq!(q.full_mask(), u32::MAX);
+        assert!(q.is_covering(u32::MAX));
+    }
+
+    #[test]
+    fn empty_query_is_always_covered() {
+        let q = QueryKeywords::new(vec![]).unwrap();
+        assert_eq!(q.full_mask(), 0);
+        assert!(q.is_covering(0));
+        assert_eq!(q.uncovered(0).count(), 0);
+    }
+
+    #[test]
+    fn mask_of_merges_sorted_sets() {
+        let q = QueryKeywords::new(vec![KeywordId(1), KeywordId(4), KeywordId(7)]).unwrap();
+        let node = KeywordSet::new(vec![KeywordId(0), KeywordId(4), KeywordId(7), KeywordId(9)]);
+        // bits: kw 1 -> bit0 (absent), kw 4 -> bit1, kw 7 -> bit2
+        assert_eq!(q.mask_of(&node), 0b110);
+        assert!(!q.is_covering(0b110));
+        let missing: Vec<_> = q.uncovered(0b110).collect();
+        assert_eq!(missing, vec![(0, KeywordId(1))]);
+    }
+
+    #[test]
+    fn bit_and_id_at_round_trip() {
+        let q = QueryKeywords::new(vec![KeywordId(5), KeywordId(2)]).unwrap();
+        for b in 0..q.len() as u32 {
+            assert_eq!(q.bit(q.id_at(b)), Some(b));
+        }
+        assert_eq!(q.bit(KeywordId(77)), None);
+    }
+
+    #[test]
+    fn supersets_enumerate_exactly() {
+        let got: std::collections::BTreeSet<u32> = supersets_of(0b010, 0b111).collect();
+        let want: std::collections::BTreeSet<u32> =
+            [0b010, 0b011, 0b110, 0b111].into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn supersets_of_full_mask_is_self() {
+        let got: Vec<u32> = supersets_of(0b11, 0b11).collect();
+        assert_eq!(got, vec![0b11]);
+    }
+
+    #[test]
+    fn subsets_enumerate_exactly() {
+        let got: std::collections::BTreeSet<u32> = subsets_of(0b101).collect();
+        let want: std::collections::BTreeSet<u32> = [0b101, 0b100, 0b001, 0b000].into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn subsets_of_zero_is_zero() {
+        let got: Vec<u32> = subsets_of(0).collect();
+        assert_eq!(got, vec![0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Summary statistics over a graph.
+
+use std::fmt;
+
+use crate::graph::Graph;
+
+/// Descriptive statistics for a [`Graph`], useful for dataset reports and
+/// sanity checks against the paper's dataset description (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes `|V|`.
+    pub nodes: usize,
+    /// Number of directed edges `|E|`.
+    pub edges: usize,
+    /// Minimum out-degree.
+    pub min_out_degree: usize,
+    /// Maximum out-degree (`d` in the brute-force complexity bound).
+    pub max_out_degree: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Number of nodes with no outgoing edge.
+    pub sink_count: usize,
+    /// Number of nodes with no incoming edge.
+    pub source_count: usize,
+    /// Smallest / largest objective values.
+    pub objective_range: (f64, f64),
+    /// Smallest / largest budget values.
+    pub budget_range: (f64, f64),
+    /// Distinct keywords in the vocabulary.
+    pub vocabulary_size: usize,
+    /// Mean number of keywords per node.
+    pub avg_keywords_per_node: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut min_out = usize::MAX;
+        let mut max_out = 0usize;
+        let mut sinks = 0usize;
+        let mut sources = 0usize;
+        let mut kw_total = 0usize;
+        for v in g.nodes() {
+            let d = g.out_degree(v);
+            min_out = min_out.min(d);
+            max_out = max_out.max(d);
+            if d == 0 {
+                sinks += 1;
+            }
+            if g.in_degree(v) == 0 {
+                sources += 1;
+            }
+            kw_total += g.keywords(v).len();
+        }
+        if n == 0 {
+            min_out = 0;
+        }
+        Self {
+            nodes: n,
+            edges: g.edge_count(),
+            min_out_degree: min_out,
+            max_out_degree: max_out,
+            avg_out_degree: if n == 0 {
+                0.0
+            } else {
+                g.edge_count() as f64 / n as f64
+            },
+            sink_count: sinks,
+            source_count: sources,
+            objective_range: (g.o_min(), g.o_max()),
+            budget_range: (g.b_min(), g.b_max()),
+            vocabulary_size: g.vocab().len(),
+            avg_keywords_per_node: if n == 0 { 0.0 } else { kw_total as f64 / n as f64 },
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes: {}", self.nodes)?;
+        writeln!(f, "edges: {}", self.edges)?;
+        writeln!(
+            f,
+            "out-degree: min {} / avg {:.2} / max {}",
+            self.min_out_degree, self.avg_out_degree, self.max_out_degree
+        )?;
+        writeln!(f, "sinks: {}  sources: {}", self.sink_count, self.source_count)?;
+        writeln!(
+            f,
+            "objective range: [{:.4}, {:.4}]",
+            self.objective_range.0, self.objective_range.1
+        )?;
+        writeln!(
+            f,
+            "budget range: [{:.4}, {:.4}]",
+            self.budget_range.0, self.budget_range.1
+        )?;
+        writeln!(f, "vocabulary: {} terms", self.vocabulary_size)?;
+        write!(f, "keywords/node: {:.2}", self.avg_keywords_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node(["a", "b"]);
+        let v1 = b.add_node(["c"]);
+        let v2 = b.add_node::<[&str; 0], &str>([]);
+        b.add_edge(v0, v1, 1.0, 2.0).unwrap();
+        b.add_edge(v1, v2, 3.0, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let s = g.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.min_out_degree, 0);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.sink_count, 1);
+        assert_eq!(s.source_count, 1);
+        assert_eq!(s.objective_range, (1.0, 3.0));
+        assert_eq!(s.budget_range, (2.0, 4.0));
+        assert_eq!(s.vocabulary_size, 3);
+        assert!((s.avg_keywords_per_node - 1.0).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("nodes: 3"));
+        assert!(text.contains("vocabulary: 3"));
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        let s = g.stats();
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.min_out_degree, 0);
+        assert_eq!(s.avg_out_degree, 0.0);
+        assert_eq!(s.avg_keywords_per_node, 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Bulk loader: sorted `(term, postings)` pairs → index file.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::error::IndexError;
+
+use super::page::{
+    Page, MAGIC, MAX_KEY_LEN, NO_PAGE, PAGE_KIND_INTERNAL, PAGE_KIND_LEAF, PAGE_SIZE,
+};
+
+const LEAF_HEADER: usize = 7; // kind u8 + nkeys u16 + next_leaf u32
+const INTERNAL_HEADER: usize = 7; // kind u8 + nkeys u16 + child0 u32
+const LEAF_ENTRY_FIXED: usize = 2 + 4 + 8; // klen + count + offset
+const INTERNAL_ENTRY_FIXED: usize = 2 + 4; // klen + child
+
+/// Result of a bulk build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Number of terms indexed.
+    pub terms: usize,
+    /// Total pages written (including the header).
+    pub pages: u32,
+    /// Tree height (0 = empty, 1 = single leaf).
+    pub height: u32,
+    /// Bytes of the postings heap.
+    pub heap_bytes: u64,
+}
+
+/// Writes a complete index file at `path` from sorted, unique entries.
+///
+/// # Errors
+///
+/// Fails if entries are unsorted/duplicated, a key exceeds
+/// [`MAX_KEY_LEN`], or I/O fails.
+pub fn build_file(
+    path: &Path,
+    entries: Vec<(String, Vec<u32>)>,
+) -> Result<BuildStats, IndexError> {
+    for w in entries.windows(2) {
+        if w[0].0 >= w[1].0 {
+            return Err(IndexError::Corrupt(format!(
+                "bulk-load input not strictly sorted: {:?} >= {:?}",
+                w[0].0, w[1].0
+            )));
+        }
+    }
+    for (term, _) in &entries {
+        if term.len() > MAX_KEY_LEN {
+            return Err(IndexError::KeyTooLong(term.len()));
+        }
+    }
+
+    // 1. Group entries into leaves by byte budget.
+    let mut leaves: Vec<Vec<usize>> = Vec::new(); // entry indices per leaf
+    {
+        let mut current: Vec<usize> = Vec::new();
+        let mut used = LEAF_HEADER;
+        for (i, (term, _)) in entries.iter().enumerate() {
+            let sz = LEAF_ENTRY_FIXED + term.len();
+            if used + sz > PAGE_SIZE && !current.is_empty() {
+                leaves.push(std::mem::take(&mut current));
+                used = LEAF_HEADER;
+            }
+            current.push(i);
+            used += sz;
+        }
+        if !current.is_empty() {
+            leaves.push(current);
+        }
+    }
+
+    // 2. Build internal levels bottom-up. Each level is a list of nodes;
+    //    a node is a list of (first_key_index, child_page_slot) where page
+    //    slots are assigned later. We track children per level as index
+    //    ranges into the previous level.
+    //    first_key(leaf) = first entry's term.
+    let mut levels: Vec<Vec<Vec<usize>>> = Vec::new(); // levels[l] = nodes; node = child indices in level below
+    let mut below_count = leaves.len();
+    let mut below_first_key: Vec<usize> = leaves.iter().map(|l| l[0]).collect();
+    while below_count > 1 {
+        let mut nodes: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut used = INTERNAL_HEADER;
+        for child in 0..below_count {
+            // child0 consumes no key; subsequent children store separators
+            let sz = if current.is_empty() {
+                0
+            } else {
+                INTERNAL_ENTRY_FIXED + entries[below_first_key[child]].0.len()
+            };
+            if used + sz > PAGE_SIZE && !current.is_empty() {
+                nodes.push(std::mem::take(&mut current));
+                used = INTERNAL_HEADER;
+            }
+            current.push(child);
+            used += sz;
+        }
+        if !current.is_empty() {
+            nodes.push(current);
+        }
+        below_first_key = nodes
+            .iter()
+            .map(|node| below_first_key[node[0]])
+            .collect();
+        below_count = nodes.len();
+        levels.push(nodes);
+    }
+
+    // 3. Assign page ids: header = 0, leaves = 1.., then levels upward.
+    let leaf_base = 1u32;
+    let mut level_bases = Vec::with_capacity(levels.len());
+    let mut next_id = leaf_base + leaves.len() as u32;
+    for level in &levels {
+        level_bases.push(next_id);
+        next_id += level.len() as u32;
+    }
+    let total_pages = next_id;
+    let height = if entries.is_empty() {
+        0
+    } else {
+        1 + levels.len() as u32
+    };
+    let root = if entries.is_empty() {
+        NO_PAGE
+    } else if levels.is_empty() {
+        leaf_base
+    } else {
+        total_pages - 1
+    };
+
+    // 4. Assign heap offsets in entry order.
+    let heap_base = total_pages as u64 * PAGE_SIZE as u64;
+    let mut offsets = Vec::with_capacity(entries.len());
+    let mut cursor = heap_base;
+    for (_, postings) in &entries {
+        offsets.push(cursor);
+        cursor += postings.len() as u64 * 4;
+    }
+    let heap_bytes = cursor - heap_base;
+
+    // 5. Write the file.
+    let mut out = BufWriter::new(File::create(path)?);
+    let mut header = Page::new();
+    header.write_bytes(0, MAGIC);
+    header.write_u32(8, root);
+    header.write_u32(12, height);
+    header.write_u32(16, total_pages);
+    header.write_u64(20, entries.len() as u64);
+    header.write_u64(28, heap_base);
+    out.write_all(header.bytes())?;
+
+    for (li, leaf) in leaves.iter().enumerate() {
+        let mut page = Page::new();
+        page.write_u8(0, PAGE_KIND_LEAF);
+        page.write_u16(1, leaf.len() as u16);
+        let next = if li + 1 < leaves.len() {
+            leaf_base + li as u32 + 1
+        } else {
+            NO_PAGE
+        };
+        page.write_u32(3, next);
+        let mut at = LEAF_HEADER;
+        for &ei in leaf {
+            let (term, postings) = &entries[ei];
+            page.write_u16(at, term.len() as u16);
+            page.write_bytes(at + 2, term.as_bytes());
+            page.write_u32(at + 2 + term.len(), postings.len() as u32);
+            page.write_u64(at + 2 + term.len() + 4, offsets[ei]);
+            at += LEAF_ENTRY_FIXED + term.len();
+        }
+        out.write_all(page.bytes())?;
+    }
+
+    // first-key of every node in the level below (for separators)
+    let mut below_firsts: Vec<usize> = leaves.iter().map(|l| l[0]).collect();
+    let mut below_base = leaf_base;
+    for (lvl, nodes) in levels.iter().enumerate() {
+        for node in nodes {
+            let mut page = Page::new();
+            page.write_u8(0, PAGE_KIND_INTERNAL);
+            page.write_u16(1, node.len() as u16 - 1);
+            page.write_u32(3, below_base + node[0] as u32);
+            let mut at = INTERNAL_HEADER;
+            for &child in &node[1..] {
+                let key = entries[below_firsts[child]].0.as_bytes();
+                page.write_u16(at, key.len() as u16);
+                page.write_bytes(at + 2, key);
+                page.write_u32(at + 2 + key.len(), below_base + child as u32);
+                at += INTERNAL_ENTRY_FIXED + key.len();
+            }
+            out.write_all(page.bytes())?;
+        }
+        below_firsts = nodes.iter().map(|n| below_firsts[n[0]]).collect();
+        below_base = level_bases[lvl];
+    }
+
+    for (_, postings) in &entries {
+        for &p in postings {
+            out.write_all(&p.to_le_bytes())?;
+        }
+    }
+    out.flush()?;
+
+    Ok(BuildStats {
+        terms: entries.len(),
+        pages: total_pages,
+        height,
+        heap_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("kor-builder-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn rejects_unsorted_input() {
+        let path = tmp("unsorted.idx");
+        let r = build_file(
+            &path,
+            vec![("b".into(), vec![1]), ("a".into(), vec![2])],
+        );
+        assert!(matches!(r, Err(IndexError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let path = tmp("dup.idx");
+        let r = build_file(
+            &path,
+            vec![("a".into(), vec![1]), ("a".into(), vec![2])],
+        );
+        assert!(matches!(r, Err(IndexError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_keys() {
+        let path = tmp("bigkey.idx");
+        let r = build_file(&path, vec![("x".repeat(MAX_KEY_LEN + 1), vec![])]);
+        assert!(matches!(r, Err(IndexError::KeyTooLong(_))));
+    }
+
+    #[test]
+    fn stats_for_empty_build() {
+        let path = tmp("emptystats.idx");
+        let stats = build_file(&path, vec![]).unwrap();
+        assert_eq!(stats.terms, 0);
+        assert_eq!(stats.height, 0);
+        assert_eq!(stats.pages, 1);
+        assert_eq!(stats.heap_bytes, 0);
+    }
+
+    #[test]
+    fn stats_scale_with_input() {
+        let path = tmp("bigstats.idx");
+        let entries: Vec<(String, Vec<u32>)> = (0..3000)
+            .map(|i| (format!("key{i:06}"), vec![i as u32; 3]))
+            .collect();
+        let stats = build_file(&path, entries).unwrap();
+        assert_eq!(stats.terms, 3000);
+        assert!(stats.height >= 2);
+        assert_eq!(stats.heap_bytes, 3000 * 3 * 4);
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(
+            file_len,
+            stats.pages as u64 * PAGE_SIZE as u64 + stats.heap_bytes
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! A disk-resident B+-tree for term → posting-list lookup.
+//!
+//! The paper stores its inverted file in a disk-resident B+-tree (§3.1).
+//! This is a faithful, read-optimized implementation:
+//!
+//! * fixed 4 KiB [`page::PAGE_SIZE`] pages; page 0 is the header;
+//! * internal pages hold separator keys and child page ids; leaf pages
+//!   hold `(term, posting count, heap offset)` entries and are chained
+//!   left-to-right for ordered scans;
+//! * posting lists live in a byte heap after the tree pages (`u32`
+//!   little-endian node ids);
+//! * the tree is **bulk-loaded** from sorted terms (the index is built
+//!   once per dataset, like the paper's pre-processing step) and read
+//!   through an LRU page cache.
+//!
+//! ```
+//! use kor_index::bptree::BPlusTree;
+//!
+//! let dir = std::env::temp_dir().join("kor-bptree-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("doc.idx");
+//! BPlusTree::bulk_build(&path, vec![
+//!     ("cafe".to_string(), vec![0, 2]),
+//!     ("pub".to_string(), vec![1]),
+//! ]).unwrap();
+//! let tree = BPlusTree::open(&path).unwrap();
+//! assert_eq!(tree.lookup("cafe").unwrap(), Some(vec![0, 2]));
+//! assert_eq!(tree.lookup("zoo").unwrap(), None);
+//! ```
+
+mod builder;
+pub mod page;
+mod pager;
+
+use std::path::Path;
+
+use crate::error::IndexError;
+
+pub use builder::{build_file, BuildStats};
+pub use page::{MAX_KEY_LEN, NO_PAGE, PAGE_SIZE};
+pub use pager::{CacheStats, Pager};
+
+use page::{Page, PAGE_KIND_INTERNAL, PAGE_KIND_LEAF};
+
+/// Read handle over a bulk-loaded B+-tree file.
+pub struct BPlusTree {
+    pager: Pager,
+    root: u32,
+    height: u32,
+    term_count: u64,
+}
+
+impl BPlusTree {
+    /// Builds the file at `path` from `entries` (must be sorted by term,
+    /// unique) and opens it.
+    pub fn bulk_build(
+        path: &Path,
+        entries: Vec<(String, Vec<u32>)>,
+    ) -> Result<Self, IndexError> {
+        build_file(path, entries)?;
+        Self::open(path)
+    }
+
+    /// Opens an existing index file, validating the header.
+    pub fn open(path: &Path) -> Result<Self, IndexError> {
+        let pager = Pager::open(path)?;
+        let header = pager.read_page(0)?;
+        page::check_magic(&header)?;
+        let root = header.read_u32(8);
+        let height = header.read_u32(12);
+        let page_count = header.read_u32(16);
+        let term_count = header.read_u64(20);
+        if root != NO_PAGE && root >= page_count {
+            return Err(IndexError::Corrupt(format!(
+                "root page {root} out of range ({page_count} pages)"
+            )));
+        }
+        Ok(Self {
+            pager,
+            root,
+            height,
+            term_count,
+        })
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> u64 {
+        self.term_count
+    }
+
+    /// Tree height (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Page-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pager.stats()
+    }
+
+    /// Looks up a term's posting list.
+    pub fn lookup(&self, term: &str) -> Result<Option<Vec<u32>>, IndexError> {
+        if self.root == NO_PAGE {
+            return Ok(None);
+        }
+        let key = term.as_bytes();
+        if key.len() > MAX_KEY_LEN {
+            return Ok(None);
+        }
+        let mut page_id = self.root;
+        for _ in 0..self.height.saturating_sub(1) {
+            let page = self.pager.read_page(page_id)?;
+            if page.read_u8(0) != PAGE_KIND_INTERNAL {
+                return Err(IndexError::Corrupt(format!(
+                    "expected internal page at {page_id}"
+                )));
+            }
+            page_id = descend(&page, key);
+        }
+        let leaf = self.pager.read_page(page_id)?;
+        if leaf.read_u8(0) != PAGE_KIND_LEAF {
+            return Err(IndexError::Corrupt(format!("expected leaf page at {page_id}")));
+        }
+        match find_in_leaf(&leaf, key)? {
+            Some((count, offset)) => Ok(Some(self.read_postings(offset, count)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Scans every `(term, postings)` pair in ascending term order.
+    pub fn scan(&self) -> Result<Vec<(String, Vec<u32>)>, IndexError> {
+        let mut out = Vec::with_capacity(self.term_count as usize);
+        if self.root == NO_PAGE {
+            return Ok(out);
+        }
+        // Descend to the leftmost leaf.
+        let mut page_id = self.root;
+        for _ in 0..self.height.saturating_sub(1) {
+            let page = self.pager.read_page(page_id)?;
+            page_id = page.read_u32(3); // child0
+        }
+        let mut guard = 0u64;
+        while page_id != NO_PAGE {
+            let leaf = self.pager.read_page(page_id)?;
+            if leaf.read_u8(0) != PAGE_KIND_LEAF {
+                return Err(IndexError::Corrupt(format!("leaf chain hit page {page_id}")));
+            }
+            for_each_leaf_entry(&leaf, |key, count, offset| {
+                let term = String::from_utf8_lossy(key).into_owned();
+                let postings = self.read_postings(offset, count)?;
+                out.push((term, postings));
+                Ok(())
+            })?;
+            page_id = leaf.read_u32(3);
+            guard += 1;
+            if guard > self.term_count + 2 {
+                return Err(IndexError::Corrupt("cyclic leaf chain".into()));
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_postings(&self, offset: u64, count: u32) -> Result<Vec<u32>, IndexError> {
+        let bytes = self.pager.read_heap(offset, count as usize * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+/// Chooses the child of an internal page for `key`: `child0` if `key` is
+/// smaller than the first separator, otherwise the child of the last
+/// separator `≤ key`.
+fn descend(page: &Page, key: &[u8]) -> u32 {
+    let nkeys = page.read_u16(1) as usize;
+    let mut child = page.read_u32(3);
+    let mut at = 7usize;
+    for _ in 0..nkeys {
+        let klen = page.read_u16(at) as usize;
+        let sep = page.read_bytes(at + 2, klen);
+        let entry_child = page.read_u32(at + 2 + klen);
+        if key < sep {
+            break;
+        }
+        child = entry_child;
+        at += 2 + klen + 4;
+    }
+    child
+}
+
+fn find_in_leaf(page: &Page, key: &[u8]) -> Result<Option<(u32, u64)>, IndexError> {
+    let mut found = None;
+    for_each_leaf_entry(page, |k, count, offset| {
+        if k == key {
+            found = Some((count, offset));
+        }
+        Ok(())
+    })?;
+    Ok(found)
+}
+
+fn for_each_leaf_entry(
+    page: &Page,
+    mut f: impl FnMut(&[u8], u32, u64) -> Result<(), IndexError>,
+) -> Result<(), IndexError> {
+    let nkeys = page.read_u16(1) as usize;
+    let mut at = 7usize;
+    for _ in 0..nkeys {
+        if at + 2 > PAGE_SIZE {
+            return Err(IndexError::Corrupt("leaf entry past page end".into()));
+        }
+        let klen = page.read_u16(at) as usize;
+        if at + 2 + klen + 12 > PAGE_SIZE {
+            return Err(IndexError::Corrupt("leaf entry past page end".into()));
+        }
+        let key = page.read_bytes(at + 2, klen);
+        let count = page.read_u32(at + 2 + klen);
+        let offset = page.read_u64(at + 2 + klen + 4);
+        f(key, count, offset)?;
+        at += 2 + klen + 12;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("kor-bptree-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn entries(n: usize) -> Vec<(String, Vec<u32>)> {
+        (0..n)
+            .map(|i| {
+                let term = format!("term{i:05}");
+                let postings: Vec<u32> = (0..(i % 7 + 1) as u32).map(|k| i as u32 + k).collect();
+                (term, postings)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_lookups_none() {
+        let path = tmp("empty.idx");
+        let tree = BPlusTree::bulk_build(&path, vec![]).unwrap();
+        assert_eq!(tree.term_count(), 0);
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.lookup("anything").unwrap(), None);
+        assert!(tree.scan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_leaf_round_trip() {
+        let path = tmp("single.idx");
+        let data = entries(10);
+        let tree = BPlusTree::bulk_build(&path, data.clone()).unwrap();
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.term_count(), 10);
+        for (term, postings) in &data {
+            assert_eq!(tree.lookup(term).unwrap().as_ref(), Some(postings));
+        }
+        assert_eq!(tree.lookup("nope").unwrap(), None);
+    }
+
+    #[test]
+    fn multi_level_round_trip() {
+        let path = tmp("multi.idx");
+        let data = entries(5000);
+        let tree = BPlusTree::bulk_build(&path, data.clone()).unwrap();
+        assert!(tree.height() >= 2, "5000 terms must need internal pages");
+        for (term, postings) in data.iter().step_by(37) {
+            assert_eq!(tree.lookup(term).unwrap().as_ref(), Some(postings), "{term}");
+        }
+        // probes around boundaries
+        assert_eq!(tree.lookup("term00000").unwrap(), Some(vec![0]));
+        assert_eq!(tree.lookup("term04999").unwrap().unwrap().len(), 4999 % 7 + 1);
+    }
+
+    #[test]
+    fn scan_returns_sorted_everything() {
+        let path = tmp("scan.idx");
+        let data = entries(1234);
+        let tree = BPlusTree::bulk_build(&path, data.clone()).unwrap();
+        let scanned = tree.scan().unwrap();
+        assert_eq!(scanned, data);
+    }
+
+    #[test]
+    fn lookup_misses_between_keys() {
+        let path = tmp("misses.idx");
+        let tree = BPlusTree::bulk_build(&path, entries(500)).unwrap();
+        assert_eq!(tree.lookup("term00123x").unwrap(), None);
+        assert_eq!(tree.lookup("").unwrap(), None);
+        assert_eq!(tree.lookup("zzzz").unwrap(), None);
+        assert_eq!(tree.lookup("aaaa").unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_key_lookup_is_none() {
+        let path = tmp("oversize.idx");
+        let tree = BPlusTree::bulk_build(&path, entries(5)).unwrap();
+        let long = "x".repeat(MAX_KEY_LEN + 1);
+        assert_eq!(tree.lookup(&long).unwrap(), None);
+    }
+
+    #[test]
+    fn cache_serves_repeated_lookups() {
+        let path = tmp("cache.idx");
+        let tree = BPlusTree::bulk_build(&path, entries(2000)).unwrap();
+        for _ in 0..10 {
+            let _ = tree.lookup("term00042").unwrap();
+        }
+        let stats = tree.cache_stats();
+        assert!(stats.hits > 0, "repeated lookups must hit the cache: {stats:?}");
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage.idx");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(matches!(
+            BPlusTree::open(&path),
+            Err(IndexError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn open_rejects_truncated_file() {
+        let path = tmp("trunc.idx");
+        std::fs::write(&path, b"short").unwrap();
+        assert!(BPlusTree::open(&path).is_err());
+    }
+
+    #[test]
+    fn empty_postings_are_preserved() {
+        let path = tmp("emptypost.idx");
+        let tree = BPlusTree::bulk_build(
+            &path,
+            vec![("a".into(), vec![]), ("b".into(), vec![7])],
+        )
+        .unwrap();
+        assert_eq!(tree.lookup("a").unwrap(), Some(vec![]));
+        assert_eq!(tree.lookup("b").unwrap(), Some(vec![7]));
+    }
+}

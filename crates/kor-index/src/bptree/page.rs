@@ -1,0 +1,171 @@
+//! Fixed-size page representation and byte-level accessors.
+
+use crate::error::IndexError;
+
+/// Size of every page in the index file.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Sentinel for "no page" (empty root, end of leaf chain).
+pub const NO_PAGE: u32 = u32::MAX;
+
+/// Maximum encodable key length in bytes.
+pub const MAX_KEY_LEN: usize = 512;
+
+/// Page kind tag: internal node.
+pub const PAGE_KIND_INTERNAL: u8 = 1;
+/// Page kind tag: leaf node.
+pub const PAGE_KIND_LEAF: u8 = 2;
+
+/// File magic written at the start of the header page.
+pub const MAGIC: &[u8; 8] = b"KORIDX1\0";
+
+/// A 4 KiB page buffer with little-endian accessors.
+#[derive(Clone)]
+pub struct Page(Box<[u8; PAGE_SIZE]>);
+
+impl Page {
+    /// A zeroed page.
+    pub fn new() -> Self {
+        Page(Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Wraps an owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly [`PAGE_SIZE`] long.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut p = Page::new();
+        p.0.copy_from_slice(bytes);
+        p
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.0
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, at: usize) -> u8 {
+        self.0[at]
+    }
+
+    /// Reads a little-endian `u16`.
+    #[inline]
+    pub fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.0[at], self.0[at + 1]])
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn read_u32(&self, at: usize) -> u32 {
+        u32::from_le_bytes([self.0[at], self.0[at + 1], self.0[at + 2], self.0[at + 3]])
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn read_u64(&self, at: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.0[at..at + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Borrows `len` bytes starting at `at`.
+    #[inline]
+    pub fn read_bytes(&self, at: usize, len: usize) -> &[u8] {
+        &self.0[at..at + len]
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, at: usize, v: u8) {
+        self.0[at] = v;
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, at: usize, v: u16) {
+        self.0[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, at: usize, v: u32) {
+        self.0[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, at: usize, v: u64) {
+        self.0[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copies raw bytes into the page.
+    pub fn write_bytes(&mut self, at: usize, bytes: &[u8]) {
+        self.0[at..at + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page(kind={})", self.0[0])
+    }
+}
+
+/// Validates the header magic.
+pub fn check_magic(header: &Page) -> Result<(), IndexError> {
+    if &header.bytes()[..8] != MAGIC {
+        return Err(IndexError::Corrupt("bad magic".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut p = Page::new();
+        p.write_u8(0, 0xAB);
+        p.write_u16(1, 0x1234);
+        p.write_u32(3, 0xDEADBEEF);
+        p.write_u64(7, 0x0123_4567_89AB_CDEF);
+        assert_eq!(p.read_u8(0), 0xAB);
+        assert_eq!(p.read_u16(1), 0x1234);
+        assert_eq!(p.read_u32(3), 0xDEADBEEF);
+        assert_eq!(p.read_u64(7), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let mut p = Page::new();
+        p.write_bytes(100, b"hello");
+        assert_eq!(p.read_bytes(100, 5), b"hello");
+    }
+
+    #[test]
+    fn from_bytes_copies() {
+        let mut raw = vec![0u8; PAGE_SIZE];
+        raw[0] = 7;
+        let p = Page::from_bytes(&raw);
+        assert_eq!(p.read_u8(0), 7);
+    }
+
+    #[test]
+    fn magic_check() {
+        let mut p = Page::new();
+        assert!(check_magic(&p).is_err());
+        p.write_bytes(0, MAGIC);
+        assert!(check_magic(&p).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_bytes_wrong_len_panics() {
+        let _ = Page::from_bytes(&[0u8; 10]);
+    }
+}

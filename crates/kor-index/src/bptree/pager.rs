@@ -1,0 +1,199 @@
+//! Page I/O with an LRU cache.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::error::IndexError;
+
+use super::page::{Page, PAGE_SIZE};
+
+/// Default number of cached pages (1 MiB of cache).
+pub const DEFAULT_CACHE_PAGES: usize = 256;
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a disk read.
+    pub misses: u64,
+}
+
+struct PagerInner {
+    file: File,
+    cache: HashMap<u32, (Arc<Page>, u64)>,
+    tick: u64,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+/// Read-only pager over an index file.
+pub struct Pager {
+    inner: Mutex<PagerInner>,
+}
+
+impl Pager {
+    /// Opens `path` with the default cache capacity.
+    pub fn open(path: &Path) -> Result<Self, IndexError> {
+        Self::with_capacity(path, DEFAULT_CACHE_PAGES)
+    }
+
+    /// Opens `path` with a custom cache capacity (minimum 1).
+    pub fn with_capacity(path: &Path, capacity: usize) -> Result<Self, IndexError> {
+        let file = File::open(path)?;
+        Ok(Self {
+            inner: Mutex::new(PagerInner {
+                file,
+                cache: HashMap::new(),
+                tick: 0,
+                capacity: capacity.max(1),
+                stats: CacheStats::default(),
+            }),
+        })
+    }
+
+    /// Reads page `id`, serving from the cache when possible.
+    pub fn read_page(&self, id: u32) -> Result<Arc<Page>, IndexError> {
+        let mut inner = self.inner.lock().expect("pager poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let cached = inner.cache.get_mut(&id).map(|(page, stamp)| {
+            *stamp = tick;
+            page.clone()
+        });
+        if let Some(page) = cached {
+            inner.stats.hits += 1;
+            return Ok(page);
+        }
+        inner.stats.misses += 1;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        inner
+            .file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        inner.file.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                IndexError::Corrupt(format!("page {id} beyond end of file"))
+            } else {
+                IndexError::Io(e)
+            }
+        })?;
+        let page = Arc::new(Page::from_bytes(&buf));
+        if inner.cache.len() >= inner.capacity {
+            // Evict the least-recently-used entry (linear scan: the cache
+            // holds a few hundred entries at most).
+            if let Some(&victim) = inner
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(id, _)| id)
+            {
+                inner.cache.remove(&victim);
+            }
+        }
+        inner.cache.insert(id, (page.clone(), tick));
+        Ok(page)
+    }
+
+    /// Reads `len` raw bytes at absolute file `offset` (postings heap).
+    pub fn read_heap(&self, offset: u64, len: usize) -> Result<Vec<u8>, IndexError> {
+        let mut inner = self.inner.lock().expect("pager poisoned");
+        let mut buf = vec![0u8; len];
+        inner.file.seek(SeekFrom::Start(offset))?;
+        inner.file.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                IndexError::Corrupt(format!("heap read at {offset}+{len} beyond end of file"))
+            } else {
+                IndexError::Io(e)
+            }
+        })?;
+        Ok(buf)
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("pager poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_pages(name: &str, n: u32) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("kor-pager-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = File::create(&path).unwrap();
+        for i in 0..n {
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[0] = i as u8;
+            f.write_all(&page).unwrap();
+        }
+        f.write_all(b"HEAPDATA").unwrap();
+        path
+    }
+
+    #[test]
+    fn reads_correct_pages() {
+        let path = write_pages("pages.idx", 4);
+        let pager = Pager::open(&path).unwrap();
+        for i in 0..4 {
+            assert_eq!(pager.read_page(i).unwrap().read_u8(0), i as u8);
+        }
+    }
+
+    #[test]
+    fn cache_hits_counted() {
+        let path = write_pages("hits.idx", 2);
+        let pager = Pager::open(&path).unwrap();
+        let _ = pager.read_page(0).unwrap();
+        let _ = pager.read_page(0).unwrap();
+        let s = pager.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let path = write_pages("lru.idx", 3);
+        let pager = Pager::with_capacity(&path, 2).unwrap();
+        let _ = pager.read_page(0).unwrap();
+        let _ = pager.read_page(1).unwrap();
+        let _ = pager.read_page(2).unwrap(); // evicts page 0
+        let _ = pager.read_page(1).unwrap(); // still cached
+        assert_eq!(pager.stats().hits, 1);
+        let _ = pager.read_page(0).unwrap(); // must re-read
+        assert_eq!(pager.stats().misses, 4);
+    }
+
+    #[test]
+    fn out_of_range_page_is_corrupt() {
+        let path = write_pages("oob.idx", 1);
+        let pager = Pager::open(&path).unwrap();
+        assert!(matches!(
+            pager.read_page(99),
+            Err(IndexError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn heap_reads_raw_bytes() {
+        let path = write_pages("heap.idx", 2);
+        let pager = Pager::open(&path).unwrap();
+        let bytes = pager.read_heap(2 * PAGE_SIZE as u64, 8).unwrap();
+        assert_eq!(&bytes, b"HEAPDATA");
+        assert!(pager.read_heap(2 * PAGE_SIZE as u64 + 4, 8).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            Pager::open(Path::new("/nonexistent/kor.idx")),
+            Err(IndexError::Io(_))
+        ));
+    }
+}

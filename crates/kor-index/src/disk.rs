@@ -1,0 +1,163 @@
+//! Disk-resident inverted file built on the B+-tree.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use kor_graph::{Graph, NodeId};
+
+use crate::bptree::BPlusTree;
+use crate::error::IndexError;
+
+/// Disk-resident inverted file: term → sorted node-id postings, stored in
+/// a bulk-loaded B+-tree (the paper's §3.1 index organization).
+pub struct DiskInvertedIndex {
+    tree: BPlusTree,
+}
+
+impl DiskInvertedIndex {
+    /// Builds the index file for `graph` at `path` and opens it.
+    pub fn build(graph: &Graph, path: &Path) -> Result<Self, IndexError> {
+        // BTreeMap gives the strict term ordering the bulk loader needs.
+        let mut by_term: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for (node, kw) in graph.keyword_postings() {
+            let term = graph
+                .vocab()
+                .resolve(kw)
+                .expect("graph keywords are interned")
+                .to_owned();
+            by_term.entry(term).or_default().push(node.0);
+        }
+        let entries: Vec<(String, Vec<u32>)> = by_term.into_iter().collect();
+        let tree = BPlusTree::bulk_build(path, entries)?;
+        Ok(Self { tree })
+    }
+
+    /// Opens an existing index file.
+    pub fn open(path: &Path) -> Result<Self, IndexError> {
+        Ok(Self {
+            tree: BPlusTree::open(path)?,
+        })
+    }
+
+    /// The posting list for `term`, or `None` if the term is unknown.
+    pub fn postings(&self, term: &str) -> Result<Option<Vec<NodeId>>, IndexError> {
+        Ok(self
+            .tree
+            .lookup(term)?
+            .map(|ids| ids.into_iter().map(NodeId).collect()))
+    }
+
+    /// Number of nodes containing `term` (0 if unknown).
+    pub fn doc_frequency(&self, term: &str) -> Result<usize, IndexError> {
+        Ok(self.tree.lookup(term)?.map_or(0, |p| p.len()))
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> u64 {
+        self.tree.term_count()
+    }
+
+    /// All `(term, postings)` pairs in ascending term order.
+    pub fn scan(&self) -> Result<Vec<(String, Vec<NodeId>)>, IndexError> {
+        Ok(self
+            .tree
+            .scan()?
+            .into_iter()
+            .map(|(t, p)| (t, p.into_iter().map(NodeId).collect()))
+            .collect())
+    }
+
+    /// Underlying build statistics are not retained; expose tree shape
+    /// instead.
+    pub fn height(&self) -> u32 {
+        self.tree.height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InvertedIndex;
+    use kor_graph::fixtures::figure1;
+    use kor_graph::GraphBuilder;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("kor-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn disk_matches_memory_on_figure1() {
+        let g = figure1();
+        let mem = InvertedIndex::build(&g);
+        let disk = DiskInvertedIndex::build(&g, &tmp("fig1.idx")).unwrap();
+        assert_eq!(disk.term_count(), 5);
+        for (kw, term) in g.vocab().iter() {
+            let mem_postings = mem.postings(kw);
+            let disk_postings = disk.postings(term).unwrap().unwrap();
+            assert_eq!(disk_postings, mem_postings, "term {term}");
+            assert_eq!(disk.doc_frequency(term).unwrap(), mem_postings.len());
+        }
+        assert_eq!(disk.postings("nonexistent").unwrap(), None);
+        assert_eq!(disk.doc_frequency("nonexistent").unwrap(), 0);
+    }
+
+    #[test]
+    fn scan_is_sorted_and_complete() {
+        let g = figure1();
+        let disk = DiskInvertedIndex::build(&g, &tmp("scan.idx")).unwrap();
+        let all = disk.scan().unwrap();
+        assert_eq!(all.len(), 5);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: usize = all.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn reopen_after_build() {
+        let g = figure1();
+        let path = tmp("reopen.idx");
+        {
+            let _ = DiskInvertedIndex::build(&g, &path).unwrap();
+        }
+        let disk = DiskInvertedIndex::open(&path).unwrap();
+        assert_eq!(disk.term_count(), 5);
+        assert!(disk.postings("t1").unwrap().is_some());
+    }
+
+    #[test]
+    fn larger_vocabulary_round_trip() {
+        let mut b = GraphBuilder::new();
+        // 600 nodes, each with three tags drawn from a 900-term vocabulary.
+        for i in 0..600u32 {
+            let tags = [
+                format!("tag{:04}", i % 900),
+                format!("tag{:04}", (i * 7 + 3) % 900),
+                "common".to_string(),
+            ];
+            b.add_node(tags.iter().map(String::as_str));
+        }
+        let g = b.build().unwrap();
+        let mem = InvertedIndex::build(&g);
+        let disk = DiskInvertedIndex::build(&g, &tmp("big.idx")).unwrap();
+        assert_eq!(disk.term_count() as usize, g.vocab().len());
+        for (kw, term) in g.vocab().iter() {
+            assert_eq!(
+                disk.postings(term).unwrap().unwrap(),
+                mem.postings(kw),
+                "term {term}"
+            );
+        }
+        assert_eq!(disk.doc_frequency("common").unwrap(), 600);
+    }
+
+    #[test]
+    fn empty_graph_builds_empty_index() {
+        let g = GraphBuilder::new().build().unwrap();
+        let disk = DiskInvertedIndex::build(&g, &tmp("empty.idx")).unwrap();
+        assert_eq!(disk.term_count(), 0);
+        assert_eq!(disk.postings("x").unwrap(), None);
+        assert!(disk.scan().unwrap().is_empty());
+    }
+}

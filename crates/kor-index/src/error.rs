@@ -1,0 +1,66 @@
+//! Error type for index construction and lookup.
+
+use std::fmt;
+use std::io;
+
+/// Errors from the disk-resident index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The file contents are not a valid index (bad magic, truncated
+    /// pages, cyclic chains…).
+    Corrupt(String),
+    /// A key exceeds the maximum encodable length.
+    KeyTooLong(usize),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Io(e) => write!(f, "index I/O error: {e}"),
+            IndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+            IndexError::KeyTooLong(n) => {
+                write!(f, "key of {n} bytes exceeds the maximum key length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IndexError {
+    fn from(e: io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io_err = IndexError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(io_err.to_string().contains("gone"));
+        assert!(IndexError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(IndexError::KeyTooLong(9999).to_string().contains("9999"));
+    }
+
+    #[test]
+    fn source_chains_io() {
+        use std::error::Error;
+        let e = IndexError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        assert!(IndexError::Corrupt("c".into()).source().is_none());
+    }
+}

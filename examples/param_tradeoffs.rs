@@ -1,0 +1,145 @@
+//! Accuracy-vs-speed trade-offs of the approximation parameters, on one
+//! dataset: ε (OSScaling, Theorem 2), β (BucketBound, Theorem 3), and α /
+//! beam width (Greedy). A miniature of the paper's Figures 6–13.
+//!
+//! ```bash
+//! cargo run --release --example param_tradeoffs
+//! ```
+
+use std::time::Instant;
+
+use kor::prelude::*;
+
+fn main() {
+    let (graph, _) = generate_flickr(&FlickrConfig::small());
+    let engine = KorEngine::new(&graph);
+    let workload = generate_workload(
+        &graph,
+        engine.index(),
+        &WorkloadConfig {
+            keyword_counts: vec![4],
+            queries_per_set: 12,
+            frequency_weighted: true,
+            max_euclidean_km: Some(4.0),
+            // common categories, like real map queries
+            min_doc_fraction: 0.01,
+            seed: 3,
+        },
+    );
+    let delta = 8.0;
+    let queries: Vec<KorQuery> = workload[0]
+        .queries
+        .iter()
+        .filter_map(|s| {
+            KorQuery::new(&graph, s.source, s.target, s.keywords.clone(), delta).ok()
+        })
+        .collect();
+
+    // Reference: OSScaling with ε = 0.1 (the paper's accuracy baseline).
+    let reference: Vec<Option<f64>> = queries
+        .iter()
+        .map(|q| {
+            engine
+                .os_scaling(q, &OsScalingParams::with_epsilon(0.1))
+                .unwrap()
+                .route
+                .map(|r| r.objective)
+        })
+        .collect();
+
+    println!("ε sweep (OSScaling), {} queries, Δ = {delta}:", queries.len());
+    println!("{:>6} {:>12} {:>14}", "ε", "runtime", "relative ratio");
+    for eps in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let params = OsScalingParams::with_epsilon(eps);
+        let start = Instant::now();
+        let mut ratio_sum = 0.0;
+        let mut n = 0usize;
+        for (q, base) in queries.iter().zip(&reference) {
+            let got = engine.os_scaling(q, &params).unwrap().route;
+            if let (Some(base), Some(r)) = (base, got) {
+                ratio_sum += r.objective / base;
+                n += 1;
+            }
+        }
+        println!(
+            "{eps:>6} {:>10.1?} {:>14.4}",
+            start.elapsed(),
+            ratio_sum / n.max(1) as f64
+        );
+    }
+
+    println!("\nβ sweep (BucketBound, ε = 0.5):");
+    println!("{:>6} {:>12} {:>14}", "β", "runtime", "relative ratio");
+    for beta in [1.2, 1.4, 1.6, 1.8, 2.0] {
+        let params = BucketBoundParams::with(0.5, beta);
+        let start = Instant::now();
+        let mut ratio_sum = 0.0;
+        let mut n = 0usize;
+        for (q, base) in queries.iter().zip(&reference) {
+            let got = engine.bucket_bound(q, &params).unwrap().route;
+            if let (Some(base), Some(r)) = (base, got) {
+                ratio_sum += r.objective / base;
+                n += 1;
+            }
+        }
+        println!(
+            "{beta:>6} {:>10.1?} {:>14.4}",
+            start.elapsed(),
+            ratio_sum / n.max(1) as f64
+        );
+    }
+
+    // Greedy needs headroom on this small demo graph: its routes follow
+    // minimum-objective legs, which are long in kilometres.
+    let greedy_delta = 14.0;
+    let greedy_queries: Vec<KorQuery> = workload[0]
+        .queries
+        .iter()
+        .filter_map(|s| {
+            KorQuery::new(&graph, s.source, s.target, s.keywords.clone(), greedy_delta).ok()
+        })
+        .collect();
+    let greedy_reference: Vec<Option<f64>> = greedy_queries
+        .iter()
+        .map(|q| {
+            engine
+                .os_scaling(q, &OsScalingParams::with_epsilon(0.1))
+                .unwrap()
+                .route
+                .map(|r| r.objective)
+        })
+        .collect();
+    println!("\nα sweep (Greedy-1 and Greedy-2, Δ = {greedy_delta}):");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "α", "G1 ratio (fail%)", "G2 ratio (fail%)"
+    );
+    for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut cells = Vec::new();
+        for beam in [1usize, 2] {
+            let params = GreedyParams {
+                alpha,
+                beam_width: beam,
+                mode: GreedyMode::KeywordsFirst,
+            };
+            let mut ratio_sum = 0.0;
+            let mut ok = 0usize;
+            let mut failed = 0usize;
+            for (q, base) in greedy_queries.iter().zip(&greedy_reference) {
+                match (engine.greedy(q, &params).unwrap(), base) {
+                    (Some(r), Some(base)) if r.is_feasible() => {
+                        ratio_sum += r.objective / base;
+                        ok += 1;
+                    }
+                    _ => failed += 1,
+                }
+            }
+            cells.push(format!(
+                "{:.3} ({:.0}%)",
+                ratio_sum / ok.max(1) as f64,
+                100.0 * failed as f64 / greedy_queries.len() as f64
+            ));
+        }
+        println!("{alpha:>6} {:>16} {:>16}", cells[0], cells[1]);
+    }
+}

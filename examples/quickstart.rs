@@ -1,0 +1,68 @@
+//! Quickstart: the paper's running example (Figure 1 / Example 2),
+//! end to end.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use kor::graph::fixtures::{figure1, t, v};
+use kor::prelude::*;
+
+fn main() {
+    // The Figure-1 graph of the paper: 8 locations, keywords t1..t5, two
+    // weights per edge (objective, budget).
+    let graph = figure1();
+    println!("Graph:\n{}\n", graph.stats());
+
+    let engine = KorEngine::new(&graph);
+
+    // Example 2 of the paper: Q = ⟨v0, v7, {t1, t2}, Δ = 10⟩, ε = 0.5.
+    let query = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2)], 10.0)
+        .expect("valid query");
+
+    println!("Query: from {} to {} covering {{t1, t2}} within Δ = 10\n", v(0), v(7));
+
+    // OSScaling (Algorithm 1) — 1/(1−ε) approximation.
+    let os = engine
+        .os_scaling(&query, &OsScalingParams::default())
+        .expect("valid parameters");
+    report("OSScaling (ε = 0.5)", &os);
+
+    // BucketBound (Algorithm 2) — β/(1−ε) approximation, faster.
+    let bb = engine
+        .bucket_bound(&query, &BucketBoundParams::default())
+        .expect("valid parameters");
+    report("BucketBound (ε = 0.5, β = 1.2)", &bb);
+
+    // Greedy (Algorithm 3) — no guarantee, fastest.
+    match engine.greedy(&query, &GreedyParams::default()).unwrap() {
+        Some(r) => println!(
+            "Greedy-1 (α = 0.5): {} OS = {} BS = {} feasible = {}",
+            r.route, r.objective, r.budget, r.is_feasible()
+        ),
+        None => println!("Greedy-1: stuck (no route)"),
+    }
+
+    // Exact ground truth for this small instance.
+    let exact = engine.exact(&query).unwrap();
+    report("Exact", &exact);
+
+    // Top-3 routes (KkR, §3.5).
+    let topk = engine
+        .top_k_os_scaling(&query, &OsScalingParams::default(), 3)
+        .unwrap();
+    println!("\nTop-3 routes (KkR):");
+    for (i, r) in topk.routes.iter().enumerate() {
+        println!("  #{}: {} OS = {} BS = {}", i + 1, r.route, r.objective, r.budget);
+    }
+}
+
+fn report(name: &str, result: &SearchResult) {
+    match &result.route {
+        Some(r) => println!(
+            "{name}: {} OS = {} BS = {}  [{} labels]",
+            r.route, r.objective, r.budget, result.stats.labels_created
+        ),
+        None => println!("{name}: no feasible route"),
+    }
+}

@@ -1,0 +1,399 @@
+//! `kor` — command-line keyword-aware optimal route search.
+//!
+//! ```bash
+//! kor generate flickr --out city.korg --seed 7
+//! kor generate road --nodes 2000 --out road.korg
+//! kor stats city.korg
+//! kor index city.korg --out city.idx
+//! kor query city.korg --from 12 --to 99 --keywords jazz,imax --budget 9 \
+//!       --algo bucket-bound --k 3
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `generate flickr|road` — build a synthetic dataset and save it in
+//!   the text interchange format of `kor_data::io`;
+//! * `stats` — print graph statistics;
+//! * `index` — build the disk-resident B+-tree inverted file;
+//! * `query` — answer a KOR/KkR query with any of the paper's
+//!   algorithms.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use kor::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `kor help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("index") => index(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn usage() -> &'static str {
+    "kor — keyword-aware optimal route search (Cao et al., VLDB 2012)\n\
+     \n\
+     usage:\n\
+     \x20 kor generate flickr [--out FILE] [--seed N] [--small]\n\
+     \x20 kor generate road [--nodes N] [--out FILE] [--seed N]\n\
+     \x20 kor stats FILE\n\
+     \x20 kor index FILE [--out FILE.idx]\n\
+     \x20 kor query FILE --from ID --to ID --keywords a,b,c --budget X\n\
+     \x20           [--algo os-scaling|bucket-bound|greedy|exact] [--k N]\n\
+     \x20           [--epsilon E] [--beta B] [--alpha A] [--beam N]\n"
+}
+
+/// Parsed command line: positional arguments plus `--name value` flags.
+type ParsedArgs = (Vec<String>, Vec<(String, String)>);
+
+/// Minimal `--flag value` parser: returns (positional args, flag map).
+fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "small" {
+                // boolean flag
+                flags.push((name.to_string(), "true".to_string()));
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_num<T: std::str::FromStr>(flags: &[(String, String)], name: &str, default: T) -> Result<T, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let kind = positional
+        .first()
+        .ok_or("generate needs a dataset kind: flickr or road")?;
+    let seed: u64 = parse_num(&flags, "seed", 2012)?;
+    let out = PathBuf::from(flag(&flags, "out").unwrap_or("graph.korg"));
+    let graph = match kind.as_str() {
+        "flickr" => {
+            let mut cfg = if flag(&flags, "small").is_some() {
+                FlickrConfig::small()
+            } else {
+                FlickrConfig::paper_scale()
+            };
+            cfg.seed = seed;
+            let (graph, stats) = generate_flickr(&cfg);
+            println!(
+                "generated flickr-like graph: {} locations, {} edges ({} photos, {} trips)",
+                stats.locations, stats.edges, stats.photos, stats.total_trips
+            );
+            graph
+        }
+        "road" => {
+            let nodes: usize = parse_num(&flags, "nodes", 5000)?;
+            let mut cfg = RoadNetConfig::with_nodes(nodes);
+            cfg.seed = seed;
+            let graph = generate_roadnet(&cfg);
+            println!(
+                "generated road network: {} nodes, {} edges",
+                graph.node_count(),
+                graph.edge_count()
+            );
+            graph
+        }
+        other => return Err(format!("unknown dataset kind {other:?}")),
+    };
+    kor::data::save_graph(&out, &graph).map_err(|e| e.to_string())?;
+    println!("saved to {}", out.display());
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    kor::data::load_graph(Path::new(path)).map_err(|e| e.to_string())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let (positional, _) = parse_flags(args)?;
+    let path = positional.first().ok_or("stats needs a graph file")?;
+    let graph = load(path)?;
+    println!("{}", graph.stats());
+    Ok(())
+}
+
+fn index(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional.first().ok_or("index needs a graph file")?;
+    let graph = load(path)?;
+    let out = PathBuf::from(
+        flag(&flags, "out")
+            .map(String::from)
+            .unwrap_or_else(|| format!("{path}.idx")),
+    );
+    let disk = DiskInvertedIndex::build(&graph, &out).map_err(|e| e.to_string())?;
+    println!(
+        "built B+-tree inverted file: {} terms, height {}, at {}",
+        disk.term_count(),
+        disk.height(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional.first().ok_or("query needs a graph file")?;
+    let graph = load(path)?;
+    let from: u32 = parse_num(&flags, "from", u32::MAX)?;
+    let to: u32 = parse_num(&flags, "to", u32::MAX)?;
+    if from == u32::MAX || to == u32::MAX {
+        return Err("--from and --to node ids are required".into());
+    }
+    let budget: f64 = match flag(&flags, "budget") {
+        Some(v) => v.parse().map_err(|_| "--budget: not a number")?,
+        None => return Err("--budget is required".into()),
+    };
+    let keywords: Vec<&str> = flag(&flags, "keywords")
+        .map(|s| s.split(',').filter(|t| !t.is_empty()).collect())
+        .unwrap_or_default();
+    let query = KorQuery::from_terms(&graph, NodeId(from), NodeId(to), keywords, budget)
+        .map_err(|e| e.to_string())?;
+
+    let engine = KorEngine::new(&graph);
+    let algo = flag(&flags, "algo").unwrap_or("os-scaling");
+    let k: usize = parse_num(&flags, "k", 1)?;
+    let epsilon: f64 = parse_num(&flags, "epsilon", 0.5)?;
+    let beta: f64 = parse_num(&flags, "beta", 1.2)?;
+    let alpha: f64 = parse_num(&flags, "alpha", 0.5)?;
+    let beam: usize = parse_num(&flags, "beam", 1)?;
+
+    let routes: Vec<RouteResult> = match algo {
+        "os-scaling" if k <= 1 => engine
+            .os_scaling(&query, &OsScalingParams::with_epsilon(epsilon))
+            .map_err(|e| e.to_string())?
+            .route
+            .into_iter()
+            .collect(),
+        "os-scaling" => {
+            engine
+                .top_k_os_scaling(&query, &OsScalingParams::with_epsilon(epsilon), k)
+                .map_err(|e| e.to_string())?
+                .routes
+        }
+        "bucket-bound" if k <= 1 => engine
+            .bucket_bound(&query, &BucketBoundParams::with(epsilon, beta))
+            .map_err(|e| e.to_string())?
+            .route
+            .into_iter()
+            .collect(),
+        "bucket-bound" => {
+            engine
+                .top_k_bucket_bound(&query, &BucketBoundParams::with(epsilon, beta), k)
+                .map_err(|e| e.to_string())?
+                .routes
+        }
+        "exact" => engine
+            .exact(&query)
+            .map_err(|e| e.to_string())?
+            .route
+            .into_iter()
+            .collect(),
+        "greedy" => {
+            let params = GreedyParams {
+                alpha,
+                beam_width: beam.max(1),
+                mode: GreedyMode::KeywordsFirst,
+            };
+            match engine.greedy(&query, &params).map_err(|e| e.to_string())? {
+                Some(g) => {
+                    if !g.is_feasible() {
+                        println!(
+                            "note: greedy route violates a constraint (covers keywords: {}, within budget: {})",
+                            g.covers_keywords, g.within_budget
+                        );
+                    }
+                    vec![RouteResult {
+                        objective: g.objective,
+                        budget: g.budget,
+                        route: g.route,
+                    }]
+                }
+                None => Vec::new(),
+            }
+        }
+        other => return Err(format!("unknown --algo {other:?}")),
+    };
+
+    if routes.is_empty() {
+        println!("no feasible route");
+        return Ok(());
+    }
+    for (i, r) in routes.iter().enumerate() {
+        println!(
+            "#{} OS {:.4} BS {:.4} ({} stops)",
+            i + 1,
+            r.objective,
+            r.budget,
+            r.route.len()
+        );
+        let described: Vec<String> = r
+            .route
+            .nodes()
+            .iter()
+            .map(|&n| {
+                let tags: Vec<&str> = graph
+                    .keywords(n)
+                    .iter()
+                    .take(3)
+                    .map(|kw| graph.vocab().resolve(kw).unwrap_or("?"))
+                    .collect();
+                if tags.is_empty() {
+                    format!("{n}")
+                } else {
+                    format!("{n}[{}]", tags.join(","))
+                }
+            })
+            .collect();
+        println!("   {}", described.join(" -> "));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_splits_positional_and_flags() {
+        let (pos, flags) = parse_flags(&s(&["file.korg", "--from", "3", "--to", "7"])).unwrap();
+        assert_eq!(pos, vec!["file.korg"]);
+        assert_eq!(flag(&flags, "from"), Some("3"));
+        assert_eq!(flag(&flags, "to"), Some("7"));
+        assert_eq!(flag(&flags, "missing"), None);
+    }
+
+    #[test]
+    fn parse_flags_rejects_dangling_flag() {
+        assert!(parse_flags(&s(&["--from"])).is_err());
+    }
+
+    #[test]
+    fn boolean_small_flag() {
+        let (_, flags) = parse_flags(&s(&["flickr", "--small", "--seed", "3"])).unwrap();
+        assert_eq!(flag(&flags, "small"), Some("true"));
+        assert_eq!(flag(&flags, "seed"), Some("3"));
+    }
+
+    #[test]
+    fn parse_num_defaults_and_errors() {
+        let (_, flags) = parse_flags(&s(&["--k", "4", "--epsilon", "zzz"])).unwrap();
+        assert_eq!(parse_num::<usize>(&flags, "k", 1).unwrap(), 4);
+        assert_eq!(parse_num::<usize>(&flags, "absent", 9).unwrap(), 9);
+        assert!(parse_num::<f64>(&flags, "epsilon", 0.5).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_error() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_prints() {
+        assert!(run(&s(&["help"])).is_ok());
+        assert!(usage().contains("kor query"));
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_index_query() {
+        let dir = std::env::temp_dir().join("kor-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("cli.korg");
+        let graph_str = graph_path.to_str().unwrap().to_string();
+        run(&s(&[
+            "generate", "road", "--nodes", "200", "--out", &graph_str, "--seed", "5",
+        ]))
+        .unwrap();
+        run(&s(&["stats", &graph_str])).unwrap();
+        let idx_str = dir.join("cli.idx").to_str().unwrap().to_string();
+        run(&s(&["index", &graph_str, "--out", &idx_str])).unwrap();
+
+        // Query with a keyword that certainly exists: read it back from
+        // the saved graph.
+        let graph = load(&graph_str).unwrap();
+        let kw = graph
+            .vocab()
+            .iter()
+            .find(|(id, _)| {
+                graph
+                    .nodes()
+                    .any(|n| graph.node_has_keyword(n, *id))
+            })
+            .map(|(_, t)| t.to_string())
+            .unwrap();
+        run(&s(&[
+            "query", &graph_str, "--from", "0", "--to", "100", "--keywords", &kw, "--budget",
+            "1000", "--algo", "bucket-bound", "--k", "2",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "query", &graph_str, "--from", "0", "--to", "100", "--keywords", &kw, "--budget",
+            "1000", "--algo", "greedy", "--beam", "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn query_requires_endpoints_and_budget() {
+        let dir = std::env::temp_dir().join("kor-cli-tests2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("need.korg");
+        let graph_str = graph_path.to_str().unwrap().to_string();
+        run(&s(&[
+            "generate", "road", "--nodes", "50", "--out", &graph_str,
+        ]))
+        .unwrap();
+        assert!(run(&s(&["query", &graph_str, "--budget", "5"])).is_err());
+        assert!(run(&s(&["query", &graph_str, "--from", "0", "--to", "3"])).is_err());
+    }
+}

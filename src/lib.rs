@@ -1,0 +1,76 @@
+//! # kor — Keyword-aware Optimal Route Search
+//!
+//! A production-quality Rust reproduction of **"Keyword-aware Optimal
+//! Route Search"** (Xin Cao, Lisi Chen, Gao Cong, Xiaokui Xiao —
+//! PVLDB 5(11), VLDB 2012).
+//!
+//! Given a directed graph whose nodes carry keywords (points of interest
+//! with tags) and whose edges carry an *objective* value (e.g.
+//! unpopularity) and a *budget* value (e.g. travel distance), the **KOR
+//! query** `⟨v_s, v_t, ψ, Δ⟩` finds the route from `v_s` to `v_t` that
+//! minimizes the total objective score while covering every keyword in
+//! `ψ` and keeping the total budget within `Δ`. The problem is NP-hard.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`graph`] — the two-weight keyword graph substrate;
+//! * [`index`] — inverted file (in-memory and disk B+-tree);
+//! * [`apsp`] — pre-processing: `τ`/`σ` shortest-path structures;
+//! * [`core`] — the algorithms: `OSScaling`, `BucketBound`, `Greedy`,
+//!   exact/brute-force baselines, and KkR top-k;
+//! * [`data`] — synthetic Flickr-like / road-network dataset generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kor::prelude::*;
+//!
+//! // Build a tiny city graph: nodes carry tags, edges carry
+//! // (objective = unpopularity, budget = kilometres).
+//! let mut b = GraphBuilder::new();
+//! let hotel = b.add_node(["hotel"]);
+//! let cafe = b.add_node(["cafe"]);
+//! let mall = b.add_node(["shopping mall"]);
+//! let station = b.add_node(["station"]);
+//! b.add_edge(hotel, cafe, 1.0, 0.5).unwrap();
+//! b.add_edge(cafe, mall, 2.0, 1.0).unwrap();
+//! b.add_edge(hotel, mall, 1.0, 2.5).unwrap();
+//! b.add_edge(mall, station, 1.0, 1.0).unwrap();
+//! let graph = b.build().unwrap();
+//!
+//! // "From the hotel to the station, passing a cafe and a shopping
+//! // mall, within 3 km, on the most popular streets."
+//! let engine = KorEngine::new(&graph);
+//! let query = KorQuery::from_terms(&graph, hotel, station, ["cafe", "shopping mall"], 3.0)
+//!     .unwrap();
+//! let result = engine.os_scaling(&query, &OsScalingParams::default()).unwrap();
+//! let route = result.route.expect("feasible");
+//! assert_eq!(route.route.nodes(), &[hotel, cafe, mall, station]);
+//! ```
+
+pub use kor_apsp as apsp;
+pub use kor_core as core;
+pub use kor_data as data;
+pub use kor_graph as graph;
+pub use kor_index as index;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use kor_apsp::{
+        CachedPairCosts, DenseApsp, PairCosts, PartitionConfig, PartitionedApsp, QueryContext,
+    };
+    pub use kor_core::{
+        brute_force, bucket_bound, exact_labeling, greedy, os_scaling, top_k_bucket_bound,
+        top_k_os_scaling, BruteForceParams, BucketBoundParams, GreedyMode, GreedyParams,
+        GreedyRoute, KorEngine, KorError, KorQuery, OsScalingParams, RouteResult, SearchResult,
+        TopKResult,
+    };
+    pub use kor_data::{
+        generate_flickr, generate_roadnet, generate_workload, FlickrConfig, RoadNetConfig,
+        TagModel, WorkloadConfig,
+    };
+    pub use kor_graph::{
+        Graph, GraphBuilder, GraphError, KeywordId, NodeId, QueryKeywords, Route, Vocab,
+    };
+    pub use kor_index::{DiskInvertedIndex, InvertedIndex};
+}

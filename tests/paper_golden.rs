@@ -1,0 +1,139 @@
+//! Golden tests pinning the implementation to the paper's worked
+//! examples, end to end through the facade crate.
+
+use kor::graph::fixtures::{figure1, t, v};
+use kor::prelude::*;
+
+#[test]
+fn preprocessing_section_3_1() {
+    // "for the pair (v0, v7): τ0,7 = ⟨v0,v3,v4,v7⟩ with OS 4 and BS 7,
+    //  σ0,7 = ⟨v0,v3,v5,v7⟩ with OS 9 and BS 5."
+    let graph = figure1();
+    let apsp = DenseApsp::floyd_warshall(&graph);
+    let tau = apsp.tau(v(0), v(7)).unwrap();
+    assert_eq!((tau.objective, tau.budget), (4.0, 7.0));
+    assert_eq!(
+        apsp.tau_path(v(0), v(7)).unwrap(),
+        vec![v(0), v(3), v(4), v(7)]
+    );
+    let sigma = apsp.sigma(v(0), v(7)).unwrap();
+    assert_eq!((sigma.objective, sigma.budget), (9.0, 5.0));
+    assert_eq!(
+        apsp.sigma_path(v(0), v(7)).unwrap(),
+        vec![v(0), v(3), v(5), v(7)]
+    );
+}
+
+#[test]
+fn example2_full_trace() {
+    // Q = ⟨v0, v7, {t1, t2}, 10⟩ with ε = 0.5 returns R1 = ⟨v0,v2,v3,v4,v7⟩
+    // (OS 6, BS 10); the worse R2 = ⟨v0,v3,v5,v4,v7⟩ (OS 8, BS 8) loses.
+    let graph = figure1();
+    let engine = KorEngine::new(&graph);
+    let query = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+    let result = engine
+        .os_scaling(&query, &OsScalingParams::default())
+        .unwrap();
+    let route = result.route.expect("feasible");
+    assert_eq!(route.route.nodes(), &[v(0), v(2), v(3), v(4), v(7)]);
+    assert_eq!(route.objective, 6.0);
+    assert_eq!(route.budget, 10.0);
+
+    // R2 is feasible but strictly worse.
+    let r2 = Route::new(vec![v(0), v(3), v(5), v(4), v(7)]);
+    assert_eq!(r2.scores(&graph).unwrap(), (8.0, 8.0));
+    assert!(r2.covers(&graph, &[t(1), t(2)]));
+}
+
+#[test]
+fn example2_delta7_takes_direct_exit() {
+    // The parenthetical in Example 2: with Δ = 7, R2 through v4 (BS 8)
+    // stops being feasible; the algorithm extends via the edge (v5, v7)
+    // instead, giving ⟨v0,v3,v5,v7⟩.
+    let graph = figure1();
+    let engine = KorEngine::new(&graph);
+    let query = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2)], 7.0).unwrap();
+    let result = engine.exact(&query).unwrap();
+    let route = result.route.expect("feasible");
+    assert_eq!(route.route.nodes(), &[v(0), v(3), v(5), v(7)]);
+    assert_eq!(route.objective, 9.0);
+    assert_eq!(route.budget, 5.0);
+}
+
+#[test]
+fn definition4_delta6() {
+    // Q = ⟨v0, v7, {t1, t2, t3}, 6⟩ ⇒ ⟨v0,v3,v5,v7⟩ with OS 9, BS 5.
+    let graph = figure1();
+    let engine = KorEngine::new(&graph);
+    let query = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2), t(3)], 6.0).unwrap();
+    for result in [
+        engine.exact(&query).unwrap(),
+        engine.os_scaling(&query, &OsScalingParams::default()).unwrap(),
+        engine
+            .brute_force(&query, &BruteForceParams::default())
+            .unwrap(),
+    ] {
+        let route = result.route.expect("feasible");
+        assert_eq!(route.route.nodes(), &[v(0), v(3), v(5), v(7)]);
+        assert_eq!((route.objective, route.budget), (9.0, 5.0));
+    }
+}
+
+#[test]
+fn example1_label_scores() {
+    // Example 1: Δ = 10, ε = 0.5 ⇒ θ = 1/20. R1 = ⟨v0,v2,v3,v4⟩ has label
+    // (…, 100, 5, 7); R2 = ⟨v0,v2,v6,v5,v4⟩ has (…, 120, 6, 11).
+    let graph = figure1();
+    let scaler = kor::core::Scaler::new(&graph, 0.5, 10.0);
+    assert!((scaler.theta() - 0.05).abs() < 1e-15);
+    let r1 = Route::new(vec![v(0), v(2), v(3), v(4)]);
+    let (os1, bs1) = r1.scores(&graph).unwrap();
+    assert_eq!((scaler.scale(os1), os1, bs1), (100, 5.0, 7.0));
+    let r2 = Route::new(vec![v(0), v(2), v(6), v(5), v(4)]);
+    let (os2, bs2) = r2.scores(&graph).unwrap();
+    assert_eq!((scaler.scale(os2), os2, bs2), (120, 6.0, 11.0));
+    // And the coverage claimed in Example 1: {t1, t2, t4}.
+    for r in [&r1, &r2] {
+        assert!(r.covers(&graph, &[t(1), t(2), t(4)]));
+        assert!(!r.covers(&graph, &[t(5)]));
+    }
+}
+
+#[test]
+fn theorem2_bound_on_every_fixture_query() {
+    // OS(R_OS) ≤ OS(R_opt)/(1−ε) for all ε, over a grid of queries.
+    let graph = figure1();
+    let engine = KorEngine::new(&graph);
+    for m in [vec![t(1)], vec![t(2)], vec![t(1), t(2)], vec![t(1), t(2), t(4)]] {
+        for delta in [5.0, 7.0, 9.0, 11.0, 15.0] {
+            let query = KorQuery::new(&graph, v(0), v(7), m.clone(), delta).unwrap();
+            let exact = engine.exact(&query).unwrap();
+            for eps in [0.2, 0.5, 0.8] {
+                let approx = engine
+                    .os_scaling(&query, &OsScalingParams::with_epsilon(eps))
+                    .unwrap();
+                match (&exact.route, &approx.route) {
+                    (None, None) => {}
+                    (Some(opt), Some(found)) => {
+                        assert!(found.objective <= opt.objective / (1.0 - eps) + 1e-9);
+                    }
+                    (a, b) => panic!("feasibility disagreement: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn np_hard_special_cases() {
+    let graph = figure1();
+    let engine = KorEngine::new(&graph);
+    // Without keywords: the weight-constrained shortest path problem.
+    let wcspp = KorQuery::new(&graph, v(0), v(7), vec![], 6.0).unwrap();
+    let r = engine.exact(&wcspp).unwrap().route.unwrap();
+    assert_eq!(r.route.nodes(), &[v(0), v(3), v(5), v(7)]);
+    // With unlimited budget: generalized TSP flavour — pure objective.
+    let gtsp = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2)], f64::MAX).unwrap();
+    let r = engine.exact(&gtsp).unwrap().route.unwrap();
+    assert_eq!(r.objective, 6.0);
+}

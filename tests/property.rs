@@ -1,0 +1,226 @@
+//! Property-based tests over random small graphs: algorithm invariants
+//! that must hold on *every* input, not just the curated fixtures.
+
+use proptest::prelude::*;
+
+use kor::prelude::*;
+
+/// A random small directed graph with up to `max_nodes` nodes, a few
+/// keywords per node from a tiny vocabulary, and random positive weights.
+fn arb_graph(max_nodes: usize) -> impl Strategy<Value = Graph> {
+    let node_range = 2..=max_nodes;
+    node_range
+        .prop_flat_map(|n| {
+            let keywords = proptest::collection::vec(
+                proptest::collection::vec(0u32..6, 0..3),
+                n,
+            );
+            let edges = proptest::collection::vec(
+                (0..n as u32, 0..n as u32, 1u32..50, 1u32..50),
+                1..(n * 3).max(2),
+            );
+            (Just(n), keywords, edges)
+        })
+        .prop_map(|(n, keywords, edges)| {
+            let mut b = GraphBuilder::new();
+            for t in 0..6u32 {
+                b.vocab_mut().intern(&format!("kw{t}"));
+            }
+            for kws in keywords.iter().take(n) {
+                b.add_node_ids(kws.iter().map(|&k| KeywordId(k)).collect());
+            }
+            for &(from, to, o, bu) in &edges {
+                if from != to {
+                    // Duplicate edges are rejected; ignore those.
+                    let _ = b.add_edge(
+                        NodeId(from),
+                        NodeId(to),
+                        o as f64 / 10.0,
+                        bu as f64 / 10.0,
+                    );
+                }
+            }
+            b.build().expect("valid random graph")
+        })
+}
+
+fn arb_query_parts() -> impl Strategy<Value = (u32, u32, Vec<u32>, f64)> {
+    (
+        0u32..12,
+        0u32..12,
+        proptest::collection::vec(0u32..6, 0..3),
+        1u32..120,
+    )
+        .prop_map(|(s, t, kws, d)| (s, t, kws, d as f64 / 10.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_agrees_with_brute_force(
+        graph in arb_graph(8),
+        (s, t, kws, delta) in arb_query_parts(),
+    ) {
+        let s = NodeId(s % graph.node_count() as u32);
+        let t = NodeId(t % graph.node_count() as u32);
+        let kws: Vec<KeywordId> = kws.into_iter().map(KeywordId).collect();
+        let query = KorQuery::new(&graph, s, t, kws, delta).unwrap();
+        let engine = KorEngine::new(&graph);
+        let brute = engine.brute_force(&query, &BruteForceParams {
+            max_expansions: 2_000_000,
+            target_pruning: true,
+        });
+        let Ok(brute) = brute else { return Ok(()); }; // search space cap
+        let exact = engine.exact(&query).unwrap();
+        match (&brute.route, &exact.route) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert!((a.objective - b.objective).abs() < 1e-9,
+                    "brute {} vs exact {}", a.objective, b.objective);
+            }
+            (a, b) => prop_assert!(false, "feasibility disagreement {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn os_scaling_bound_and_feasibility(
+        graph in arb_graph(10),
+        (s, t, kws, delta) in arb_query_parts(),
+        eps_pct in 5u32..95,
+    ) {
+        let s = NodeId(s % graph.node_count() as u32);
+        let t = NodeId(t % graph.node_count() as u32);
+        let kws: Vec<KeywordId> = kws.into_iter().map(KeywordId).collect();
+        let eps = eps_pct as f64 / 100.0;
+        let query = KorQuery::new(&graph, s, t, kws, delta).unwrap();
+        let engine = KorEngine::new(&graph);
+        let exact = engine.exact(&query).unwrap();
+        let approx = engine.os_scaling(&query, &OsScalingParams::with_epsilon(eps)).unwrap();
+        match (&exact.route, &approx.route) {
+            (None, None) => {}
+            (Some(opt), Some(found)) => {
+                prop_assert!(found.objective <= opt.objective / (1.0 - eps) + 1e-9,
+                    "Theorem 2 violated at eps={eps}: {} > {}",
+                    found.objective, opt.objective / (1.0 - eps));
+                let (os, bs) = found.route.scores(&graph).unwrap();
+                prop_assert!((os - found.objective).abs() < 1e-9);
+                prop_assert!((bs - found.budget).abs() < 1e-9);
+                prop_assert!(found.budget <= delta + 1e-9);
+                prop_assert!(found.route.covers(&graph, query.keywords.ids()));
+            }
+            (a, b) => prop_assert!(false, "feasibility disagreement {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn bucket_bound_theorem3(
+        graph in arb_graph(10),
+        (s, t, kws, delta) in arb_query_parts(),
+        beta_pct in 105u32..250,
+    ) {
+        let s = NodeId(s % graph.node_count() as u32);
+        let t = NodeId(t % graph.node_count() as u32);
+        let kws: Vec<KeywordId> = kws.into_iter().map(KeywordId).collect();
+        let beta = beta_pct as f64 / 100.0;
+        let eps = 0.5;
+        let query = KorQuery::new(&graph, s, t, kws, delta).unwrap();
+        let engine = KorEngine::new(&graph);
+        let exact = engine.exact(&query).unwrap();
+        let bb = engine.bucket_bound(&query, &BucketBoundParams::with(eps, beta)).unwrap();
+        match (&exact.route, &bb.route) {
+            (None, None) => {}
+            (Some(opt), Some(found)) => {
+                prop_assert!(found.objective <= opt.objective * beta / (1.0 - eps) + 1e-9,
+                    "Theorem 3 violated at beta={beta}: {} > {}",
+                    found.objective, opt.objective * beta / (1.0 - eps));
+                prop_assert!(found.budget <= delta + 1e-9);
+                prop_assert!(found.route.covers(&graph, query.keywords.ids()));
+            }
+            (a, b) => prop_assert!(false, "feasibility disagreement {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_distinct_feasible(
+        graph in arb_graph(8),
+        (s, t, kws, delta) in arb_query_parts(),
+        k in 1usize..5,
+    ) {
+        let s = NodeId(s % graph.node_count() as u32);
+        let t = NodeId(t % graph.node_count() as u32);
+        let kws: Vec<KeywordId> = kws.into_iter().map(KeywordId).collect();
+        let query = KorQuery::new(&graph, s, t, kws, delta).unwrap();
+        let engine = KorEngine::new(&graph);
+        let topk = engine.top_k_os_scaling(&query, &OsScalingParams::with_epsilon(0.3), k).unwrap();
+        prop_assert!(topk.routes.len() <= k);
+        for w in topk.routes.windows(2) {
+            prop_assert!(w[0].objective <= w[1].objective + 1e-12);
+            prop_assert!(w[0].route.nodes() != w[1].route.nodes(), "duplicate route");
+        }
+        for r in &topk.routes {
+            prop_assert!(r.budget <= delta + 1e-9);
+            prop_assert!(r.route.covers(&graph, query.keywords.ids()));
+            let (os, bs) = r.route.scores(&graph).unwrap();
+            prop_assert!((os - r.objective).abs() < 1e-9);
+            prop_assert!((bs - r.budget).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_output_is_always_a_valid_route(
+        graph in arb_graph(10),
+        (s, t, kws, delta) in arb_query_parts(),
+        beam in 1usize..3,
+        alpha_pct in 0u32..=100,
+    ) {
+        let s = NodeId(s % graph.node_count() as u32);
+        let t = NodeId(t % graph.node_count() as u32);
+        let kws: Vec<KeywordId> = kws.into_iter().map(KeywordId).collect();
+        let query = KorQuery::new(&graph, s, t, kws, delta).unwrap();
+        let engine = KorEngine::new(&graph);
+        let params = GreedyParams {
+            alpha: alpha_pct as f64 / 100.0,
+            beam_width: beam,
+            mode: GreedyMode::KeywordsFirst,
+        };
+        if let Some(r) = engine.greedy(&query, &params).unwrap() {
+            prop_assert_eq!(r.route.source(), Some(s));
+            prop_assert_eq!(r.route.target(), Some(t));
+            let (os, bs) = r.route.scores(&graph).unwrap();
+            prop_assert!((os - r.objective).abs() < 1e-9);
+            prop_assert!((bs - r.budget).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverted_indexes_agree(graph in arb_graph(12)) {
+        let mem = InvertedIndex::build(&graph);
+        let dir = std::env::temp_dir().join("kor-proptest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("idx-{}.bin", std::process::id()));
+        let disk = DiskInvertedIndex::build(&graph, &path).unwrap();
+        for (kw, postings) in mem.iter() {
+            let term = graph.vocab().resolve(kw).unwrap();
+            prop_assert_eq!(disk.postings(term).unwrap().unwrap(), postings.to_vec());
+        }
+        prop_assert_eq!(disk.term_count() as usize, mem.term_count());
+    }
+
+    #[test]
+    fn graph_io_round_trips(graph in arb_graph(12)) {
+        let text = kor::data::graph_to_string(&graph);
+        let back = kor::data::graph_from_str(&text).unwrap();
+        prop_assert_eq!(back.node_count(), graph.node_count());
+        prop_assert_eq!(back.edge_count(), graph.edge_count());
+        for v in graph.nodes() {
+            let a: Vec<(u32, u64, u64)> = graph.out_edges(v)
+                .map(|e| (e.node.0, e.objective.to_bits(), e.budget.to_bits()))
+                .collect();
+            let b: Vec<(u32, u64, u64)> = back.out_edges(v)
+                .map(|e| (e.node.0, e.objective.to_bits(), e.budget.to_bits()))
+                .collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}
