@@ -31,8 +31,7 @@ impl KeywordReach {
         let trees = postings
             .iter()
             .map(|nodes| {
-                let seeds: Vec<(NodeId, f64, f64)> =
-                    nodes.iter().map(|&n| (n, 0.0, 0.0)).collect();
+                let seeds: Vec<(NodeId, f64, f64)> = nodes.iter().map(|&n| (n, 0.0, 0.0)).collect();
                 backward_tree(graph, Metric::Budget, &seeds)
             })
             .collect();
@@ -85,7 +84,10 @@ mod tests {
         // t1 lives at v3 and v6. From v2: v6 via budget 1 beats v3 via 2.
         let bit_t1 = q.bit(t(1)).unwrap();
         assert_eq!(reach.nearest(bit_t1, v(2)), Some((1.0, v(6))));
-        assert_eq!(reach.path_to_nearest(bit_t1, v(2)).unwrap(), vec![v(2), v(6)]);
+        assert_eq!(
+            reach.path_to_nearest(bit_t1, v(2)).unwrap(),
+            vec![v(2), v(6)]
+        );
         // From v0: v3 via budget 2.
         assert_eq!(reach.nearest(bit_t1, v(0)), Some((2.0, v(3))));
         // A node holding the keyword is its own nearest at distance 0.

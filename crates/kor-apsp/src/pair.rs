@@ -1,9 +1,7 @@
 //! Pairwise `τ`/`σ` cost lookups.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use kor_graph::{Graph, NodeId};
 
@@ -55,12 +53,12 @@ impl<'g> CachedPairCosts<'g> {
 
     /// Number of trees computed so far (for instrumentation).
     pub fn cached_tree_count(&self) -> usize {
-        self.trees.lock().len()
+        self.trees.lock().unwrap().len()
     }
 
     fn tree(&self, source: NodeId, metric: Metric) -> Arc<Tree> {
         let key = (source, metric as u8);
-        let mut guard = self.trees.lock();
+        let mut guard = self.trees.lock().unwrap();
         guard
             .entry(key)
             .or_insert_with(|| Arc::new(forward_tree(self.graph, metric, source)))
@@ -119,7 +117,10 @@ mod tests {
         let cached = CachedPairCosts::new(&g);
         let p = cached.tau_path(v(0), v(7)).unwrap();
         assert_eq!(p, vec![v(0), v(3), v(4), v(7)]);
-        assert_eq!(cached.sigma_path(v(0), v(7)).unwrap(), vec![v(0), v(3), v(5), v(7)]);
+        assert_eq!(
+            cached.sigma_path(v(0), v(7)).unwrap(),
+            vec![v(0), v(3), v(5), v(7)]
+        );
         assert!(cached.tau_path(v(1), v(7)).is_none());
     }
 

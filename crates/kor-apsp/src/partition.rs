@@ -105,7 +105,11 @@ impl PartitionedApsp {
     /// Builds the tables.
     pub fn build(graph: &Graph, config: &PartitionConfig) -> Self {
         let cluster_of = partition(graph, config.clusters.max(1));
-        let n_clusters = cluster_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let n_clusters = cluster_of
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
         let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); n_clusters];
         let mut local_of = vec![0u32; graph.node_count()];
         for v in graph.nodes() {
@@ -388,7 +392,8 @@ fn build_metric(
         let size = cluster_members.len();
         let mut table = vec![Cost::INF; size * size];
         for (li, &node) in cluster_members.iter().enumerate() {
-            let row = restricted_dijkstra(graph, metric, cluster_of, local_of, cluster_members, node);
+            let row =
+                restricted_dijkstra(graph, metric, cluster_of, local_of, cluster_members, node);
             table[li * size..(li + 1) * size].copy_from_slice(&row);
         }
         intra.push(table);
@@ -404,8 +409,8 @@ fn build_metric(
             if cluster_of[other.index()] as usize != c || other == b {
                 continue;
             }
-            let cost = intra[c]
-                [local_of[b.index()] as usize * size + local_of[other.index()] as usize];
+            let cost =
+                intra[c][local_of[b.index()] as usize * size + local_of[other.index()] as usize];
             if cost.primary.is_finite() {
                 adj[bi].push((border_index[&other], cost));
             }
@@ -491,8 +496,7 @@ mod tests {
             }
             let o = rng.gen_range(0.1..5.0);
             let bu = rng.gen_range(0.1..5.0);
-            if b
-                .add_edge(kor_graph::NodeId(u), kor_graph::NodeId(v), o, bu)
+            if b.add_edge(kor_graph::NodeId(u), kor_graph::NodeId(v), o, bu)
                 .is_ok()
             {
                 added += 1;
@@ -616,7 +620,9 @@ mod tests {
         let part = PartitionedApsp::build(&g, &PartitionConfig { clusters: 1 });
         assert_eq!(part.cluster_count(), 1);
         assert_eq!(part.border_count(), 0);
-        let c = part.tau_cost(kor_graph::NodeId(0), kor_graph::NodeId(7)).unwrap();
+        let c = part
+            .tau_cost(kor_graph::NodeId(0), kor_graph::NodeId(7))
+            .unwrap();
         assert_eq!((c.objective, c.budget), (4.0, 7.0));
     }
 

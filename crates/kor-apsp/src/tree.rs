@@ -263,7 +263,10 @@ mod tests {
         assert_eq!(tau.budget(v(3)), 5.0);
         assert_eq!(tau.objective(v(5)), 3.0);
         assert_eq!(tau.budget(v(5)), 4.0);
-        assert_eq!(tau.walk_to_seed(v(0)).unwrap(), vec![v(0), v(3), v(4), v(7)]);
+        assert_eq!(
+            tau.walk_to_seed(v(0)).unwrap(),
+            vec![v(0), v(3), v(4), v(7)]
+        );
     }
 
     #[test]
@@ -306,11 +309,7 @@ mod tests {
         let g = figure1();
         // Seeds at the two t1 nodes, v3 and v6, minimizing budget: from v2
         // the nearest t1 node by budget is v6 (edge budget 1) not v3 (2).
-        let t1_tree = backward_tree(
-            &g,
-            Metric::Budget,
-            &[(v(3), 0.0, 0.0), (v(6), 0.0, 0.0)],
-        );
+        let t1_tree = backward_tree(&g, Metric::Budget, &[(v(3), 0.0, 0.0), (v(6), 0.0, 0.0)]);
         assert_eq!(t1_tree.budget(v(2)), 1.0);
         assert_eq!(t1_tree.terminal(v(2)), Some(v(6)));
         assert_eq!(t1_tree.budget(v(0)), 2.0);
@@ -322,11 +321,7 @@ mod tests {
         let g = figure1();
         // Same seeds, but v6 starts with a potential of 5 budget: now v3
         // wins from v2 (2 < 1+5).
-        let tree = backward_tree(
-            &g,
-            Metric::Budget,
-            &[(v(3), 0.0, 0.0), (v(6), 0.0, 5.0)],
-        );
+        let tree = backward_tree(&g, Metric::Budget, &[(v(3), 0.0, 0.0), (v(6), 0.0, 5.0)]);
         assert_eq!(tree.budget(v(2)), 2.0);
         assert_eq!(tree.terminal(v(2)), Some(v(3)));
     }

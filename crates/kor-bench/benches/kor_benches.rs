@@ -1,27 +1,71 @@
-//! Criterion micro-benchmarks, one group per paper figure family.
+//! Micro-benchmarks, one group per paper figure family.
 //!
 //! These complement the `experiments` binary (which reproduces the
-//! figures' data series): Criterion provides statistically robust
-//! per-operation timings on fixed, representative inputs.
+//! figures' data series) with per-operation timings on fixed,
+//! representative inputs. The build environment vendors no Criterion, so
+//! the file is a `harness = false` benchmark with a small built-in
+//! measurement loop: warm up once, then run batches until the slower of
+//! ~0.5 s or 10 iterations, and report mean/min per iteration.
 //!
 //! ```bash
-//! cargo bench -p kor-bench
+//! cargo bench -p kor-bench               # all groups
+//! cargo bench -p kor-bench -- epsilon    # only groups whose name matches
 //! ```
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use kor_apsp::{CachedPairCosts, DenseApsp, PairCosts, QueryContext};
-use kor_core::{
-    BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams,
-};
-use kor_data::{
-    generate_roadnet, generate_workload, QuerySpec, RoadNetConfig, WorkloadConfig,
-};
+use kor_core::{BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams};
+use kor_data::{generate_roadnet, generate_workload, QuerySpec, RoadNetConfig, WorkloadConfig};
 use kor_graph::fixtures::figure1;
 use kor_graph::Graph;
 use kor_index::{DiskInvertedIndex, InvertedIndex};
+
+/// Minimal stand-in for a Criterion benchmark group: times closures and
+/// prints one aligned row per benchmark.
+struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    fn from_args() -> Self {
+        // Cargo passes `--bench`; any other free argument is a substring
+        // filter on `group/name`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Harness { filter }
+    }
+
+    fn bench<T>(&self, group: &str, name: &str, mut f: impl FnMut() -> T) {
+        let id = format!("{group}/{name}");
+        if let Some(fil) = &self.filter {
+            if !id.contains(fil.as_str()) {
+                return;
+            }
+        }
+        // Warm-up run (also keeps the result alive so the call is not
+        // optimized out).
+        let _keep = f();
+        let budget = Duration::from_millis(500);
+        let started = Instant::now();
+        let mut iters = 0u32;
+        let mut best = Duration::MAX;
+        while iters < 10 || (started.elapsed() < budget && iters < 1_000) {
+            let t0 = Instant::now();
+            let _keep = f();
+            let dt = t0.elapsed();
+            if dt < best {
+                best = dt;
+            }
+            iters += 1;
+        }
+        let mean = started.elapsed() / iters;
+        println!(
+            "{id:<44} {iters:>5} iters   mean {:>12}   min {:>12}",
+            format!("{:.3?}", mean),
+            format!("{:.3?}", best),
+        );
+    }
+}
 
 fn bench_graph() -> Graph {
     generate_roadnet(&RoadNetConfig {
@@ -53,193 +97,150 @@ fn specs(graph: &Graph, keyword_counts: &[usize], per_set: usize) -> Vec<Vec<Que
 }
 
 fn query(graph: &Graph, spec: &QuerySpec, delta: f64) -> KorQuery {
-    KorQuery::new(graph, spec.source, spec.target, spec.keywords.clone(), delta).unwrap()
+    KorQuery::new(
+        graph,
+        spec.source,
+        spec.target,
+        spec.keywords.clone(),
+        delta,
+    )
+    .unwrap()
 }
 
 /// Figure 4/18 analogue: per-algorithm runtime as keyword count grows.
-fn algorithms_vs_keywords(c: &mut Criterion) {
+fn algorithms_vs_keywords(h: &Harness) {
     let graph = bench_graph();
     let engine = KorEngine::new(&graph);
     let sets = specs(&graph, &[2, 6, 10], 4);
     let delta = 25.0;
-    let mut group = c.benchmark_group("runtime_vs_keywords");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
     for (set, &m) in sets.iter().zip(&[2usize, 6, 10]) {
         let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, delta)).collect();
-        group.bench_with_input(BenchmarkId::new("os_scaling", m), &queries, |b, qs| {
+        h.bench("runtime_vs_keywords", &format!("os_scaling/{m}"), || {
             let params = OsScalingParams::default();
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.os_scaling(q, &params).unwrap();
-                }
-            })
+            for q in &queries {
+                let _ = engine.os_scaling(q, &params).unwrap();
+            }
         });
-        group.bench_with_input(BenchmarkId::new("bucket_bound", m), &queries, |b, qs| {
+        h.bench("runtime_vs_keywords", &format!("bucket_bound/{m}"), || {
             let params = BucketBoundParams::default();
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.bucket_bound(q, &params).unwrap();
-                }
-            })
+            for q in &queries {
+                let _ = engine.bucket_bound(q, &params).unwrap();
+            }
         });
-        group.bench_with_input(BenchmarkId::new("greedy1", m), &queries, |b, qs| {
+        h.bench("runtime_vs_keywords", &format!("greedy1/{m}"), || {
             let params = GreedyParams::with_beam(1);
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.greedy(q, &params).unwrap();
-                }
-            })
+            for q in &queries {
+                let _ = engine.greedy(q, &params).unwrap();
+            }
         });
-        group.bench_with_input(BenchmarkId::new("greedy2", m), &queries, |b, qs| {
+        h.bench("runtime_vs_keywords", &format!("greedy2/{m}"), || {
             let params = GreedyParams::with_beam(2);
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.greedy(q, &params).unwrap();
-                }
-            })
+            for q in &queries {
+                let _ = engine.greedy(q, &params).unwrap();
+            }
         });
     }
-    group.finish();
 }
 
 /// Figure 6 analogue: OSScaling runtime across ε.
-fn epsilon_sweep(c: &mut Criterion) {
+fn epsilon_sweep(h: &Harness) {
     let graph = bench_graph();
     let engine = KorEngine::new(&graph);
     let set = &specs(&graph, &[6], 4)[0];
     let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 25.0)).collect();
-    let mut group = c.benchmark_group("epsilon_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
     for eps in [0.1, 0.5, 0.9] {
-        group.bench_with_input(BenchmarkId::from_parameter(eps), &queries, |b, qs| {
+        h.bench("epsilon_sweep", &format!("{eps}"), || {
             let params = OsScalingParams::with_epsilon(eps);
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.os_scaling(q, &params).unwrap();
-                }
-            })
+            for q in &queries {
+                let _ = engine.os_scaling(q, &params).unwrap();
+            }
         });
     }
-    group.finish();
 }
 
 /// Figure 8 analogue: BucketBound runtime across β.
-fn beta_sweep(c: &mut Criterion) {
+fn beta_sweep(h: &Harness) {
     let graph = bench_graph();
     let engine = KorEngine::new(&graph);
     let set = &specs(&graph, &[6], 4)[0];
     let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 25.0)).collect();
-    let mut group = c.benchmark_group("beta_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
     for beta in [1.2, 1.6, 2.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(beta), &queries, |b, qs| {
+        h.bench("beta_sweep", &format!("{beta}"), || {
             let params = BucketBoundParams::with(0.5, beta);
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.bucket_bound(q, &params).unwrap();
-                }
-            })
+            for q in &queries {
+                let _ = engine.bucket_bound(q, &params).unwrap();
+            }
         });
     }
-    group.finish();
 }
 
 /// Figure 16 analogue: KkR runtime across k.
-fn topk_sweep(c: &mut Criterion) {
+fn topk_sweep(h: &Harness) {
     let graph = bench_graph();
     let engine = KorEngine::new(&graph);
     let set = &specs(&graph, &[4], 3)[0];
     let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 25.0)).collect();
-    let mut group = c.benchmark_group("topk");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
     for k in [1usize, 3, 5] {
-        group.bench_with_input(BenchmarkId::new("os_scaling", k), &queries, |b, qs| {
+        h.bench("topk", &format!("os_scaling/{k}"), || {
             let params = OsScalingParams::default();
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.top_k_os_scaling(q, &params, k).unwrap();
-                }
-            })
+            for q in &queries {
+                let _ = engine.top_k_os_scaling(q, &params, k).unwrap();
+            }
         });
-        group.bench_with_input(BenchmarkId::new("bucket_bound", k), &queries, |b, qs| {
+        h.bench("topk", &format!("bucket_bound/{k}"), || {
             let params = BucketBoundParams::default();
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.top_k_bucket_bound(q, &params, k).unwrap();
-                }
-            })
+            for q in &queries {
+                let _ = engine.top_k_bucket_bound(q, &params, k).unwrap();
+            }
         });
     }
-    group.finish();
 }
 
 /// Figure 17 analogue: scalability over graph size.
-fn scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scalability");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+fn scalability(h: &Harness) {
     for nodes in [500usize, 1_000, 2_000] {
         let graph = generate_roadnet(&RoadNetConfig::with_nodes(nodes));
         let engine = KorEngine::new(&graph);
         let set = &specs(&graph, &[6], 3)[0];
         let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 30.0)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("bucket_bound", nodes),
-            &queries,
-            |b, qs| {
-                let params = BucketBoundParams::default();
-                b.iter(|| {
-                    for q in qs {
-                        let _ = engine.bucket_bound(q, &params).unwrap();
-                    }
-                })
-            },
-        );
+        h.bench("scalability", &format!("bucket_bound/{nodes}"), || {
+            let params = BucketBoundParams::default();
+            for q in &queries {
+                let _ = engine.bucket_bound(q, &params).unwrap();
+            }
+        });
     }
-    group.finish();
 }
 
 /// §4.2.1 claim: the optimization strategies' speed-up.
-fn optimization_ablation(c: &mut Criterion) {
+fn optimization_ablation(h: &Harness) {
     let graph = bench_graph();
     let engine = KorEngine::new(&graph);
     let set = &specs(&graph, &[6], 3)[0];
     let queries: Vec<KorQuery> = set.iter().map(|s| query(&graph, s, 25.0)).collect();
-    let mut group = c.benchmark_group("opt_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-    group.bench_with_input(BenchmarkId::new("os_scaling", "with"), &queries, |b, qs| {
+    h.bench("opt_ablation", "os_scaling/with", || {
         let params = OsScalingParams::default();
-        b.iter(|| {
-            for q in qs {
-                let _ = engine.os_scaling(q, &params).unwrap();
-            }
-        })
+        for q in &queries {
+            let _ = engine.os_scaling(q, &params).unwrap();
+        }
     });
-    group.bench_with_input(
-        BenchmarkId::new("os_scaling", "without"),
-        &queries,
-        |b, qs| {
-            let params = OsScalingParams::without_optimizations(0.5);
-            b.iter(|| {
-                for q in qs {
-                    let _ = engine.os_scaling(q, &params).unwrap();
-                }
-            })
-        },
-    );
-    group.finish();
+    h.bench("opt_ablation", "os_scaling/without", || {
+        let params = OsScalingParams::without_optimizations(0.5);
+        for q in &queries {
+            let _ = engine.os_scaling(q, &params).unwrap();
+        }
+    });
 }
 
 /// Substrate benchmarks: pre-processing and index lookups (§3.1).
-fn substrates(c: &mut Criterion) {
+fn substrates(h: &Harness) {
     let graph = bench_graph();
-    let mut group = c.benchmark_group("substrates");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-    group.bench_function("query_context_build", |b| {
-        let target = kor_graph::NodeId(0);
-        b.iter(|| QueryContext::new(&graph, target))
+    let target = kor_graph::NodeId(0);
+    h.bench("substrates", "query_context_build", || {
+        QueryContext::new(&graph, target)
     });
-    group.bench_function("inverted_index_build", |b| {
-        b.iter(|| InvertedIndex::build(&graph))
+    h.bench("substrates", "inverted_index_build", || {
+        InvertedIndex::build(&graph)
     });
     let dir = std::env::temp_dir().join("kor-bench-idx");
     std::fs::create_dir_all(&dir).unwrap();
@@ -252,43 +253,37 @@ fn substrates(c: &mut Criterion) {
         .take(64)
         .map(|(_, t)| t.to_string())
         .collect();
-    group.bench_function("bptree_lookup_64_terms", |b| {
-        b.iter(|| {
-            for t in &terms {
-                let _ = disk.postings(t).unwrap();
-            }
-        })
+    h.bench("substrates", "bptree_lookup_64_terms", || {
+        for t in &terms {
+            let _ = disk.postings(t).unwrap();
+        }
     });
     // Floyd–Warshall is cubic: measure it on the Figure-1 fixture where a
     // single iteration is cheap, and Dijkstra-APSP on the big graph.
     let small = figure1();
-    group.bench_function("floyd_warshall_fixture", |b| {
-        b.iter(|| DenseApsp::floyd_warshall(&small))
+    h.bench("substrates", "floyd_warshall_fixture", || {
+        DenseApsp::floyd_warshall(&small)
     });
-    group.bench_function("pairwise_tau_cached", |b| {
-        let pairs = CachedPairCosts::new(&graph);
-        let nodes: Vec<_> = graph.nodes().take(16).collect();
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &s in &nodes {
-                if let Some(c) = pairs.tau(s, kor_graph::NodeId(0)) {
-                    acc += c.objective;
-                }
+    let pairs = CachedPairCosts::new(&graph);
+    let nodes: Vec<_> = graph.nodes().take(16).collect();
+    h.bench("substrates", "pairwise_tau_cached", || {
+        let mut acc = 0.0;
+        for &s in &nodes {
+            if let Some(c) = pairs.tau(s, kor_graph::NodeId(0)) {
+                acc += c.objective;
             }
-            acc
-        })
+        }
+        acc
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    algorithms_vs_keywords,
-    epsilon_sweep,
-    beta_sweep,
-    topk_sweep,
-    scalability,
-    optimization_ablation,
-    substrates
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    algorithms_vs_keywords(&h);
+    epsilon_sweep(&h);
+    beta_sweep(&h);
+    topk_sweep(&h);
+    scalability(&h);
+    optimization_ablation(&h);
+    substrates(&h);
+}

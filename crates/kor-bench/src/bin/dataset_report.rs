@@ -30,8 +30,14 @@ fn main() {
         for delta in [3.0, 6.0, 15.0] {
             let mut feasible = 0;
             for spec in &sets[0].queries {
-                let q = KorQuery::new(&graph, spec.source, spec.target, spec.keywords.clone(), delta)
-                    .expect("valid spec");
+                let q = KorQuery::new(
+                    &graph,
+                    spec.source,
+                    spec.target,
+                    spec.keywords.clone(),
+                    delta,
+                )
+                .expect("valid spec");
                 if engine
                     .os_scaling(&q, &OsScalingParams::default())
                     .expect("valid params")

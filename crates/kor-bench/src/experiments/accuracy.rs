@@ -16,15 +16,16 @@ pub fn fig10_11(ctx: &Context) -> Vec<Table> {
     let engine = KorEngine::new(&graph);
     let sets = ctx.workload(&graph, &ctx.profile.keyword_counts);
     let deltas = &ctx.profile.flickr_deltas_km;
-    let algos = [Algo::BucketBound(BucketBoundParams::default()),
+    let algos = [
+        Algo::BucketBound(BucketBoundParams::default()),
         Algo::Greedy(GreedyParams::with_beam(2)),
-        Algo::Greedy(GreedyParams::with_beam(1))];
+        Algo::Greedy(GreedyParams::with_beam(1)),
+    ];
     let base_algo = Algo::OsScaling(OsScalingParams::with_epsilon(0.1));
 
     // cell[mi][di] = (base runs, per-algo runs)
     let mut base_runs: Vec<Vec<Vec<QueryRun>>> = Vec::new();
-    let mut algo_runs: Vec<Vec<Vec<Vec<QueryRun>>>> =
-        algos.iter().map(|_| Vec::new()).collect();
+    let mut algo_runs: Vec<Vec<Vec<Vec<QueryRun>>>> = algos.iter().map(|_| Vec::new()).collect();
     for set in &sets {
         let mut base_row = Vec::new();
         let mut algo_rows: Vec<Vec<Vec<QueryRun>>> = algos.iter().map(|_| Vec::new()).collect();
@@ -82,7 +83,11 @@ pub fn fig10_11(ctx: &Context) -> Vec<Table> {
     for (di, delta) in deltas.iter().enumerate() {
         let mut row = vec![format!("{delta}")];
         for runs in &algo_runs {
-            let flat: Vec<QueryRun> = runs.iter().flat_map(|per_m| per_m[di].iter()).copied().collect();
+            let flat: Vec<QueryRun> = runs
+                .iter()
+                .flat_map(|per_m| per_m[di].iter())
+                .copied()
+                .collect();
             let base: Vec<QueryRun> = base_runs
                 .iter()
                 .flat_map(|per_m| per_m[di].iter())
@@ -109,7 +114,13 @@ pub fn fig12_13(ctx: &Context) -> Vec<Table> {
         .collect();
     let base: Vec<QueryRun> = queries
         .iter()
-        .map(|q| run_algo(&engine, q, &Algo::OsScaling(OsScalingParams::with_epsilon(0.1))))
+        .map(|q| {
+            run_algo(
+                &engine,
+                q,
+                &Algo::OsScaling(OsScalingParams::with_epsilon(0.1)),
+            )
+        })
         .collect();
 
     let mut ratio = Table::new(

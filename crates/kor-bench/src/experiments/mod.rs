@@ -133,8 +133,8 @@ mod tests {
     fn registry_covers_every_figure_of_section4() {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for required in [
-            "table1", "fig4-5", "fig6-7", "fig8-9", "fig10-11", "fig12-13", "fig14-15",
-            "fig16", "fig17", "fig18-19", "fig20-21", "ablation", "brute",
+            "table1", "fig4-5", "fig6-7", "fig8-9", "fig10-11", "fig12-13", "fig14-15", "fig16",
+            "fig17", "fig18-19", "fig20-21", "ablation", "brute",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

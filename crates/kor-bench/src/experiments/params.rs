@@ -55,7 +55,10 @@ pub fn fig6_7(ctx: &Context) -> Vec<Table> {
             )
         };
         runtime.push_row(vec![format!("{eps}"), fmt_ms(mean_ms(&runs))]);
-        ratio.push_row(vec![format!("{eps}"), fmt_ratio(relative_ratio(&runs, &base))]);
+        ratio.push_row(vec![
+            format!("{eps}"),
+            fmt_ratio(relative_ratio(&runs, &base)),
+        ]);
     }
     vec![runtime, ratio]
 }

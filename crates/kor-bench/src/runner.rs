@@ -2,9 +2,7 @@
 
 use std::time::Instant;
 
-use kor_core::{
-    BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams,
-};
+use kor_core::{BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams};
 use kor_data::QuerySpec;
 use kor_graph::Graph;
 
@@ -79,7 +77,9 @@ pub fn run_algo(engine: &KorEngine<'_>, query: &KorQuery, algo: &Algo) -> QueryR
             (r.is_feasible(), r.best().map(|x| x.objective))
         }
         Algo::TopKBucketBound(p, k) => {
-            let r = engine.top_k_bucket_bound(query, p, *k).expect("valid params");
+            let r = engine
+                .top_k_bucket_bound(query, p, *k)
+                .expect("valid params");
             (r.is_feasible(), r.best().map(|x| x.objective))
         }
     };
@@ -92,8 +92,14 @@ pub fn run_algo(engine: &KorEngine<'_>, query: &KorQuery, algo: &Algo) -> QueryR
 
 /// Instantiates a spec with a budget.
 pub fn to_query(graph: &Graph, spec: &QuerySpec, delta: f64) -> KorQuery {
-    KorQuery::new(graph, spec.source, spec.target, spec.keywords.clone(), delta)
-        .expect("generated specs are valid")
+    KorQuery::new(
+        graph,
+        spec.source,
+        spec.target,
+        spec.keywords.clone(),
+        delta,
+    )
+    .expect("generated specs are valid")
 }
 
 /// Mean runtime in milliseconds.
@@ -169,16 +175,32 @@ mod tests {
 
     #[test]
     fn relative_ratio_skips_infeasible() {
-        let base = vec![run(true, Some(2.0), 0), run(false, None, 0), run(true, Some(4.0), 0)];
-        let runs = vec![run(true, Some(3.0), 0), run(true, Some(9.0), 0), run(false, None, 0)];
+        let base = vec![
+            run(true, Some(2.0), 0),
+            run(false, None, 0),
+            run(true, Some(4.0), 0),
+        ];
+        let runs = vec![
+            run(true, Some(3.0), 0),
+            run(true, Some(9.0), 0),
+            run(false, None, 0),
+        ];
         // only the first pair counts: 3/2
         assert!((relative_ratio(&runs, &base) - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn failure_pct_counts_reference_feasible_only() {
-        let base = vec![run(true, Some(1.0), 0), run(true, Some(1.0), 0), run(false, None, 0)];
-        let runs = vec![run(false, None, 0), run(true, Some(2.0), 0), run(false, None, 0)];
+        let base = vec![
+            run(true, Some(1.0), 0),
+            run(true, Some(1.0), 0),
+            run(false, None, 0),
+        ];
+        let runs = vec![
+            run(false, None, 0),
+            run(true, Some(2.0), 0),
+            run(false, None, 0),
+        ];
         assert!((failure_pct(&runs, &base) - 50.0).abs() < 1e-12);
     }
 
@@ -208,11 +230,11 @@ mod tests {
 
     #[test]
     fn labels_are_descriptive() {
-        assert_eq!(Algo::OsScaling(OsScalingParams::default()).label(), "OSScaling");
         assert_eq!(
-            Algo::Greedy(GreedyParams::with_beam(2)).label(),
-            "Greedy-2"
+            Algo::OsScaling(OsScalingParams::default()).label(),
+            "OSScaling"
         );
+        assert_eq!(Algo::Greedy(GreedyParams::with_beam(2)).label(), "Greedy-2");
         assert_eq!(
             Algo::TopKBucketBound(BucketBoundParams::default(), 4).label(),
             "BucketBound k=4"

@@ -148,7 +148,11 @@ impl<'a> BucketEngine<'a> {
     ) -> Self {
         let ctx = QueryContext::new(graph, query.target);
         let reach = (params.use_opt1 && !query.keywords.is_empty()).then(|| {
-            KeywordReach::new(graph, &query.keywords, &index.query_postings(&query.keywords))
+            KeywordReach::new(
+                graph,
+                &query.keywords,
+                &index.query_postings(&query.keywords),
+            )
         });
         let opt2 = params
             .use_opt2

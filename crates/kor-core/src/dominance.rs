@@ -131,9 +131,8 @@ impl LabelStore {
             pos > 0 && group[pos - 1].1 <= label.budget
         };
         let is_dominated = if enumerate_bitmasks {
-            supersets_of(label.mask, self.full_mask).any(|sup| {
-                self.groups[node].get(&sup).is_some_and(dominated_in)
-            })
+            supersets_of(label.mask, self.full_mask)
+                .any(|sup| self.groups[node].get(&sup).is_some_and(dominated_in))
         } else {
             self.groups[node]
                 .iter()
@@ -147,18 +146,17 @@ impl LabelStore {
         // Eviction: in every subset-mask frontier, entries with key ≥
         // `key` and budget ≥ `label.budget` form a contiguous run.
         let mask_bits = label.mask.count_ones();
-        let subset_masks: Vec<u32> =
-            if mask_bits < 10 && (1usize << mask_bits) <= present * 2 {
-                subsets_of(label.mask)
-                    .filter(|m| self.groups[node].contains_key(m))
-                    .collect()
-            } else {
-                self.groups[node]
-                    .keys()
-                    .copied()
-                    .filter(|&m| m & label.mask == m)
-                    .collect()
-            };
+        let subset_masks: Vec<u32> = if mask_bits < 10 && (1usize << mask_bits) <= present * 2 {
+            subsets_of(label.mask)
+                .filter(|m| self.groups[node].contains_key(m))
+                .collect()
+        } else {
+            self.groups[node]
+                .keys()
+                .copied()
+                .filter(|&m| m & label.mask == m)
+                .collect()
+        };
         for sub in subset_masks {
             let group = self.groups[node].get_mut(&sub).expect("key exists");
             let start = group.partition_point(|e| e.0 < key);
@@ -188,9 +186,7 @@ impl LabelStore {
     /// General path (`k ≥ 2`): linear scans with k-dominance counting.
     fn try_insert_k(&mut self, arena: &mut LabelArena, id: u32, label: &Label, key: u64) -> bool {
         let node = label.node.index();
-        if self.count_dominators(arena, node, label.mask, key, label.budget, self.k, id)
-            >= self.k
-        {
+        if self.count_dominators(arena, node, label.mask, key, label.budget, self.k, id) >= self.k {
             self.dominated += 1;
             return false;
         }
@@ -484,7 +480,10 @@ mod tests {
                 arena.get(nid).alive && m & mask == mask && k <= key && b <= budget
             });
             let inserted = s.try_insert(&mut arena, id);
-            assert_eq!(inserted, !dominated, "divergence at mask={mask} key={key} b={budget}");
+            assert_eq!(
+                inserted, !dominated,
+                "divergence at mask={mask} key={key} b={budget}"
+            );
             if inserted {
                 // every stored label the newcomer dominates must be dead
                 for &(m, k, b, nid) in naive.iter() {

@@ -117,9 +117,13 @@ mod tests {
         let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
 
         let os = engine.os_scaling(&q, &OsScalingParams::default()).unwrap();
-        let bb = engine.bucket_bound(&q, &BucketBoundParams::default()).unwrap();
+        let bb = engine
+            .bucket_bound(&q, &BucketBoundParams::default())
+            .unwrap();
         let ex = engine.exact(&q).unwrap();
-        let bf = engine.brute_force(&q, &BruteForceParams::default()).unwrap();
+        let bf = engine
+            .brute_force(&q, &BruteForceParams::default())
+            .unwrap();
         let gr = engine.greedy(&q, &GreedyParams::default()).unwrap();
         let tk = engine
             .top_k_os_scaling(&q, &OsScalingParams::default(), 2)

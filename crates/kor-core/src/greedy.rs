@@ -137,7 +137,16 @@ pub fn greedy(
         budget: 0.0,
     };
     let mut complete: Vec<State> = Vec::new();
-    explore(graph, index, pairs, &ctx, query, params, init, &mut complete);
+    explore(
+        graph,
+        index,
+        pairs,
+        &ctx,
+        query,
+        params,
+        init,
+        &mut complete,
+    );
     // Prefer feasible routes, then covering ones, then lowest objective.
     let best = complete.into_iter().min_by(|a, b| {
         let fa = rank(query, a);
@@ -186,7 +195,9 @@ fn explore(
             if scored.iter().any(|&(_, n, _, _)| n == j) {
                 continue;
             }
-            let Some(leg) = pairs.tau(cur, j) else { continue };
+            let Some(leg) = pairs.tau(cur, j) else {
+                continue;
+            };
             let Some(finish) = ctx.tau_to_target(j) else {
                 continue;
             };
@@ -261,9 +272,7 @@ fn materialize(
         };
         route.extend_with(&Route::new(leg));
     }
-    let (objective, budget) = route
-        .scores(graph)
-        .expect("τ legs follow graph edges");
+    let (objective, budget) = route.scores(graph).expect("τ legs follow graph edges");
     // Coverage from the actual route: intermediate nodes may cover extra
     // keywords beyond the selected waypoints.
     let covers_keywords = route.covers(graph, query.keywords.ids());

@@ -141,10 +141,7 @@ mod tests {
         let a = arena.push(label(0, NO_LABEL));
         let b = arena.push(label(2, a));
         let c = arena.push(label(3, b));
-        assert_eq!(
-            arena.path_nodes(c),
-            vec![NodeId(0), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(arena.path_nodes(c), vec![NodeId(0), NodeId(2), NodeId(3)]);
         assert_eq!(arena.path_nodes(a), vec![NodeId(0)]);
     }
 

@@ -256,9 +256,17 @@ impl<'a> Engine<'a> {
         cfg: EngineConfig,
     ) -> Self {
         let ctx = QueryContext::new(graph, query.target);
-        let reach = (cfg.use_opt1 && !query.keywords.is_empty())
-            .then(|| KeywordReach::new(graph, &query.keywords, &index.query_postings(&query.keywords)));
-        let opt2 = cfg.use_opt2.then(|| build_opt2(graph, index, query, &ctx, cfg.infrequent_threshold)).flatten();
+        let reach = (cfg.use_opt1 && !query.keywords.is_empty()).then(|| {
+            KeywordReach::new(
+                graph,
+                &query.keywords,
+                &index.query_postings(&query.keywords),
+            )
+        });
+        let opt2 = cfg
+            .use_opt2
+            .then(|| build_opt2(graph, index, query, &ctx, cfg.infrequent_threshold))
+            .flatten();
         let store = LabelStore::new(
             cfg.mode.dom_mode(),
             graph.node_count(),
@@ -354,7 +362,13 @@ impl<'a> Engine<'a> {
 
     /// Creates, checks, and files one child label; returns its id if it
     /// survived all checks.
-    fn make_child(&mut self, parent_id: u32, node: NodeId, edge_obj: f64, edge_bud: f64) -> Option<u32> {
+    fn make_child(
+        &mut self,
+        parent_id: u32,
+        node: NodeId,
+        edge_obj: f64,
+        edge_bud: f64,
+    ) -> Option<u32> {
         let parent = *self.arena.get(parent_id);
         let objective = parent.objective + edge_obj;
         let budget = parent.budget + edge_bud;
@@ -551,7 +565,6 @@ impl<'a> Engine<'a> {
         self.stats.labels_dominated = self.store.dominated_count();
         self.stats.labels_evicted = self.store.evicted_count();
     }
-
 }
 
 /// Builds Optimization-Strategy-2 state when the least frequent query
@@ -629,15 +642,15 @@ mod tests {
         let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
         // (node, mask {t1=bit0, t2=bit1}, ÔS, OS, BS)
         let expected: [(u32, u32, u64, f64, f64); 9] = [
-            (0, 0b00, 0, 0.0, 0.0),    // L00
-            (1, 0b00, 80, 4.0, 1.0),   // L01
-            (1, 0b01, 60, 3.0, 4.0),   // L11
-            (2, 0b10, 20, 1.0, 3.0),   // L02
-            (3, 0b01, 40, 2.0, 2.0),   // L03
-            (3, 0b11, 80, 4.0, 5.0),   // L13
-            (4, 0b01, 60, 3.0, 4.0),   // L04
-            (5, 0b11, 100, 5.0, 4.0),  // L05
-            (6, 0b11, 40, 2.0, 4.0),   // L06 (created, then budget-pruned)
+            (0, 0b00, 0, 0.0, 0.0),   // L00
+            (1, 0b00, 80, 4.0, 1.0),  // L01
+            (1, 0b01, 60, 3.0, 4.0),  // L11
+            (2, 0b10, 20, 1.0, 3.0),  // L02
+            (3, 0b01, 40, 2.0, 2.0),  // L03
+            (3, 0b11, 80, 4.0, 5.0),  // L13
+            (4, 0b01, 60, 3.0, 4.0),  // L04
+            (5, 0b11, 100, 5.0, 4.0), // L05
+            (6, 0b11, 40, 2.0, 4.0),  // L06 (created, then budget-pruned)
         ];
         for (node, mask, scaled, os, bs) in expected {
             assert!(
@@ -807,10 +820,7 @@ mod tests {
         // k = 1 must agree with the single-route search.
         let single = os_scaling(&g, &idx, &q, &plain_params(0.2)).unwrap();
         let top1 = top_k_os_scaling(&g, &idx, &q, &plain_params(0.2), 1).unwrap();
-        assert_eq!(
-            single.route.unwrap().objective,
-            top1.routes[0].objective
-        );
+        assert_eq!(single.route.unwrap().objective, top1.routes[0].objective);
     }
 
     #[test]

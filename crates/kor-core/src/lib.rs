@@ -38,6 +38,8 @@
 //! assert_eq!(route.budget, 10.0);
 //! ```
 
+#![deny(missing_docs)]
+
 mod brute;
 mod bucket;
 mod dominance;

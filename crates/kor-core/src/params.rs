@@ -179,9 +179,7 @@ mod tests {
         let eps = OsScalingParams::epsilon_for_ratio(4.0);
         assert!((OsScalingParams::with_epsilon(eps).approximation_ratio() - 4.0).abs() < 1e-9);
         let eps2 = BucketBoundParams::epsilon_for_ratio(4.0, 1.2);
-        assert!(
-            (BucketBoundParams::with(eps2, 1.2).approximation_ratio() - 4.0).abs() < 1e-9
-        );
+        assert!((BucketBoundParams::with(eps2, 1.2).approximation_ratio() - 4.0).abs() < 1e-9);
     }
 
     #[test]

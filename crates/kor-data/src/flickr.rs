@@ -9,7 +9,7 @@
 //!
 //! We reproduce every step on a synthetic photo stream: users wander
 //! between Gaussian attraction centers (tourist hot spots) taking photos;
-//! photos cluster on a regular grid (the clustering of [15] is
+//! photos cluster on a regular grid (the clustering of \[15\] is
 //! grid-based at city scale); tags follow the Zipf model.
 
 use rand::rngs::StdRng;
@@ -249,11 +249,18 @@ pub fn generate_flickr(config: &FlickrConfig) -> (Graph, FlickrStats) {
     for ((a, b), count) in edges {
         let pa = positions[*a as usize];
         let pb = positions[*b as usize];
-        let dist = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt().max(1e-6);
+        let dist = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2))
+            .sqrt()
+            .max(1e-6);
         let pr = *count as f64 / total_trips as f64;
         let objective = (1.0 / pr).ln().max(1e-6);
         builder
-            .add_edge(kor_graph::NodeId(*a), kor_graph::NodeId(*b), objective, dist)
+            .add_edge(
+                kor_graph::NodeId(*a),
+                kor_graph::NodeId(*b),
+                objective,
+                dist,
+            )
             .expect("generated edges are valid");
         edge_count += 1;
     }

@@ -86,7 +86,11 @@ pub fn graph_to_string(graph: &Graph) -> String {
     let _ = writeln!(out, "edges {}", graph.edge_count());
     for v in graph.nodes() {
         for e in graph.out_edges(v) {
-            let _ = writeln!(out, "edge {} {} {} {}", v.0, e.node.0, e.objective, e.budget);
+            let _ = writeln!(
+                out,
+                "edge {} {} {} {}",
+                v.0, e.node.0, e.objective, e.budget
+            );
         }
     }
     out
@@ -112,11 +116,15 @@ pub fn graph_from_str(text: &str) -> Result<Graph, LoadError> {
             .ok_or_else(|| LoadError::Parse(format!("missing node line {i}")))?;
         let mut parts = line.split(' ');
         if parts.next() != Some("node") {
-            return Err(LoadError::Parse(format!("expected node line, got {line:?}")));
+            return Err(LoadError::Parse(format!(
+                "expected node line, got {line:?}"
+            )));
         }
         let id: u32 = parse(parts.next(), "node id")?;
         if id as usize != i {
-            return Err(LoadError::Parse(format!("node ids must be dense, got {id} at {i}")));
+            return Err(LoadError::Parse(format!(
+                "node ids must be dense, got {id} at {i}"
+            )));
         }
         let x: f64 = parse(parts.next(), "x")?;
         let y: f64 = parse(parts.next(), "y")?;
@@ -135,7 +143,9 @@ pub fn graph_from_str(text: &str) -> Result<Graph, LoadError> {
             .ok_or_else(|| LoadError::Parse(format!("missing edge line {i}")))?;
         let mut parts = line.split(' ');
         if parts.next() != Some("edge") {
-            return Err(LoadError::Parse(format!("expected edge line, got {line:?}")));
+            return Err(LoadError::Parse(format!(
+                "expected edge line, got {line:?}"
+            )));
         }
         let from: u32 = parse(parts.next(), "edge from")?;
         let to: u32 = parse(parts.next(), "edge to")?;
@@ -145,9 +155,7 @@ pub fn graph_from_str(text: &str) -> Result<Graph, LoadError> {
             .add_edge(NodeId(from), NodeId(to), objective, budget)
             .map_err(|e| LoadError::Parse(e.to_string()))?;
     }
-    builder
-        .build()
-        .map_err(|e| LoadError::Parse(e.to_string()))
+    builder.build().map_err(|e| LoadError::Parse(e.to_string()))
 }
 
 /// Loads a graph from `path`.
@@ -159,7 +167,9 @@ fn expect_count(line: Option<&str>, keyword: &str) -> Result<usize, LoadError> {
     let line = line.ok_or_else(|| LoadError::Parse(format!("missing {keyword} line")))?;
     let mut parts = line.split(' ');
     if parts.next() != Some(keyword) {
-        return Err(LoadError::Parse(format!("expected {keyword} line, got {line:?}")));
+        return Err(LoadError::Parse(format!(
+            "expected {keyword} line, got {line:?}"
+        )));
     }
     parse(parts.next(), keyword)
 }
@@ -199,10 +209,14 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "{v}");
-            let e1: Vec<(u32, f64, f64)> =
-                g.out_edges(v).map(|e| (e.node.0, e.objective, e.budget)).collect();
-            let e2: Vec<(u32, f64, f64)> =
-                g2.out_edges(v).map(|e| (e.node.0, e.objective, e.budget)).collect();
+            let e1: Vec<(u32, f64, f64)> = g
+                .out_edges(v)
+                .map(|e| (e.node.0, e.objective, e.budget))
+                .collect();
+            let e2: Vec<(u32, f64, f64)> = g2
+                .out_edges(v)
+                .map(|e| (e.node.0, e.objective, e.budget))
+                .collect();
             assert_eq!(e1, e2, "{v}");
         }
     }

@@ -138,23 +138,20 @@ pub fn generate_roadnet(config: &RoadNetConfig) -> Graph {
     };
 
     let mut uf = UnionFind::new(config.nodes);
-    let add_undirected = |builder: &mut GraphBuilder,
-                              rng: &mut StdRng,
-                              uf: &mut UnionFind,
-                              a: usize,
-                              b: usize| {
-        let (a_id, b_id) = (NodeId(a as u32), NodeId(b as u32));
-        let d = dist(a, b).max(1e-6);
-        if !builder.has_edge(a_id, b_id) {
-            let o = rng.gen_range(1e-6..1.0);
-            builder.add_edge(a_id, b_id, o, d).expect("valid edge");
-        }
-        if !builder.has_edge(b_id, a_id) {
-            let o = rng.gen_range(1e-6..1.0);
-            builder.add_edge(b_id, a_id, o, d).expect("valid edge");
-        }
-        uf.union(a as u32, b as u32);
-    };
+    let add_undirected =
+        |builder: &mut GraphBuilder, rng: &mut StdRng, uf: &mut UnionFind, a: usize, b: usize| {
+            let (a_id, b_id) = (NodeId(a as u32), NodeId(b as u32));
+            let d = dist(a, b).max(1e-6);
+            if !builder.has_edge(a_id, b_id) {
+                let o = rng.gen_range(1e-6..1.0);
+                builder.add_edge(a_id, b_id, o, d).expect("valid edge");
+            }
+            if !builder.has_edge(b_id, a_id) {
+                let o = rng.gen_range(1e-6..1.0);
+                builder.add_edge(b_id, a_id, o, d).expect("valid edge");
+            }
+            uf.union(a as u32, b as u32);
+        };
 
     #[allow(clippy::needless_range_loop)] // i is also the node id
     for i in 0..config.nodes {

@@ -11,12 +11,56 @@ use rand::Rng;
 /// Curated head-of-distribution tag names (rank order). The paper's
 /// example query uses "jazz", "imax", "vegetation", "Cappuccino".
 pub const THEMED_TAGS: &[&str] = &[
-    "newyork", "food", "park", "museum", "shopping mall", "restaurant", "pub", "jazz", "imax",
-    "vegetation", "cappuccino", "hotel", "theatre", "gallery", "pizza", "sushi", "bakery",
-    "library", "cinema", "aquarium", "zoo", "opera", "ramen", "bbq", "brunch", "skyline",
-    "bridge", "ferry", "market", "bookstore", "vinyl", "arcade", "karaoke", "rooftop", "garden",
-    "fountain", "cathedral", "synagogue", "temple", "observatory", "planetarium", "speakeasy",
-    "diner", "deli", "foodtruck", "tapas", "noodles", "espresso", "cocktails", "brewery",
+    "newyork",
+    "food",
+    "park",
+    "museum",
+    "shopping mall",
+    "restaurant",
+    "pub",
+    "jazz",
+    "imax",
+    "vegetation",
+    "cappuccino",
+    "hotel",
+    "theatre",
+    "gallery",
+    "pizza",
+    "sushi",
+    "bakery",
+    "library",
+    "cinema",
+    "aquarium",
+    "zoo",
+    "opera",
+    "ramen",
+    "bbq",
+    "brunch",
+    "skyline",
+    "bridge",
+    "ferry",
+    "market",
+    "bookstore",
+    "vinyl",
+    "arcade",
+    "karaoke",
+    "rooftop",
+    "garden",
+    "fountain",
+    "cathedral",
+    "synagogue",
+    "temple",
+    "observatory",
+    "planetarium",
+    "speakeasy",
+    "diner",
+    "deli",
+    "foodtruck",
+    "tapas",
+    "noodles",
+    "espresso",
+    "cocktails",
+    "brewery",
 ];
 
 /// A fixed vocabulary with Zipf-distributed sampling.

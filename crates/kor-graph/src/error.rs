@@ -78,8 +78,13 @@ mod tests {
         assert!(s.contains("v1->v2"));
         assert!(s.contains("objective"));
         assert!(s.contains("-1"));
-        assert_eq!(GraphError::SelfLoop(NodeId(3)).to_string(), "self loop on v3");
-        assert!(GraphError::UnknownNode(NodeId(9)).to_string().contains("v9"));
+        assert_eq!(
+            GraphError::SelfLoop(NodeId(3)).to_string(),
+            "self loop on v3"
+        );
+        assert!(GraphError::UnknownNode(NodeId(9))
+            .to_string()
+            .contains("v9"));
         assert!(GraphError::DuplicateEdge {
             from: NodeId(0),
             to: NodeId(1)

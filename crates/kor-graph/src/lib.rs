@@ -30,6 +30,8 @@
 //! assert_eq!(g.vocab().get("pub"), Some(g.keywords(NodeId(1)).as_slice()[0]));
 //! ```
 
+#![deny(missing_docs)]
+
 mod builder;
 mod error;
 mod graph;

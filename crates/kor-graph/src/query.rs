@@ -27,7 +27,10 @@ impl fmt::Display for QueryKeywordsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryKeywordsError::TooMany(n) => {
-                write!(f, "{n} query keywords exceed the maximum of {MAX_QUERY_KEYWORDS}")
+                write!(
+                    f,
+                    "{n} query keywords exceed the maximum of {MAX_QUERY_KEYWORDS}"
+                )
             }
             QueryKeywordsError::UnknownTerm(t) => {
                 write!(f, "query keyword {t:?} does not occur in the vocabulary")
@@ -315,7 +318,8 @@ mod tests {
     #[test]
     fn subsets_enumerate_exactly() {
         let got: std::collections::BTreeSet<u32> = subsets_of(0b101).collect();
-        let want: std::collections::BTreeSet<u32> = [0b101, 0b100, 0b001, 0b000].into_iter().collect();
+        let want: std::collections::BTreeSet<u32> =
+            [0b101, 0b100, 0b001, 0b000].into_iter().collect();
         assert_eq!(got, want);
     }
 

@@ -71,7 +71,11 @@ impl GraphStats {
             objective_range: (g.o_min(), g.o_max()),
             budget_range: (g.b_min(), g.b_max()),
             vocabulary_size: g.vocab().len(),
-            avg_keywords_per_node: if n == 0 { 0.0 } else { kw_total as f64 / n as f64 },
+            avg_keywords_per_node: if n == 0 {
+                0.0
+            } else {
+                kw_total as f64 / n as f64
+            },
         }
     }
 }
@@ -85,7 +89,11 @@ impl fmt::Display for GraphStats {
             "out-degree: min {} / avg {:.2} / max {}",
             self.min_out_degree, self.avg_out_degree, self.max_out_degree
         )?;
-        writeln!(f, "sinks: {}  sources: {}", self.sink_count, self.source_count)?;
+        writeln!(
+            f,
+            "sinks: {}  sources: {}",
+            self.sink_count, self.source_count
+        )?;
         writeln!(
             f,
             "objective range: [{:.4}, {:.4}]",

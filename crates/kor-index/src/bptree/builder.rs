@@ -34,10 +34,7 @@ pub struct BuildStats {
 ///
 /// Fails if entries are unsorted/duplicated, a key exceeds
 /// [`MAX_KEY_LEN`], or I/O fails.
-pub fn build_file(
-    path: &Path,
-    entries: Vec<(String, Vec<u32>)>,
-) -> Result<BuildStats, IndexError> {
+pub fn build_file(path: &Path, entries: Vec<(String, Vec<u32>)>) -> Result<BuildStats, IndexError> {
     for w in entries.windows(2) {
         if w[0].0 >= w[1].0 {
             return Err(IndexError::Corrupt(format!(
@@ -100,10 +97,7 @@ pub fn build_file(
         if !current.is_empty() {
             nodes.push(current);
         }
-        below_first_key = nodes
-            .iter()
-            .map(|node| below_first_key[node[0]])
-            .collect();
+        below_first_key = nodes.iter().map(|node| below_first_key[node[0]]).collect();
         below_count = nodes.len();
         levels.push(nodes);
     }
@@ -224,20 +218,14 @@ mod tests {
     #[test]
     fn rejects_unsorted_input() {
         let path = tmp("unsorted.idx");
-        let r = build_file(
-            &path,
-            vec![("b".into(), vec![1]), ("a".into(), vec![2])],
-        );
+        let r = build_file(&path, vec![("b".into(), vec![1]), ("a".into(), vec![2])]);
         assert!(matches!(r, Err(IndexError::Corrupt(_))));
     }
 
     #[test]
     fn rejects_duplicate_keys() {
         let path = tmp("dup.idx");
-        let r = build_file(
-            &path,
-            vec![("a".into(), vec![1]), ("a".into(), vec![2])],
-        );
+        let r = build_file(&path, vec![("a".into(), vec![1]), ("a".into(), vec![2])]);
         assert!(matches!(r, Err(IndexError::Corrupt(_))));
     }
 

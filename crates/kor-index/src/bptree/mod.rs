@@ -53,10 +53,7 @@ pub struct BPlusTree {
 impl BPlusTree {
     /// Builds the file at `path` from `entries` (must be sorted by term,
     /// unique) and opens it.
-    pub fn bulk_build(
-        path: &Path,
-        entries: Vec<(String, Vec<u32>)>,
-    ) -> Result<Self, IndexError> {
+    pub fn bulk_build(path: &Path, entries: Vec<(String, Vec<u32>)>) -> Result<Self, IndexError> {
         build_file(path, entries)?;
         Self::open(path)
     }
@@ -119,7 +116,9 @@ impl BPlusTree {
         }
         let leaf = self.pager.read_page(page_id)?;
         if leaf.read_u8(0) != PAGE_KIND_LEAF {
-            return Err(IndexError::Corrupt(format!("expected leaf page at {page_id}")));
+            return Err(IndexError::Corrupt(format!(
+                "expected leaf page at {page_id}"
+            )));
         }
         match find_in_leaf(&leaf, key)? {
             Some((count, offset)) => Ok(Some(self.read_postings(offset, count)?)),
@@ -143,7 +142,9 @@ impl BPlusTree {
         while page_id != NO_PAGE {
             let leaf = self.pager.read_page(page_id)?;
             if leaf.read_u8(0) != PAGE_KIND_LEAF {
-                return Err(IndexError::Corrupt(format!("leaf chain hit page {page_id}")));
+                return Err(IndexError::Corrupt(format!(
+                    "leaf chain hit page {page_id}"
+                )));
             }
             for_each_leaf_entry(&leaf, |key, count, offset| {
                 let term = String::from_utf8_lossy(key).into_owned();
@@ -273,11 +274,18 @@ mod tests {
         let tree = BPlusTree::bulk_build(&path, data.clone()).unwrap();
         assert!(tree.height() >= 2, "5000 terms must need internal pages");
         for (term, postings) in data.iter().step_by(37) {
-            assert_eq!(tree.lookup(term).unwrap().as_ref(), Some(postings), "{term}");
+            assert_eq!(
+                tree.lookup(term).unwrap().as_ref(),
+                Some(postings),
+                "{term}"
+            );
         }
         // probes around boundaries
         assert_eq!(tree.lookup("term00000").unwrap(), Some(vec![0]));
-        assert_eq!(tree.lookup("term04999").unwrap().unwrap().len(), 4999 % 7 + 1);
+        assert_eq!(
+            tree.lookup("term04999").unwrap().unwrap().len(),
+            4999 % 7 + 1
+        );
     }
 
     #[test]
@@ -315,7 +323,10 @@ mod tests {
             let _ = tree.lookup("term00042").unwrap();
         }
         let stats = tree.cache_stats();
-        assert!(stats.hits > 0, "repeated lookups must hit the cache: {stats:?}");
+        assert!(
+            stats.hits > 0,
+            "repeated lookups must hit the cache: {stats:?}"
+        );
     }
 
     #[test]
@@ -338,11 +349,8 @@ mod tests {
     #[test]
     fn empty_postings_are_preserved() {
         let path = tmp("emptypost.idx");
-        let tree = BPlusTree::bulk_build(
-            &path,
-            vec![("a".into(), vec![]), ("b".into(), vec![7])],
-        )
-        .unwrap();
+        let tree = BPlusTree::bulk_build(&path, vec![("a".into(), vec![]), ("b".into(), vec![7])])
+            .unwrap();
         assert_eq!(tree.lookup("a").unwrap(), Some(vec![]));
         assert_eq!(tree.lookup("b").unwrap(), Some(vec![7]));
     }

@@ -174,10 +174,7 @@ mod tests {
     fn out_of_range_page_is_corrupt() {
         let path = write_pages("oob.idx", 1);
         let pager = Pager::open(&path).unwrap();
-        assert!(matches!(
-            pager.read_page(99),
-            Err(IndexError::Corrupt(_))
-        ));
+        assert!(matches!(pager.read_page(99), Err(IndexError::Corrupt(_))));
     }
 
     #[test]

@@ -30,9 +30,7 @@ fn main() {
     let queries: Vec<KorQuery> = workload[0]
         .queries
         .iter()
-        .filter_map(|s| {
-            KorQuery::new(&graph, s.source, s.target, s.keywords.clone(), delta).ok()
-        })
+        .filter_map(|s| KorQuery::new(&graph, s.source, s.target, s.keywords.clone(), delta).ok())
         .collect();
 
     // Reference: OSScaling with ε = 0.1 (the paper's accuracy baseline).
@@ -47,7 +45,10 @@ fn main() {
         })
         .collect();
 
-    println!("ε sweep (OSScaling), {} queries, Δ = {delta}:", queries.len());
+    println!(
+        "ε sweep (OSScaling), {} queries, Δ = {delta}:",
+        queries.len()
+    );
     println!("{:>6} {:>12} {:>14}", "ε", "runtime", "relative ratio");
     for eps in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let params = OsScalingParams::with_epsilon(eps);

@@ -17,10 +17,13 @@ fn main() {
     let engine = KorEngine::new(&graph);
 
     // Example 2 of the paper: Q = ⟨v0, v7, {t1, t2}, Δ = 10⟩, ε = 0.5.
-    let query = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2)], 10.0)
-        .expect("valid query");
+    let query = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2)], 10.0).expect("valid query");
 
-    println!("Query: from {} to {} covering {{t1, t2}} within Δ = 10\n", v(0), v(7));
+    println!(
+        "Query: from {} to {} covering {{t1, t2}} within Δ = 10\n",
+        v(0),
+        v(7)
+    );
 
     // OSScaling (Algorithm 1) — 1/(1−ε) approximation.
     let os = engine
@@ -38,7 +41,10 @@ fn main() {
     match engine.greedy(&query, &GreedyParams::default()).unwrap() {
         Some(r) => println!(
             "Greedy-1 (α = 0.5): {} OS = {} BS = {} feasible = {}",
-            r.route, r.objective, r.budget, r.is_feasible()
+            r.route,
+            r.objective,
+            r.budget,
+            r.is_feasible()
         ),
         None => println!("Greedy-1: stuck (no route)"),
     }
@@ -53,7 +59,13 @@ fn main() {
         .unwrap();
     println!("\nTop-3 routes (KkR):");
     for (i, r) in topk.routes.iter().enumerate() {
-        println!("  #{}: {} OS = {} BS = {}", i + 1, r.route, r.objective, r.budget);
+        println!(
+            "  #{}: {} OS = {} BS = {}",
+            i + 1,
+            r.route,
+            r.objective,
+            r.budget
+        );
     }
 }
 

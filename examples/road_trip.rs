@@ -46,8 +46,14 @@ fn main() {
         spec.source, spec.target
     );
 
-    let query = KorQuery::new(&graph, spec.source, spec.target, spec.keywords.clone(), delta)
-        .expect("valid query");
+    let query = KorQuery::new(
+        &graph,
+        spec.source,
+        spec.target,
+        spec.keywords.clone(),
+        delta,
+    )
+    .expect("valid query");
 
     // Top-3 alternatives via the faster BucketBound KkR.
     let topk = engine

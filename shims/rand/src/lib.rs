@@ -1,0 +1,258 @@
+//! Offline stand-in for the parts of the [`rand`](https://crates.io/crates/rand)
+//! crate this workspace uses.
+//!
+//! The build environment has no network registry, so the workspace vendors
+//! this minimal, dependency-free shim instead of the real crate. It keeps
+//! the same import surface (`rand::Rng`, `rand::SeedableRng`,
+//! `rand::rngs::StdRng`) so the call sites read exactly like code written
+//! against rand 0.8, and it is fully deterministic under
+//! [`SeedableRng::seed_from_u64`] — the property every generator and test
+//! in the workspace actually relies on.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 (the reference
+//! seeding scheme from Blackman & Vigna). Streams therefore differ from
+//! the real `StdRng` (ChaCha12); nothing in this workspace depends on the
+//! concrete stream, only on determinism per seed.
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of uniformly distributed random `u64`s plus the derived
+/// convenience samplers the workspace uses (`gen_range`, `gen_bool`).
+pub trait Rng {
+    /// Return the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from `range` (half-open or inclusive; integer or
+    /// floating point).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose whole stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that know how to sample a uniform value of type `T` from an
+/// [`Rng`]. Blanket-implemented for `Range<T>` and `RangeInclusive<T>`
+/// over every [`SampleUniform`] type, mirroring rand's structure so type
+/// inference resolves integer literals from the use site.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `self`.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Types that can be drawn uniformly from a range (the integer and float
+/// primitives).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[start, end)`.
+    fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Uniform sample from `[start, end]`.
+    fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, span)` via the widening-multiply method
+/// (Lemire); bias is at most 2⁻⁶⁴ per draw, irrelevant here.
+fn below(rng: &mut impl Rng, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        // Only reachable for u128-wide spans, which the workspace never
+        // samples; fall back to two draws.
+        let hi = (rng.next_u64() as u128) << 64;
+        (hi | rng.next_u64() as u128) % span
+    } else {
+        (rng.next_u64() as u128 * span) >> 64
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128) as u128;
+                (start as i128 + below(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                let v = start + (end - start) * unit_f64(rng.next_u64()) as $t;
+                // Guard against `start + span * u` rounding up to `end`.
+                if v < end { v } else { start }
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                start + (end - start) * unit_f64(rng.next_u64()) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64 step, used to expand the `u64` seed into the state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but keep the guard cheap
+            // and explicit.
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(2012);
+        let mut b = StdRng::seed_from_u64(2012);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1..=6usize);
+            assert!((1..=6).contains(&w));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(0.3..1.5);
+            assert!((0.3..1.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn single_element_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(19);
+        assert_eq!(rng.gen_range(4u32..=4), 4);
+    }
+}

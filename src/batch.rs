@@ -1,0 +1,618 @@
+//! Parallel batch execution of KOR query workloads.
+//!
+//! This is the first scale-oriented layer on top of the paper
+//! reproduction: load a dataset once, build the [`KorEngine`] (inverted
+//! index + forward-tree cache) once, then answer a whole
+//! [`WorkloadConfig`] of KOR queries concurrently and report per-query
+//! latencies plus an aggregate JSON summary — the harness every later
+//! performance PR benchmarks against.
+//!
+//! Parallelism is plain `std::thread::scope` with an atomic work queue:
+//! the build environment vendors no `rayon`, and self-scheduling workers
+//! over a shared `&KorEngine` give the same dynamic load balancing for
+//! this shape of work. The engine's `CachedPairCosts` (used by the
+//! greedy algorithm) is behind a mutex and is shared by all workers, so
+//! forward trees computed for one query are reused by every later query
+//! regardless of which thread runs it.
+//!
+//! ```no_run
+//! use kor::batch::{run_batch, BatchAlgo, BatchConfig};
+//! use kor::prelude::*;
+//!
+//! let (graph, _) = generate_flickr(&FlickrConfig::small());
+//! let report = run_batch(&graph, &BatchConfig::default());
+//! println!("{}", report.to_json());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use kor_core::{BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams};
+use kor_data::{generate_workload, WorkloadConfig};
+use kor_graph::Graph;
+
+/// Which algorithm the batch runs for every query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchAlgo {
+    /// `OSScaling` (Algorithm 1) with approximation parameter `epsilon`.
+    OsScaling {
+        /// Approximation parameter `ε ∈ (0, 1)`.
+        epsilon: f64,
+    },
+    /// `BucketBound` (Algorithm 2) with `epsilon` and bucket base `beta`.
+    BucketBound {
+        /// Approximation parameter `ε ∈ (0, 1)`.
+        epsilon: f64,
+        /// Bucket geometric base `β > 1`.
+        beta: f64,
+    },
+    /// The α-weighted greedy heuristic (Algorithm 3).
+    Greedy {
+        /// Objective/budget mixing weight `α ∈ [0, 1]`.
+        alpha: f64,
+        /// Beam width (1 = Greedy-1, 2 = Greedy-2, …).
+        beam: usize,
+    },
+}
+
+impl BatchAlgo {
+    /// Stable name used in output and the JSON summary.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchAlgo::OsScaling { .. } => "os-scaling",
+            BatchAlgo::BucketBound { .. } => "bucket-bound",
+            BatchAlgo::Greedy { .. } => "greedy",
+        }
+    }
+}
+
+/// Full configuration of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// The query workload to generate over the dataset.
+    pub workload: WorkloadConfig,
+    /// Budget limit `Δ` applied to every query.
+    pub delta: f64,
+    /// Algorithm (and its parameters) to run.
+    pub algo: BatchAlgo,
+    /// Worker thread count; `0` means one per available core.
+    pub threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadConfig::default(),
+            delta: 25.0,
+            algo: BatchAlgo::BucketBound {
+                epsilon: 0.5,
+                beta: 1.2,
+            },
+            threads: 0,
+        }
+    }
+}
+
+/// Outcome of one query in the batch.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Index of the query in submission order (stable across runs).
+    pub id: usize,
+    /// Index of the query set this query came from (position in
+    /// `WorkloadConfig::keyword_counts`; counts may repeat, so this —
+    /// not `keyword_count` — identifies the set).
+    pub set_index: usize,
+    /// Number of query keywords.
+    pub keyword_count: usize,
+    /// Wall-clock time answering this query.
+    pub latency: Duration,
+    /// Objective score of the returned route, if feasible.
+    pub objective: Option<f64>,
+    /// Error message if the engine rejected the query.
+    pub error: Option<String>,
+}
+
+impl QueryOutcome {
+    /// Whether the query produced a feasible route.
+    pub fn is_feasible(&self) -> bool {
+        self.objective.is_some()
+    }
+}
+
+/// Aggregate latency statistics in microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Fastest query.
+    pub min_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Slowest query.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    fn from_durations(mut us: Vec<f64>) -> Option<Self> {
+        if us.is_empty() {
+            return None;
+        }
+        us.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| -> f64 {
+            let rank = (p * (us.len() - 1) as f64).round() as usize;
+            us[rank.min(us.len() - 1)]
+        };
+        Some(LatencyStats {
+            min_us: us[0],
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: us[us.len() - 1],
+        })
+    }
+}
+
+/// Per-keyword-count aggregate in the report.
+#[derive(Debug, Clone)]
+pub struct SetSummary {
+    /// Keywords per query in this set.
+    pub keyword_count: usize,
+    /// Queries executed.
+    pub queries: usize,
+    /// Queries with a feasible route.
+    pub feasible: usize,
+    /// Latency aggregate for the set (absent if the set was empty).
+    pub latency: Option<LatencyStats>,
+}
+
+/// Everything a batch run produced.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Algorithm name (`os-scaling`, `bucket-bound`, `greedy`).
+    pub algo: String,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Budget limit applied to every query.
+    pub delta: f64,
+    /// Every per-query outcome, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// End-to-end wall time of the parallel section.
+    pub wall: Duration,
+    /// Per-set aggregates.
+    pub per_set: Vec<SetSummary>,
+}
+
+impl BatchReport {
+    /// Queries with a feasible route.
+    pub fn feasible(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_feasible()).count()
+    }
+
+    /// Queries the engine rejected outright.
+    pub fn errors(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.error.is_some()).count()
+    }
+
+    /// Aggregate latency over all answered queries. Outcomes the engine
+    /// rejected are excluded: construction failures were never timed
+    /// (their latency is zero) and would drag the percentiles down.
+    pub fn latency(&self) -> Option<LatencyStats> {
+        LatencyStats::from_durations(
+            self.outcomes
+                .iter()
+                .filter(|o| o.error.is_none())
+                .map(|o| o.latency.as_secs_f64() * 1e6)
+                .collect(),
+        )
+    }
+
+    /// Sustained throughput of the parallel section, queries per second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Render the summary as a JSON object. The environment vendors no
+    /// `serde_json`, so a local module does the (RFC 8259) escaping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        json::field_str(&mut out, "algo", &self.algo);
+        json::field_f64(&mut out, "delta", self.delta);
+        json::field_u64(&mut out, "threads", self.threads as u64);
+        json::field_u64(&mut out, "queries", self.outcomes.len() as u64);
+        json::field_u64(&mut out, "feasible", self.feasible() as u64);
+        json::field_u64(&mut out, "errors", self.errors() as u64);
+        json::field_f64(&mut out, "wall_ms", self.wall.as_secs_f64() * 1e3);
+        json::field_f64(&mut out, "throughput_qps", self.throughput_qps());
+        if let Some(l) = self.latency() {
+            out.push_str("\"latency_us\":");
+            json::latency_object(&mut out, &l);
+            out.push(',');
+        }
+        out.push_str("\"per_set\":[");
+        for (i, s) in self.per_set.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json::field_u64(&mut out, "keywords", s.keyword_count as u64);
+            json::field_u64(&mut out, "queries", s.queries as u64);
+            json::field_u64(&mut out, "feasible", s.feasible as u64);
+            if let Some(l) = &s.latency {
+                out.push_str("\"latency_us\":");
+                json::latency_object(&mut out, l);
+            } else {
+                out.push_str("\"latency_us\":null");
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Tiny JSON rendering helpers (the environment has no `serde_json`).
+mod json {
+    use super::LatencyStats;
+
+    /// Escape a string per RFC 8259 and append it quoted.
+    pub fn push_str_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Render a finite f64 (JSON has no NaN/Inf; clamp those to 0).
+    pub fn push_f64(out: &mut String, v: f64) {
+        if v.is_finite() {
+            out.push_str(&format!("{v:.3}"));
+        } else {
+            out.push('0');
+        }
+    }
+
+    pub fn field_str(out: &mut String, name: &str, v: &str) {
+        push_str_escaped(out, name);
+        out.push(':');
+        push_str_escaped(out, v);
+        out.push(',');
+    }
+
+    pub fn field_u64(out: &mut String, name: &str, v: u64) {
+        push_str_escaped(out, name);
+        out.push(':');
+        out.push_str(&v.to_string());
+        out.push(',');
+    }
+
+    pub fn field_f64(out: &mut String, name: &str, v: f64) {
+        push_str_escaped(out, name);
+        out.push(':');
+        push_f64(out, v);
+        out.push(',');
+    }
+
+    pub fn latency_object(out: &mut String, l: &LatencyStats) {
+        out.push('{');
+        field_f64(out, "min", l.min_us);
+        field_f64(out, "mean", l.mean_us);
+        field_f64(out, "p50", l.p50_us);
+        field_f64(out, "p95", l.p95_us);
+        field_f64(out, "p99", l.p99_us);
+        push_str_escaped(out, "max");
+        out.push(':');
+        push_f64(out, l.max_us);
+        out.push('}');
+    }
+}
+
+/// Materialized work item: a full KOR query plus bookkeeping.
+struct WorkItem {
+    id: usize,
+    set_index: usize,
+    keyword_count: usize,
+    query: Result<KorQuery, String>,
+}
+
+/// Generate the workload and answer every query in parallel.
+///
+/// The engine (inverted index + shared `CachedPairCosts`) is built once
+/// before the parallel section; workers pull queries off an atomic
+/// cursor, so long-running stragglers never idle the other threads.
+pub fn run_batch(graph: &Graph, config: &BatchConfig) -> BatchReport {
+    let engine = KorEngine::new(graph);
+    let sets = generate_workload(graph, engine.index(), &config.workload);
+
+    let mut items: Vec<WorkItem> = Vec::new();
+    for (set_index, set) in sets.iter().enumerate() {
+        for spec in &set.queries {
+            items.push(WorkItem {
+                id: items.len(),
+                set_index,
+                keyword_count: set.keyword_count,
+                query: KorQuery::new(
+                    graph,
+                    spec.source,
+                    spec.target,
+                    spec.keywords.clone(),
+                    config.delta,
+                )
+                .map_err(|e| e.to_string()),
+            });
+        }
+    }
+
+    let threads = if config.threads > 0 {
+        config.threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+    .min(items.len().max(1));
+
+    let cursor = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let engine = &engine;
+            let items = &items;
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<QueryOutcome> = Vec::new();
+                loop {
+                    let at = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(at) else { break };
+                    local.push(run_one(engine, item, config.algo));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            outcomes.extend(h.join().expect("batch worker panicked"));
+        }
+    });
+    let wall = started.elapsed();
+    outcomes.sort_by_key(|o| o.id);
+
+    let per_set = sets
+        .iter()
+        .enumerate()
+        .map(|(set_index, set)| {
+            let of_set: Vec<&QueryOutcome> = outcomes
+                .iter()
+                .filter(|o| o.set_index == set_index)
+                .collect();
+            SetSummary {
+                keyword_count: set.keyword_count,
+                queries: of_set.len(),
+                feasible: of_set.iter().filter(|o| o.is_feasible()).count(),
+                latency: LatencyStats::from_durations(
+                    of_set
+                        .iter()
+                        .filter(|o| o.error.is_none())
+                        .map(|o| o.latency.as_secs_f64() * 1e6)
+                        .collect(),
+                ),
+            }
+        })
+        .collect();
+
+    BatchReport {
+        algo: config.algo.name().to_string(),
+        threads,
+        delta: config.delta,
+        outcomes,
+        wall,
+        per_set,
+    }
+}
+
+/// Answer one work item, timing just the engine call.
+fn run_one(engine: &KorEngine<'_>, item: &WorkItem, algo: BatchAlgo) -> QueryOutcome {
+    let base = QueryOutcome {
+        id: item.id,
+        set_index: item.set_index,
+        keyword_count: item.keyword_count,
+        latency: Duration::ZERO,
+        objective: None,
+        error: None,
+    };
+    let query = match &item.query {
+        Ok(q) => q,
+        Err(e) => {
+            return QueryOutcome {
+                error: Some(e.clone()),
+                ..base
+            }
+        }
+    };
+    let t0 = Instant::now();
+    let answered = match algo {
+        BatchAlgo::OsScaling { epsilon } => engine
+            .os_scaling(query, &OsScalingParams::with_epsilon(epsilon))
+            .map(|r| r.route.map(|route| route.objective))
+            .map_err(|e| e.to_string()),
+        BatchAlgo::BucketBound { epsilon, beta } => engine
+            .bucket_bound(query, &BucketBoundParams::with(epsilon, beta))
+            .map(|r| r.route.map(|route| route.objective))
+            .map_err(|e| e.to_string()),
+        BatchAlgo::Greedy { alpha, beam } => engine
+            .greedy(
+                query,
+                &GreedyParams {
+                    alpha,
+                    beam_width: beam.max(1),
+                    ..GreedyParams::default()
+                },
+            )
+            .map(|r| r.filter(|g| g.is_feasible()).map(|g| g.objective))
+            .map_err(|e| e.to_string()),
+    };
+    let latency = t0.elapsed();
+    match answered {
+        Ok(objective) => QueryOutcome {
+            latency,
+            objective,
+            ..base
+        },
+        Err(e) => QueryOutcome {
+            latency,
+            error: Some(e),
+            ..base
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_data::{generate_roadnet, RoadNetConfig};
+
+    fn small_config() -> BatchConfig {
+        BatchConfig {
+            workload: WorkloadConfig {
+                keyword_counts: vec![1, 2],
+                queries_per_set: 8,
+                frequency_weighted: true,
+                max_euclidean_km: None,
+                min_doc_fraction: 0.0,
+                seed: 11,
+            },
+            delta: 40.0,
+            algo: BatchAlgo::BucketBound {
+                epsilon: 0.5,
+                beta: 1.2,
+            },
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn batch_runs_all_queries_in_order() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        let report = run_batch(&g, &small_config());
+        assert_eq!(report.outcomes.len(), 16);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.id, i);
+        }
+        assert_eq!(report.per_set.len(), 2);
+        assert_eq!(report.per_set.iter().map(|s| s.queries).sum::<usize>(), 16);
+        assert!(report.feasible() > 0, "no feasible routes in small batch");
+        assert_eq!(report.errors(), 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        let mut cfg = small_config();
+        let par = run_batch(&g, &cfg);
+        cfg.threads = 1;
+        let seq = run_batch(&g, &cfg);
+        let objs = |r: &BatchReport| -> Vec<Option<u64>> {
+            r.outcomes
+                .iter()
+                .map(|o| o.objective.map(f64::to_bits))
+                .collect()
+        };
+        assert_eq!(objs(&par), objs(&seq));
+    }
+
+    #[test]
+    fn all_algorithms_produce_reports() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        let mut cfg = small_config();
+        for algo in [
+            BatchAlgo::OsScaling { epsilon: 0.5 },
+            BatchAlgo::BucketBound {
+                epsilon: 0.5,
+                beta: 1.2,
+            },
+            BatchAlgo::Greedy {
+                alpha: 0.5,
+                beam: 2,
+            },
+        ] {
+            cfg.algo = algo;
+            let report = run_batch(&g, &cfg);
+            assert_eq!(report.outcomes.len(), 16);
+            assert_eq!(report.algo, algo.name());
+            assert!(report.latency().is_some());
+            assert!(report.throughput_qps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_keyword_counts_stay_separate_sets() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        let mut cfg = small_config();
+        cfg.workload.keyword_counts = vec![2, 2];
+        let report = run_batch(&g, &cfg);
+        assert_eq!(report.outcomes.len(), 16);
+        assert_eq!(report.per_set.len(), 2);
+        // Each outcome belongs to exactly one set; duplicate counts must
+        // not double-count.
+        assert_eq!(report.per_set.iter().map(|s| s.queries).sum::<usize>(), 16);
+        for s in &report.per_set {
+            assert_eq!(s.keyword_count, 2);
+            assert_eq!(s.queries, 8);
+        }
+    }
+
+    #[test]
+    fn json_summary_is_well_formed() {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        let report = run_batch(&g, &small_config());
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"algo\":\"bucket-bound\"",
+            "\"queries\":16",
+            "\"latency_us\":",
+            "\"per_set\":[",
+            "\"throughput_qps\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces/brackets outside strings — cheap structural check.
+        let (mut depth, mut brackets) = (0i32, 0i32);
+        for c in json.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                '[' => brackets += 1,
+                ']' => brackets -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(brackets, 0);
+    }
+
+    #[test]
+    fn string_escaping_is_correct() {
+        let mut out = String::new();
+        json::push_str_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

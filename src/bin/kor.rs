@@ -16,11 +16,20 @@
 //! * `stats` — print graph statistics;
 //! * `index` — build the disk-resident B+-tree inverted file;
 //! * `query` — answer a KOR/KkR query with any of the paper's
-//!   algorithms.
+//!   algorithms;
+//! * `batch` — generate a query workload over a dataset and answer it in
+//!   parallel over one shared engine, printing per-query latencies and a
+//!   JSON summary:
+//!
+//! ```bash
+//! kor batch city.korg --budget 25 --per-set 50 --keywords 2,4,6,8,10 \
+//!       --algo bucket-bound --threads 8 --json-out summary.json
+//! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use kor::batch::{run_batch, BatchAlgo, BatchConfig};
 use kor::prelude::*;
 
 fn main() -> ExitCode {
@@ -41,6 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats(&args[1..]),
         Some("index") => index(&args[1..]),
         Some("query") => query(&args[1..]),
+        Some("batch") => batch(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
             Ok(())
@@ -59,7 +69,11 @@ fn usage() -> &'static str {
      \x20 kor index FILE [--out FILE.idx]\n\
      \x20 kor query FILE --from ID --to ID --keywords a,b,c --budget X\n\
      \x20           [--algo os-scaling|bucket-bound|greedy|exact] [--k N]\n\
-     \x20           [--epsilon E] [--beta B] [--alpha A] [--beam N]\n"
+     \x20           [--epsilon E] [--beta B] [--alpha A] [--beam N]\n\
+     \x20 kor batch FILE --budget X [--keywords 2,4,6,8,10] [--per-set N]\n\
+     \x20           [--algo os-scaling|bucket-bound|greedy] [--threads N]\n\
+     \x20           [--seed N] [--epsilon E] [--beta B] [--alpha A] [--beam N]\n\
+     \x20           [--json-out FILE] [--quiet]\n"
 }
 
 /// Parsed command line: positional arguments plus `--name value` flags.
@@ -72,8 +86,8 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            if name == "small" {
-                // boolean flag
+            if name == "small" || name == "quiet" {
+                // boolean flags
                 flags.push((name.to_string(), "true".to_string()));
                 continue;
             }
@@ -96,7 +110,11 @@ fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
-fn parse_num<T: std::str::FromStr>(flags: &[(String, String)], name: &str, default: T) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
     match flag(flags, name) {
         None => Ok(default),
         Some(v) => v
@@ -296,6 +314,99 @@ fn query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `kor batch`: generate a workload over a dataset and answer it in
+/// parallel over one shared engine.
+fn batch(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional.first().ok_or("batch needs a graph file")?;
+    let graph = load(path)?;
+
+    let budget: f64 = match flag(&flags, "budget") {
+        Some(v) => v.parse().map_err(|_| "--budget: not a number")?,
+        None => return Err("--budget is required".into()),
+    };
+    let keyword_counts: Vec<usize> = match flag(&flags, "keywords") {
+        None => vec![2, 4, 6, 8, 10],
+        Some(s) => s
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| format!("--keywords: bad count {t:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if keyword_counts.is_empty() {
+        return Err("--keywords needs at least one count".into());
+    }
+    let per_set: usize = parse_num(&flags, "per-set", 50)?;
+    let threads: usize = parse_num(&flags, "threads", 0)?;
+    let seed: u64 = parse_num(&flags, "seed", 42)?;
+    let epsilon: f64 = parse_num(&flags, "epsilon", 0.5)?;
+    let beta: f64 = parse_num(&flags, "beta", 1.2)?;
+    let alpha: f64 = parse_num(&flags, "alpha", 0.5)?;
+    let beam: usize = parse_num(&flags, "beam", 1)?;
+    let quiet = flag(&flags, "quiet").is_some();
+
+    let algo = match flag(&flags, "algo").unwrap_or("bucket-bound") {
+        "os-scaling" => BatchAlgo::OsScaling { epsilon },
+        "bucket-bound" => BatchAlgo::BucketBound { epsilon, beta },
+        "greedy" => BatchAlgo::Greedy { alpha, beam },
+        other => {
+            return Err(format!(
+                "unknown --algo {other:?} (batch supports os-scaling, bucket-bound, greedy)"
+            ))
+        }
+    };
+    let config = BatchConfig {
+        workload: WorkloadConfig {
+            keyword_counts,
+            queries_per_set: per_set,
+            frequency_weighted: true,
+            max_euclidean_km: None,
+            min_doc_fraction: 0.0,
+            seed,
+        },
+        delta: budget,
+        algo,
+        threads,
+    };
+
+    let report = run_batch(&graph, &config);
+
+    if !quiet {
+        for o in &report.outcomes {
+            let status = match (&o.error, o.objective) {
+                (Some(e), _) => format!("error: {e}"),
+                (None, Some(os)) => format!("OS {os:.4}"),
+                (None, None) => "infeasible".to_string(),
+            };
+            println!(
+                "q{:04} {}kw {:>10.1}us  {status}",
+                o.id,
+                o.keyword_count,
+                o.latency.as_secs_f64() * 1e6,
+            );
+        }
+    }
+    eprintln!(
+        "batch: {} queries on {} threads in {:.1} ms ({:.0} q/s), {} feasible, {} errors",
+        report.outcomes.len(),
+        report.threads,
+        report.wall.as_secs_f64() * 1e3,
+        report.throughput_qps(),
+        report.feasible(),
+        report.errors(),
+    );
+    let json = report.to_json();
+    if let Some(out) = flag(&flags, "json-out") {
+        std::fs::write(out, &json).map_err(|e| format!("--json-out {out}: {e}"))?;
+        eprintln!("wrote JSON summary to {out}");
+    }
+    println!("{json}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,21 +475,41 @@ mod tests {
         let kw = graph
             .vocab()
             .iter()
-            .find(|(id, _)| {
-                graph
-                    .nodes()
-                    .any(|n| graph.node_has_keyword(n, *id))
-            })
+            .find(|(id, _)| graph.nodes().any(|n| graph.node_has_keyword(n, *id)))
             .map(|(_, t)| t.to_string())
             .unwrap();
         run(&s(&[
-            "query", &graph_str, "--from", "0", "--to", "100", "--keywords", &kw, "--budget",
-            "1000", "--algo", "bucket-bound", "--k", "2",
+            "query",
+            &graph_str,
+            "--from",
+            "0",
+            "--to",
+            "100",
+            "--keywords",
+            &kw,
+            "--budget",
+            "1000",
+            "--algo",
+            "bucket-bound",
+            "--k",
+            "2",
         ]))
         .unwrap();
         run(&s(&[
-            "query", &graph_str, "--from", "0", "--to", "100", "--keywords", &kw, "--budget",
-            "1000", "--algo", "greedy", "--beam", "2",
+            "query",
+            &graph_str,
+            "--from",
+            "0",
+            "--to",
+            "100",
+            "--keywords",
+            &kw,
+            "--budget",
+            "1000",
+            "--algo",
+            "greedy",
+            "--beam",
+            "2",
         ]))
         .unwrap();
     }

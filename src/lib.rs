@@ -20,6 +20,10 @@
 //!   exact/brute-force baselines, and KkR top-k;
 //! * [`data`] — synthetic Flickr-like / road-network dataset generators.
 //!
+//! On top of those it adds [`batch`], a parallel front end that answers a
+//! whole query workload over one shared engine and reports per-query
+//! latencies plus an aggregate JSON summary (`kor batch` on the CLI).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -48,11 +52,15 @@
 //! assert_eq!(route.route.nodes(), &[hotel, cafe, mall, station]);
 //! ```
 
+#![deny(missing_docs)]
+
 pub use kor_apsp as apsp;
 pub use kor_core as core;
 pub use kor_data as data;
 pub use kor_graph as graph;
 pub use kor_index as index;
+
+pub mod batch;
 
 /// The most common imports in one place.
 pub mod prelude {

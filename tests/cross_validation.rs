@@ -52,7 +52,10 @@ fn approximations_respect_bounds_on_road_network() {
         match &exact.route {
             None => {
                 assert!(os.route.is_none(), "OSScaling must agree on infeasibility");
-                assert!(bb.route.is_none(), "BucketBound must agree on infeasibility");
+                assert!(
+                    bb.route.is_none(),
+                    "BucketBound must agree on infeasibility"
+                );
             }
             Some(opt) => {
                 feasible += 1;
@@ -143,7 +146,10 @@ fn greedy_routes_are_always_valid_routes() {
                     assert!((bs - r.budget).abs() < 1e-9);
                     assert_eq!(r.route.source(), Some(query.source));
                     assert_eq!(r.route.target(), Some(query.target));
-                    assert_eq!(r.covers_keywords, r.route.covers(&graph, query.keywords.ids()));
+                    assert_eq!(
+                        r.covers_keywords,
+                        r.route.covers(&graph, query.keywords.ids())
+                    );
                     if mode == GreedyMode::BudgetFirst {
                         assert!(r.within_budget);
                     }
@@ -215,10 +221,17 @@ fn flickr_pipeline_supports_end_to_end_queries() {
     let mut any_feasible = false;
     for set in &workload {
         for spec in &set.queries {
-            let query =
-                KorQuery::new(&graph, spec.source, spec.target, spec.keywords.clone(), 10.0)
-                    .unwrap();
-            let os = engine.os_scaling(&query, &OsScalingParams::default()).unwrap();
+            let query = KorQuery::new(
+                &graph,
+                spec.source,
+                spec.target,
+                spec.keywords.clone(),
+                10.0,
+            )
+            .unwrap();
+            let os = engine
+                .os_scaling(&query, &OsScalingParams::default())
+                .unwrap();
             let bb = engine
                 .bucket_bound(&query, &BucketBoundParams::default())
                 .unwrap();
@@ -230,7 +243,10 @@ fn flickr_pipeline_supports_end_to_end_queries() {
             }
         }
     }
-    assert!(any_feasible, "Flickr-like workload should have feasible queries");
+    assert!(
+        any_feasible,
+        "Flickr-like workload should have feasible queries"
+    );
 }
 
 #[test]
@@ -262,16 +278,14 @@ fn graph_io_round_trip_preserves_query_answers() {
             .iter()
             .map(|&k| graph.vocab().resolve(k).unwrap())
             .collect();
-        let q2 = KorQuery::from_terms(
-            &reloaded,
-            query.source,
-            query.target,
-            terms,
-            query.budget,
-        )
-        .unwrap();
-        let a = engine.os_scaling(&query, &OsScalingParams::default()).unwrap();
-        let b = engine2.os_scaling(&q2, &OsScalingParams::default()).unwrap();
+        let q2 = KorQuery::from_terms(&reloaded, query.source, query.target, terms, query.budget)
+            .unwrap();
+        let a = engine
+            .os_scaling(&query, &OsScalingParams::default())
+            .unwrap();
+        let b = engine2
+            .os_scaling(&q2, &OsScalingParams::default())
+            .unwrap();
         assert_eq!(
             a.route.map(|r| (r.objective * 1e9).round()),
             b.route.map(|r| (r.objective * 1e9).round())

@@ -68,7 +68,9 @@ fn definition4_delta6() {
     let query = KorQuery::new(&graph, v(0), v(7), vec![t(1), t(2), t(3)], 6.0).unwrap();
     for result in [
         engine.exact(&query).unwrap(),
-        engine.os_scaling(&query, &OsScalingParams::default()).unwrap(),
+        engine
+            .os_scaling(&query, &OsScalingParams::default())
+            .unwrap(),
         engine
             .brute_force(&query, &BruteForceParams::default())
             .unwrap(),
@@ -104,7 +106,12 @@ fn theorem2_bound_on_every_fixture_query() {
     // OS(R_OS) ≤ OS(R_opt)/(1−ε) for all ε, over a grid of queries.
     let graph = figure1();
     let engine = KorEngine::new(&graph);
-    for m in [vec![t(1)], vec![t(2)], vec![t(1), t(2)], vec![t(1), t(2), t(4)]] {
+    for m in [
+        vec![t(1)],
+        vec![t(2)],
+        vec![t(1), t(2)],
+        vec![t(1), t(2), t(4)],
+    ] {
         for delta in [5.0, 7.0, 9.0, 11.0, 15.0] {
             let query = KorQuery::new(&graph, v(0), v(7), m.clone(), delta).unwrap();
             let exact = engine.exact(&query).unwrap();
