@@ -37,18 +37,30 @@ pub trait PairCosts {
 /// the greedy algorithm touches only a handful of sources per query, so
 /// this avoids any `O(|V|²)` pre-processing while returning exactly the
 /// same values as [`crate::DenseApsp`].
-pub struct CachedPairCosts<'g> {
-    graph: &'g Graph,
+///
+/// The cache is generic over how it holds the graph: `G` may be a plain
+/// `&Graph` (scoped use, as in tests and the batch front end) or an
+/// `Arc<Graph>` (long-lived services that must own their dataset). The
+/// memo table sits behind a `Mutex`, so a single cache can be shared by
+/// any number of threads — a tree computed for one query is reused by
+/// every later query regardless of which thread runs it.
+pub struct CachedPairCosts<G> {
+    graph: G,
     trees: Mutex<HashMap<(NodeId, u8), Arc<Tree>>>,
 }
 
-impl<'g> CachedPairCosts<'g> {
+impl<G: AsRef<Graph>> CachedPairCosts<G> {
     /// Creates an empty cache over `graph`.
-    pub fn new(graph: &'g Graph) -> Self {
+    pub fn new(graph: G) -> Self {
         Self {
             graph,
             trees: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph.as_ref()
     }
 
     /// Number of trees computed so far (for instrumentation).
@@ -61,12 +73,12 @@ impl<'g> CachedPairCosts<'g> {
         let mut guard = self.trees.lock().unwrap();
         guard
             .entry(key)
-            .or_insert_with(|| Arc::new(forward_tree(self.graph, metric, source)))
+            .or_insert_with(|| Arc::new(forward_tree(self.graph.as_ref(), metric, source)))
             .clone()
     }
 }
 
-impl PairCosts for CachedPairCosts<'_> {
+impl<G: AsRef<Graph>> PairCosts for CachedPairCosts<G> {
     fn tau(&self, i: NodeId, j: NodeId) -> Option<PathCost> {
         let t = self.tree(i, Metric::Objective);
         t.is_reachable(j).then(|| PathCost {

@@ -20,7 +20,11 @@ fn default_queries(ctx: &Context) -> (std::sync::Arc<kor_graph::Graph>, Vec<KorQ
     (graph, queries)
 }
 
-fn run_all(engine: &KorEngine<'_>, queries: &[KorQuery], algo: &Algo) -> Vec<QueryRun> {
+fn run_all<G: AsRef<kor_graph::Graph>>(
+    engine: &KorEngine<G>,
+    queries: &[KorQuery],
+    algo: &Algo,
+) -> Vec<QueryRun> {
     queries.iter().map(|q| run_algo(engine, q, algo)).collect()
 }
 

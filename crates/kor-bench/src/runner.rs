@@ -57,7 +57,11 @@ pub struct QueryRun {
 }
 
 /// Runs one algorithm on one query.
-pub fn run_algo(engine: &KorEngine<'_>, query: &KorQuery, algo: &Algo) -> QueryRun {
+pub fn run_algo<G: AsRef<kor_graph::Graph>>(
+    engine: &KorEngine<G>,
+    query: &KorQuery,
+    algo: &Algo,
+) -> QueryRun {
     let start = Instant::now();
     let (feasible, objective) = match algo {
         Algo::OsScaling(p) => {

@@ -11,6 +11,7 @@
 //! magnitude faster than Algorithm 1.
 
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use kor_apsp::{KeywordReach, QueryContext};
 use kor_graph::{Graph, NodeId, Route};
@@ -35,7 +36,7 @@ pub fn bucket_bound(
 ) -> Result<SearchResult, KorError> {
     params.validate()?;
     let mut engine = BucketEngine::new(graph, index, query, params, 1);
-    let mut routes = engine.run();
+    let mut routes = engine.run()?;
     Ok(SearchResult {
         route: routes.pop(),
         stats: engine.stats,
@@ -57,7 +58,7 @@ pub fn top_k_bucket_bound(
         return Err(KorError::InvalidK);
     }
     let mut engine = BucketEngine::new(graph, index, query, params, k);
-    let routes = engine.run();
+    let routes = engine.run()?;
     Ok(TopKResult {
         routes,
         stats: engine.stats,
@@ -127,6 +128,7 @@ struct BucketEngine<'a> {
     mode: ScoreMode,
     k: usize,
     collect_labels: bool,
+    deadline: Option<Instant>,
     ctx: QueryContext<'a>,
     reach: Option<KeywordReach>,
     opt2: Option<Opt2>,
@@ -180,6 +182,7 @@ impl<'a> BucketEngine<'a> {
             mode,
             k,
             collect_labels: params.collect_labels,
+            deadline: params.deadline,
             ctx,
             reach,
             opt2,
@@ -192,10 +195,10 @@ impl<'a> BucketEngine<'a> {
         }
     }
 
-    fn run(&mut self) -> Vec<RouteResult> {
+    fn run(&mut self) -> Result<Vec<RouteResult>, KorError> {
         let source = self.query.source;
         if !self.ctx.reaches_target(source) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let init = Label {
             node: source,
@@ -216,6 +219,11 @@ impl<'a> BucketEngine<'a> {
         self.file_label(init_id);
 
         while !self.done() {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Err(KorError::DeadlineExceeded);
+                }
+            }
             let Some((_, item)) = self
                 .buckets
                 .pop_first(&self.arena, &mut self.stats.labels_skipped)
@@ -235,7 +243,7 @@ impl<'a> BucketEngine<'a> {
             self.stats.labels_expanded += 1;
             self.expand(item.id);
         }
-        self.results()
+        Ok(self.results())
     }
 
     /// Records the label's τ-completion as a found route if it covers all

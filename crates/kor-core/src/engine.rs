@@ -1,5 +1,7 @@
 //! Convenience facade bundling the index and pre-processing caches.
 
+use std::time::Instant;
+
 use kor_apsp::CachedPairCosts;
 use kor_graph::Graph;
 use kor_index::InvertedIndex;
@@ -8,7 +10,7 @@ use crate::brute::{brute_force, BruteForceParams};
 use crate::bucket::{bucket_bound, top_k_bucket_bound};
 use crate::error::KorError;
 use crate::greedy::{greedy, GreedyParams, GreedyRoute};
-use crate::labeling::{exact_labeling, os_scaling, top_k_os_scaling};
+use crate::labeling::{exact_labeling_with_deadline, os_scaling, top_k_os_scaling};
 use crate::params::{BucketBoundParams, OsScalingParams};
 use crate::query::KorQuery;
 use crate::result::{SearchResult, TopKResult};
@@ -16,30 +18,67 @@ use crate::result::{SearchResult, TopKResult};
 /// One-stop query engine: owns the inverted index and the forward-tree
 /// cache used by the greedy algorithm, mirroring the paper's setup where
 /// the index and pre-processing are built once per dataset.
-pub struct KorEngine<'g> {
-    graph: &'g Graph,
+///
+/// # Sharing across threads
+///
+/// The engine is generic over how it holds the graph. Scoped callers
+/// (tests, the batch front end) pass `&Graph` and get
+/// `KorEngine<&Graph>`; long-lived services pass `Arc<Graph>` so the
+/// engine owns its dataset outright and can be stored in a registry with
+/// no borrow tying it to a stack frame.
+///
+/// Either way the engine is `Send + Sync` (asserted at compile time
+/// below): the graph and index are immutable after construction, and the
+/// only interior mutability — the memoized forward trees in
+/// [`CachedPairCosts`] — sits behind a `Mutex`. One engine per dataset is
+/// meant to be shared by reference (or `Arc`) across any number of
+/// worker threads; queries never require `&mut self`.
+pub struct KorEngine<G> {
+    graph: G,
     index: InvertedIndex,
-    pairs: CachedPairCosts<'g>,
+    pairs: CachedPairCosts<G>,
 }
 
-impl<'g> KorEngine<'g> {
-    /// Builds the engine (indexes the graph's keywords).
-    pub fn new(graph: &'g Graph) -> Self {
+// The whole point of the engine is warm reuse across worker threads;
+// regressions to `Send`/`Sync` (e.g. an `Rc` or un-guarded cell slipping
+// into the graph, index, or tree cache) must fail the build, not bubble
+// up as inference errors at distant call sites.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KorEngine<std::sync::Arc<Graph>>>();
+    assert_send_sync::<KorEngine<&Graph>>();
+};
+
+impl<G: AsRef<Graph> + Clone> KorEngine<G> {
+    /// Builds the engine (indexes the graph's keywords). Only
+    /// construction needs `Clone` — the handle is duplicated into the
+    /// pair-cost cache; querying is bound-free beyond `AsRef<Graph>`.
+    pub fn new(graph: G) -> Self {
+        let index = InvertedIndex::build(graph.as_ref());
+        let pairs = CachedPairCosts::new(graph.clone());
         Self {
             graph,
-            index: InvertedIndex::build(graph),
-            pairs: CachedPairCosts::new(graph),
+            index,
+            pairs,
         }
     }
+}
 
+impl<G: AsRef<Graph>> KorEngine<G> {
     /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        self.graph.as_ref()
     }
 
     /// The inverted index.
     pub fn index(&self) -> &InvertedIndex {
         &self.index
+    }
+
+    /// Number of forward trees memoized so far by the greedy algorithm's
+    /// pair-cost cache (instrumentation for long-lived services).
+    pub fn cached_tree_count(&self) -> usize {
+        self.pairs.cached_tree_count()
     }
 
     /// `OSScaling` (Algorithm 1).
@@ -48,7 +87,7 @@ impl<'g> KorEngine<'g> {
         query: &KorQuery,
         params: &OsScalingParams,
     ) -> Result<SearchResult, KorError> {
-        os_scaling(self.graph, &self.index, query, params)
+        os_scaling(self.graph(), &self.index, query, params)
     }
 
     /// `BucketBound` (Algorithm 2).
@@ -57,7 +96,7 @@ impl<'g> KorEngine<'g> {
         query: &KorQuery,
         params: &BucketBoundParams,
     ) -> Result<SearchResult, KorError> {
-        bucket_bound(self.graph, &self.index, query, params)
+        bucket_bound(self.graph(), &self.index, query, params)
     }
 
     /// The greedy heuristic (Algorithm 3).
@@ -66,12 +105,22 @@ impl<'g> KorEngine<'g> {
         query: &KorQuery,
         params: &GreedyParams,
     ) -> Result<Option<GreedyRoute>, KorError> {
-        greedy(self.graph, &self.index, &self.pairs, query, params)
+        greedy(self.graph(), &self.index, &self.pairs, query, params)
     }
 
     /// Exact optimum via unscaled label dominance (ground truth).
     pub fn exact(&self, query: &KorQuery) -> Result<SearchResult, KorError> {
-        exact_labeling(self.graph, &self.index, query)
+        exact_labeling_with_deadline(self.graph(), &self.index, query, None)
+    }
+
+    /// [`Self::exact`] with a deadline: aborts with
+    /// [`KorError::DeadlineExceeded`] once `deadline` passes.
+    pub fn exact_with_deadline(
+        &self,
+        query: &KorQuery,
+        deadline: Option<Instant>,
+    ) -> Result<SearchResult, KorError> {
+        exact_labeling_with_deadline(self.graph(), &self.index, query, deadline)
     }
 
     /// The exhaustive §3.2 baseline (tiny graphs only).
@@ -80,7 +129,7 @@ impl<'g> KorEngine<'g> {
         query: &KorQuery,
         params: &BruteForceParams,
     ) -> Result<SearchResult, KorError> {
-        brute_force(self.graph, query, params)
+        brute_force(self.graph(), query, params)
     }
 
     /// KkR top-k via `OSScaling` (§3.5).
@@ -90,7 +139,7 @@ impl<'g> KorEngine<'g> {
         params: &OsScalingParams,
         k: usize,
     ) -> Result<TopKResult, KorError> {
-        top_k_os_scaling(self.graph, &self.index, query, params, k)
+        top_k_os_scaling(self.graph(), &self.index, query, params, k)
     }
 
     /// KkR top-k via `BucketBound` (§3.5).
@@ -100,7 +149,7 @@ impl<'g> KorEngine<'g> {
         params: &BucketBoundParams,
         k: usize,
     ) -> Result<TopKResult, KorError> {
-        top_k_bucket_bound(self.graph, &self.index, query, params, k)
+        top_k_bucket_bound(self.graph(), &self.index, query, params, k)
     }
 }
 
@@ -109,6 +158,7 @@ mod tests {
     use super::*;
     use crate::greedy::GreedyMode;
     use kor_graph::fixtures::{figure1, t, v};
+    use std::sync::Arc;
 
     #[test]
     fn all_algorithms_run_through_the_facade() {
@@ -164,5 +214,82 @@ mod tests {
         if let Some(r) = budget_first {
             assert!(r.within_budget);
         }
+    }
+
+    #[test]
+    fn arc_engine_owns_its_graph_and_shares_across_threads() {
+        // The `Arc<Graph>` instantiation outlives the stack frame that
+        // built the graph — the shape a serve-style registry stores.
+        let engine = {
+            let g = Arc::new(figure1());
+            KorEngine::new(g)
+        };
+        let q = KorQuery::new(engine.graph(), v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let engine = Arc::new(engine);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let engine = Arc::clone(&engine);
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                let r = engine.os_scaling(&q, &OsScalingParams::default()).unwrap();
+                r.route.unwrap().objective
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 6.0);
+        }
+        // The greedy tree cache is shared engine-wide.
+        let gp = GreedyParams::default();
+        engine.greedy(&q, &gp).unwrap();
+        assert!(engine.cached_tree_count() > 0);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_searches() {
+        let g = figure1();
+        let engine = KorEngine::new(&g);
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let past = Some(Instant::now());
+        let os = OsScalingParams {
+            deadline: past,
+            ..OsScalingParams::default()
+        };
+        let bb = BucketBoundParams {
+            deadline: past,
+            ..BucketBoundParams::default()
+        };
+        assert!(matches!(
+            engine.os_scaling(&q, &os),
+            Err(KorError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            engine.bucket_bound(&q, &bb),
+            Err(KorError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            engine.exact_with_deadline(&q, past),
+            Err(KorError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            engine.top_k_os_scaling(&q, &os, 2),
+            Err(KorError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            engine.top_k_bucket_bound(&q, &bb, 2),
+            Err(KorError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let g = figure1();
+        let engine = KorEngine::new(&g);
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let params = OsScalingParams {
+            deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
+            ..OsScalingParams::default()
+        };
+        let r = engine.os_scaling(&q, &params).unwrap();
+        assert_eq!(r.route.unwrap().objective, 6.0);
     }
 }

@@ -25,6 +25,8 @@ pub enum KorError {
     Keywords(QueryKeywordsError),
     /// Brute force aborted after the configured number of expansions.
     SearchSpaceExceeded(u64),
+    /// A label search ran past its deadline and was cancelled.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for KorError {
@@ -47,6 +49,7 @@ impl fmt::Display for KorError {
             KorError::SearchSpaceExceeded(n) => {
                 write!(f, "brute force exceeded {n} expansions")
             }
+            KorError::DeadlineExceeded => write!(f, "search deadline exceeded"),
         }
     }
 }
@@ -79,6 +82,7 @@ mod tests {
         assert!(KorError::InvalidAlpha(2.0).to_string().contains("2"));
         assert!(KorError::InvalidBeamWidth.to_string().contains("beam"));
         assert!(KorError::InvalidK.to_string().contains("k ≥ 1"));
+        assert!(KorError::DeadlineExceeded.to_string().contains("deadline"));
     }
 
     #[test]

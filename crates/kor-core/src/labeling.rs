@@ -10,6 +10,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use kor_apsp::{backward_tree, KeywordReach, Metric, QueryContext, Tree};
 use kor_graph::{Graph, NodeId, Route};
@@ -39,9 +40,10 @@ pub fn os_scaling(
         use_opt2: params.use_opt2,
         infrequent_threshold: params.infrequent_threshold,
         collect_labels: params.collect_labels,
+        deadline: params.deadline,
     };
     let mut engine = Engine::new(graph, index, query, cfg);
-    let mut routes = engine.run();
+    let mut routes = engine.run()?;
     Ok(SearchResult {
         route: routes.pop(),
         stats: engine.stats,
@@ -58,6 +60,18 @@ pub fn exact_labeling(
     index: &InvertedIndex,
     query: &KorQuery,
 ) -> Result<SearchResult, KorError> {
+    exact_labeling_with_deadline(graph, index, query, None)
+}
+
+/// [`exact_labeling`] with an optional deadline: the search aborts with
+/// [`KorError::DeadlineExceeded`] once `deadline` passes. Long-lived
+/// services use this to bound the (worst-case exponential) exact search.
+pub fn exact_labeling_with_deadline(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    deadline: Option<Instant>,
+) -> Result<SearchResult, KorError> {
     let cfg = EngineConfig {
         mode: ScoreMode::Exact,
         k: 1,
@@ -65,9 +79,10 @@ pub fn exact_labeling(
         use_opt2: true,
         infrequent_threshold: 0.01,
         collect_labels: false,
+        deadline,
     };
     let mut engine = Engine::new(graph, index, query, cfg);
-    let mut routes = engine.run();
+    let mut routes = engine.run()?;
     Ok(SearchResult {
         route: routes.pop(),
         stats: engine.stats,
@@ -95,9 +110,10 @@ pub fn top_k_os_scaling(
         use_opt2: params.use_opt2,
         infrequent_threshold: params.infrequent_threshold,
         collect_labels: params.collect_labels,
+        deadline: params.deadline,
     };
     let mut engine = Engine::new(graph, index, query, cfg);
-    let routes = engine.run();
+    let routes = engine.run()?;
     Ok(TopKResult {
         routes,
         stats: engine.stats,
@@ -139,6 +155,7 @@ struct EngineConfig {
     use_opt2: bool,
     infrequent_threshold: f64,
     collect_labels: bool,
+    deadline: Option<Instant>,
 }
 
 /// Priority-queue item implementing the label order of Definition 8:
@@ -291,11 +308,13 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs the search to exhaustion and materializes the result routes in
-    /// ascending objective order.
-    fn run(&mut self) -> Vec<RouteResult> {
+    /// ascending objective order. Aborts with
+    /// [`KorError::DeadlineExceeded`] if a configured deadline passes
+    /// before the search drains its queue.
+    fn run(&mut self) -> Result<Vec<RouteResult>, KorError> {
         let source = self.query.source;
         if !self.ctx.reaches_target(source) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
 
         // Initial label (Algorithm 1 lines 2–4).
@@ -318,6 +337,11 @@ impl<'a> Engine<'a> {
         self.push_queue(init_id);
 
         while let Some(item) = self.heap.pop() {
+            if let Some(deadline) = self.cfg.deadline {
+                if Instant::now() >= deadline {
+                    return Err(KorError::DeadlineExceeded);
+                }
+            }
             let label = *self.arena.get(item.id);
             if !label.alive {
                 self.stats.labels_skipped += 1;
@@ -333,14 +357,14 @@ impl<'a> Engine<'a> {
         }
 
         let candidates = std::mem::take(&mut self.top.items);
-        candidates
+        Ok(candidates
             .into_iter()
             .map(|c| RouteResult {
                 route: Route::new(c.nodes),
                 objective: c.objective,
                 budget: c.budget,
             })
-            .collect()
+            .collect())
     }
 
     /// Label treatment (Definition 7) over all outgoing edges, plus the

@@ -61,7 +61,7 @@ pub use engine::KorEngine;
 pub use error::KorError;
 pub use greedy::{greedy, GreedyMode, GreedyParams, GreedyRoute};
 pub use label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
-pub use labeling::{exact_labeling, os_scaling, top_k_os_scaling};
+pub use labeling::{exact_labeling, exact_labeling_with_deadline, os_scaling, top_k_os_scaling};
 pub use params::{BucketBoundParams, OsScalingParams};
 pub use query::KorQuery;
 pub use result::{RouteResult, SearchResult, TopKResult};

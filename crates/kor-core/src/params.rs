@@ -1,5 +1,7 @@
 //! Algorithm parameters with the paper's defaults.
 
+use std::time::Instant;
+
 use crate::error::KorError;
 
 /// Parameters for `OSScaling` (Algorithm 1).
@@ -20,6 +22,10 @@ pub struct OsScalingParams {
     /// Record a snapshot of every label created (golden-trace tests and
     /// debugging; costs memory).
     pub collect_labels: bool,
+    /// Abort the label search with [`KorError::DeadlineExceeded`] once
+    /// this instant passes (checked at every queue pop). `None` runs to
+    /// exhaustion — online services set this from per-request deadlines.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for OsScalingParams {
@@ -32,6 +38,7 @@ impl Default for OsScalingParams {
             use_opt2: true,
             infrequent_threshold: 0.01,
             collect_labels: false,
+            deadline: None,
         }
     }
 }
@@ -92,6 +99,9 @@ pub struct BucketBoundParams {
     pub infrequent_threshold: f64,
     /// Record label snapshots.
     pub collect_labels: bool,
+    /// Abort the label search with [`KorError::DeadlineExceeded`] once
+    /// this instant passes (see [`OsScalingParams::deadline`]).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for BucketBoundParams {
@@ -104,6 +114,7 @@ impl Default for BucketBoundParams {
             use_opt2: true,
             infrequent_threshold: 0.01,
             collect_labels: false,
+            deadline: None,
         }
     }
 }

@@ -45,6 +45,15 @@ pub struct Graph {
     extrema: [f64; 4],
 }
 
+// Reflexive `AsRef`, so APIs generic over "some handle to a graph"
+// (`G: AsRef<Graph>`) accept `&Graph`, `Arc<Graph>`, and `&Arc<Graph>`
+// alike — see `kor_core::KorEngine`.
+impl AsRef<Graph> for Graph {
+    fn as_ref(&self) -> &Graph {
+        self
+    }
+}
+
 impl Graph {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(

@@ -31,6 +31,8 @@ use kor_core::{BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingPa
 use kor_data::{generate_workload, WorkloadConfig};
 use kor_graph::Graph;
 
+use crate::json::JsonValue;
+
 /// Which algorithm the batch runs for every query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BatchAlgo {
@@ -219,110 +221,49 @@ impl BatchReport {
         self.outcomes.len() as f64 / self.wall.as_secs_f64()
     }
 
-    /// Render the summary as a JSON object. The environment vendors no
-    /// `serde_json`, so a local module does the (RFC 8259) escaping.
+    /// Render the summary as a JSON object (via [`crate::json`]; the
+    /// environment vendors no `serde_json`).
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(1024);
-        out.push('{');
-        json::field_str(&mut out, "algo", &self.algo);
-        json::field_f64(&mut out, "delta", self.delta);
-        json::field_u64(&mut out, "threads", self.threads as u64);
-        json::field_u64(&mut out, "queries", self.outcomes.len() as u64);
-        json::field_u64(&mut out, "feasible", self.feasible() as u64);
-        json::field_u64(&mut out, "errors", self.errors() as u64);
-        json::field_f64(&mut out, "wall_ms", self.wall.as_secs_f64() * 1e3);
-        json::field_f64(&mut out, "throughput_qps", self.throughput_qps());
+        fn latency_json(l: &LatencyStats) -> JsonValue {
+            JsonValue::obj([
+                ("min", l.min_us.into()),
+                ("mean", l.mean_us.into()),
+                ("p50", l.p50_us.into()),
+                ("p95", l.p95_us.into()),
+                ("p99", l.p99_us.into()),
+                ("max", l.max_us.into()),
+            ])
+        }
+        let per_set: Vec<JsonValue> = self
+            .per_set
+            .iter()
+            .map(|s| {
+                JsonValue::obj([
+                    ("keywords", s.keyword_count.into()),
+                    ("queries", s.queries.into()),
+                    ("feasible", s.feasible.into()),
+                    (
+                        "latency_us",
+                        s.latency.as_ref().map_or(JsonValue::Null, latency_json),
+                    ),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("algo", JsonValue::from(self.algo.clone())),
+            ("delta", self.delta.into()),
+            ("threads", self.threads.into()),
+            ("queries", self.outcomes.len().into()),
+            ("feasible", self.feasible().into()),
+            ("errors", self.errors().into()),
+            ("wall_ms", (self.wall.as_secs_f64() * 1e3).into()),
+            ("throughput_qps", self.throughput_qps().into()),
+        ];
         if let Some(l) = self.latency() {
-            out.push_str("\"latency_us\":");
-            json::latency_object(&mut out, &l);
-            out.push(',');
+            fields.push(("latency_us", latency_json(&l)));
         }
-        out.push_str("\"per_set\":[");
-        for (i, s) in self.per_set.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push('{');
-            json::field_u64(&mut out, "keywords", s.keyword_count as u64);
-            json::field_u64(&mut out, "queries", s.queries as u64);
-            json::field_u64(&mut out, "feasible", s.feasible as u64);
-            if let Some(l) = &s.latency {
-                out.push_str("\"latency_us\":");
-                json::latency_object(&mut out, l);
-            } else {
-                out.push_str("\"latency_us\":null");
-            }
-            out.push('}');
-        }
-        out.push_str("]}");
-        out
-    }
-}
-
-/// Tiny JSON rendering helpers (the environment has no `serde_json`).
-mod json {
-    use super::LatencyStats;
-
-    /// Escape a string per RFC 8259 and append it quoted.
-    pub fn push_str_escaped(out: &mut String, s: &str) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-    }
-
-    /// Render a finite f64 (JSON has no NaN/Inf; clamp those to 0).
-    pub fn push_f64(out: &mut String, v: f64) {
-        if v.is_finite() {
-            out.push_str(&format!("{v:.3}"));
-        } else {
-            out.push('0');
-        }
-    }
-
-    pub fn field_str(out: &mut String, name: &str, v: &str) {
-        push_str_escaped(out, name);
-        out.push(':');
-        push_str_escaped(out, v);
-        out.push(',');
-    }
-
-    pub fn field_u64(out: &mut String, name: &str, v: u64) {
-        push_str_escaped(out, name);
-        out.push(':');
-        out.push_str(&v.to_string());
-        out.push(',');
-    }
-
-    pub fn field_f64(out: &mut String, name: &str, v: f64) {
-        push_str_escaped(out, name);
-        out.push(':');
-        push_f64(out, v);
-        out.push(',');
-    }
-
-    pub fn latency_object(out: &mut String, l: &LatencyStats) {
-        out.push('{');
-        field_f64(out, "min", l.min_us);
-        field_f64(out, "mean", l.mean_us);
-        field_f64(out, "p50", l.p50_us);
-        field_f64(out, "p95", l.p95_us);
-        field_f64(out, "p99", l.p99_us);
-        push_str_escaped(out, "max");
-        out.push(':');
-        push_f64(out, l.max_us);
-        out.push('}');
+        fields.push(("per_set", JsonValue::Arr(per_set)));
+        JsonValue::obj(fields).render()
     }
 }
 
@@ -429,7 +370,7 @@ pub fn run_batch(graph: &Graph, config: &BatchConfig) -> BatchReport {
 }
 
 /// Answer one work item, timing just the engine call.
-fn run_one(engine: &KorEngine<'_>, item: &WorkItem, algo: BatchAlgo) -> QueryOutcome {
+fn run_one(engine: &KorEngine<&Graph>, item: &WorkItem, algo: BatchAlgo) -> QueryOutcome {
     let base = QueryOutcome {
         id: item.id,
         set_index: item.set_index,
@@ -584,35 +525,21 @@ mod tests {
         let g = generate_roadnet(&RoadNetConfig::small());
         let report = run_batch(&g, &small_config());
         let json = report.to_json();
-        assert!(json.starts_with('{') && json.ends_with('}'));
-        for key in [
-            "\"algo\":\"bucket-bound\"",
-            "\"queries\":16",
-            "\"latency_us\":",
-            "\"per_set\":[",
-            "\"throughput_qps\":",
-        ] {
-            assert!(json.contains(key), "missing {key} in {json}");
-        }
-        // Balanced braces/brackets outside strings — cheap structural check.
-        let (mut depth, mut brackets) = (0i32, 0i32);
-        for c in json.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => depth -= 1,
-                '[' => brackets += 1,
-                ']' => brackets -= 1,
-                _ => {}
-            }
-        }
-        assert_eq!(depth, 0);
-        assert_eq!(brackets, 0);
-    }
-
-    #[test]
-    fn string_escaping_is_correct() {
-        let mut out = String::new();
-        json::push_str_escaped(&mut out, "a\"b\\c\nd\u{1}");
-        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        // Must survive the strict parser it is built from.
+        let parsed = JsonValue::parse(&json).expect("summary parses");
+        assert_eq!(
+            parsed.get("algo").and_then(JsonValue::as_str),
+            Some("bucket-bound")
+        );
+        assert_eq!(parsed.get("queries").and_then(JsonValue::as_u64), Some(16));
+        assert!(parsed.get("latency_us").is_some());
+        assert!(parsed.get("throughput_qps").and_then(JsonValue::as_f64) > Some(0.0));
+        assert_eq!(
+            parsed
+                .get("per_set")
+                .and_then(JsonValue::as_arr)
+                .map(<[_]>::len),
+            Some(2)
+        );
     }
 }

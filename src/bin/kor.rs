@@ -25,12 +25,21 @@
 //! kor batch city.korg --budget 25 --per-set 50 --keywords 2,4,6,8,10 \
 //!       --algo bucket-bound --threads 8 --json-out summary.json
 //! ```
+//!
+//! * `serve` — run the TCP query service (newline-delimited JSON; see
+//!   `docs/PROTOCOL.md`) with warm engines for the given datasets:
+//!
+//! ```bash
+//! kor serve --addr 127.0.0.1:7878 --threads 8 --dataset city=city.korg
+//! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use kor::batch::{run_batch, BatchAlgo, BatchConfig};
 use kor::prelude::*;
+use kor::serve::registry::Dataset;
+use kor::serve::{ServeConfig, Server};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,13 +60,19 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("index") => index(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("batch") => batch(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}")),
+        Some(other) => Err(format!(
+            "unknown subcommand {other:?} (expected one of: {SUBCOMMANDS})"
+        )),
     }
 }
+
+/// Every subcommand, for the usage screen and error messages.
+const SUBCOMMANDS: &str = "generate, stats, index, query, batch, serve, help";
 
 fn usage() -> &'static str {
     "kor — keyword-aware optimal route search (Cao et al., VLDB 2012)\n\
@@ -73,7 +88,14 @@ fn usage() -> &'static str {
      \x20 kor batch FILE --budget X [--keywords 2,4,6,8,10] [--per-set N]\n\
      \x20           [--algo os-scaling|bucket-bound|greedy] [--threads N]\n\
      \x20           [--seed N] [--epsilon E] [--beta B] [--alpha A] [--beam N]\n\
-     \x20           [--json-out FILE] [--quiet]\n"
+     \x20           [--json-out FILE] [--quiet]\n\
+     \x20 kor serve [--addr HOST:PORT] [--threads N]\n\
+     \x20           [--dataset [NAME=]FILE]... [--deadline-ms N]\n\
+     \x20           [--max-request-bytes N]\n\
+     \x20 kor help\n\
+     \n\
+     `kor serve` speaks newline-delimited JSON over TCP; the wire\n\
+     protocol is documented in docs/PROTOCOL.md.\n"
 }
 
 /// Parsed command line: positional arguments plus `--name value` flags.
@@ -108,6 +130,15 @@ fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .rev()
         .find(|(n, _)| n == name)
         .map(|(_, v)| v.as_str())
+}
+
+/// All values of a repeatable flag, in order (`--dataset a --dataset b`).
+fn flag_all<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
+    flags
+        .iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .collect()
 }
 
 fn parse_num<T: std::str::FromStr>(
@@ -407,6 +438,53 @@ fn batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `kor serve`: run the TCP query service until a `shutdown` request.
+fn serve(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if let Some(stray) = positional.first() {
+        return Err(format!(
+            "serve takes no positional arguments (saw {stray:?}); use --dataset [NAME=]FILE"
+        ));
+    }
+    let config = ServeConfig {
+        addr: flag(&flags, "addr").unwrap_or("127.0.0.1:7878").to_string(),
+        threads: parse_num(&flags, "threads", 0)?,
+        default_deadline_ms: parse_num(&flags, "deadline-ms", 0)?,
+        max_request_bytes: parse_num(&flags, "max-request-bytes", 1 << 20)?,
+    };
+    let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    for spec in flag_all(&flags, "dataset") {
+        // `NAME=FILE` names the dataset explicitly; a bare `FILE` takes
+        // its name from the file stem.
+        let (name, path) = match spec.split_once('=') {
+            Some((name, path)) if !name.is_empty() => (name.to_string(), path),
+            _ => {
+                let path = spec.strip_prefix('=').unwrap_or(spec);
+                let name = Dataset::name_from_path(Path::new(path))
+                    .ok_or_else(|| format!("--dataset {spec:?}: cannot derive a name"))?;
+                (name, path)
+            }
+        };
+        let dataset = Dataset::load(&name, Path::new(path))?;
+        let graph = dataset.engine().graph();
+        eprintln!(
+            "loaded dataset {name:?}: {} nodes, {} edges, {} keywords",
+            graph.node_count(),
+            graph.edge_count(),
+            graph.vocab().len()
+        );
+        server.registry().insert(dataset);
+    }
+    // The e2e tests parse this line to learn the ephemeral port; keep
+    // its shape stable.
+    println!("kor serve: listening on {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.run();
+    eprintln!("kor serve: shut down");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,14 +523,48 @@ mod tests {
     }
 
     #[test]
-    fn unknown_subcommand_is_error() {
-        assert!(run(&s(&["frobnicate"])).is_err());
+    fn unknown_subcommand_is_error_listing_alternatives() {
+        let err = run(&s(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        for sub in ["generate", "stats", "index", "query", "batch", "serve"] {
+            assert!(err.contains(sub), "error must mention {sub}: {err}");
+        }
     }
 
     #[test]
-    fn help_prints() {
+    fn help_enumerates_every_subcommand() {
         assert!(run(&s(&["help"])).is_ok());
-        assert!(usage().contains("kor query"));
+        for sub in [
+            "kor generate",
+            "kor stats",
+            "kor index",
+            "kor query",
+            "kor batch",
+            "kor serve",
+            "kor help",
+        ] {
+            assert!(usage().contains(sub), "usage must mention {sub:?}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_positional_args_and_bad_datasets() {
+        assert!(serve(&s(&["stray.korg"])).is_err());
+        assert!(serve(&s(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--dataset",
+            "/nonexistent/file.korg"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn flag_all_collects_repeats_in_order() {
+        let (_, flags) =
+            parse_flags(&s(&["--dataset", "a=1.korg", "--dataset", "b=2.korg"])).unwrap();
+        assert_eq!(flag_all(&flags, "dataset"), vec!["a=1.korg", "b=2.korg"]);
+        assert!(flag_all(&flags, "absent").is_empty());
     }
 
     #[test]

@@ -20,9 +20,16 @@
 //!   exact/brute-force baselines, and KkR top-k;
 //! * [`data`] — synthetic Flickr-like / road-network dataset generators.
 //!
-//! On top of those it adds [`batch`], a parallel front end that answers a
-//! whole query workload over one shared engine and reports per-query
-//! latencies plus an aggregate JSON summary (`kor batch` on the CLI).
+//! On top of those it adds three facade layers:
+//!
+//! * [`batch`] — a parallel front end that answers a whole query
+//!   workload over one shared engine and reports per-query latencies
+//!   plus an aggregate JSON summary (`kor batch` on the CLI);
+//! * [`serve`] — a TCP query service with a fixed worker pool, warm
+//!   per-dataset engines, and a newline-delimited JSON protocol
+//!   (`kor serve` on the CLI; wire contract in `docs/PROTOCOL.md`);
+//! * [`json`] — the strict, dependency-free JSON layer the two above
+//!   share.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +68,8 @@ pub use kor_graph as graph;
 pub use kor_index as index;
 
 pub mod batch;
+pub mod json;
+pub mod serve;
 
 /// The most common imports in one place.
 pub mod prelude {

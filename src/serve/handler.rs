@@ -1,0 +1,736 @@
+//! Request routing: one parsed [`Request`] in, one result (or
+//! [`WireError`]) out.
+//!
+//! Handlers are pure with respect to the connection: they see only the
+//! shared [`ServerContext`], so the same request produces the same
+//! result no matter which worker thread, connection, or interleaving
+//! carried it — the property the end-to-end tests pin down by comparing
+//! concurrent responses byte for byte.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use kor_core::{BucketBoundParams, GreedyParams, KorError, KorQuery, OsScalingParams, RouteResult};
+
+use crate::json::JsonValue;
+use crate::serve::protocol::{ErrorCode, Request, WireError};
+use crate::serve::registry::{Dataset, Registry, ResolveError};
+
+use std::sync::Arc;
+
+/// State shared by every worker: the dataset registry, counters, and
+/// the shutdown latch.
+pub struct ServerContext {
+    /// Loaded datasets.
+    pub registry: Registry,
+    /// When the server started (for `uptime_ms`).
+    pub started: Instant,
+    /// Worker pool size (reported by `stats`).
+    pub threads: usize,
+    /// Deadline applied to queries that do not carry their own
+    /// `deadline_ms`; `0` means unlimited.
+    pub default_deadline_ms: u64,
+    /// Maximum accepted request-line length in bytes.
+    pub max_request_bytes: usize,
+    /// Total connections accepted.
+    pub connections: AtomicU64,
+    /// Total request lines processed (including failures).
+    pub requests: AtomicU64,
+    /// Set by the `shutdown` method (and by [`crate::serve::ServerHandle`]);
+    /// the listener stops accepting once it observes this.
+    pub shutdown: AtomicBool,
+}
+
+impl ServerContext {
+    /// Fresh context with zeroed counters and a 1 MiB request cap.
+    pub fn new(threads: usize, default_deadline_ms: u64) -> ServerContext {
+        ServerContext {
+            registry: Registry::new(),
+            started: Instant::now(),
+            threads,
+            default_deadline_ms,
+            max_request_bytes: 1 << 20,
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Upper bound on the `k` of top-k queries; untrusted input must not
+/// size allocations.
+pub const MAX_K: usize = 64;
+
+/// Routes one request to its method handler. `received` is the arrival
+/// instant deadlines are measured from.
+pub fn handle(
+    ctx: &ServerContext,
+    req: &Request,
+    received: Instant,
+) -> Result<JsonValue, WireError> {
+    match req.method.as_str() {
+        "health" => {
+            check_keys(&req.params, &[])?;
+            Ok(JsonValue::obj([
+                ("status", "ok".into()),
+                ("datasets", ctx.registry.len().into()),
+                ("uptime_ms", millis(ctx.started.elapsed()).into()),
+            ]))
+        }
+        "stats" => stats(ctx, req),
+        "load_dataset" => load_dataset(ctx, req),
+        "query" => query(ctx, req, received),
+        "shutdown" => {
+            check_keys(&req.params, &[])?;
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Ok(JsonValue::obj([("stopping", true.into())]))
+        }
+        other => Err(WireError::new(
+            ErrorCode::UnknownMethod,
+            format!(
+                "unknown method {other:?} (expected query, load_dataset, stats, health, or shutdown)"
+            ),
+        )),
+    }
+}
+
+fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
+    check_keys(&req.params, &["dataset"])?;
+    let datasets: Vec<Arc<Dataset>> = match opt_str(&req.params, "dataset")? {
+        Some(name) => vec![resolve(&ctx.registry, Some(name))?],
+        None => ctx.registry.all(),
+    };
+    let per_dataset: Vec<JsonValue> = datasets
+        .iter()
+        .map(|d| {
+            let g = d.engine().graph();
+            JsonValue::obj([
+                ("name", d.name().into()),
+                ("nodes", g.node_count().into()),
+                ("edges", g.edge_count().into()),
+                ("keywords", g.vocab().len().into()),
+                ("queries_served", d.queries_served().into()),
+                ("cached_trees", d.engine().cached_tree_count().into()),
+            ])
+        })
+        .collect();
+    Ok(JsonValue::obj([
+        ("threads", ctx.threads.into()),
+        ("uptime_ms", millis(ctx.started.elapsed()).into()),
+        (
+            "connections",
+            ctx.connections.load(Ordering::Relaxed).into(),
+        ),
+        ("requests", ctx.requests.load(Ordering::Relaxed).into()),
+        ("datasets", JsonValue::Arr(per_dataset)),
+    ]))
+}
+
+fn load_dataset(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
+    check_keys(&req.params, &["path", "name"])?;
+    let path = req_str(&req.params, "path")?;
+    let name = match opt_str(&req.params, "name")? {
+        Some(n) if !n.is_empty() => n.to_string(),
+        Some(_) => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                "\"name\" must be non-empty",
+            ))
+        }
+        None => Dataset::name_from_path(std::path::Path::new(path)).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                "cannot derive a dataset name from \"path\"; pass \"name\"",
+            )
+        })?,
+    };
+    let dataset = Dataset::load(&name, std::path::Path::new(path))
+        .map_err(|e| WireError::new(ErrorCode::LoadFailed, e))?;
+    let (nodes, edges, keywords) = {
+        let g = dataset.engine().graph();
+        (g.node_count(), g.edge_count(), g.vocab().len())
+    };
+    let replaced = ctx.registry.insert(dataset);
+    Ok(JsonValue::obj([
+        ("name", name.into()),
+        ("nodes", nodes.into()),
+        ("edges", edges.into()),
+        ("keywords", keywords.into()),
+        ("replaced", replaced.into()),
+    ]))
+}
+
+fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonValue, WireError> {
+    check_keys(
+        &req.params,
+        &[
+            "dataset",
+            "from",
+            "to",
+            "keywords",
+            "budget",
+            "algo",
+            "k",
+            "epsilon",
+            "beta",
+            "alpha",
+            "beam",
+            "deadline_ms",
+        ],
+    )?;
+    let dataset = resolve(&ctx.registry, opt_str(&req.params, "dataset")?)?;
+    let engine = dataset.engine();
+
+    let from = req_u32(&req.params, "from")?;
+    let to = req_u32(&req.params, "to")?;
+    let budget = req_f64(&req.params, "budget")?;
+    let keywords: Vec<String> = match req.params.get("keywords") {
+        None => Vec::new(),
+        Some(JsonValue::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str().map(str::to_string).ok_or_else(|| {
+                    WireError::new(ErrorCode::BadRequest, "\"keywords\" must contain strings")
+                })
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                "\"keywords\" must be an array of strings",
+            ))
+        }
+    };
+    let algo = opt_str(&req.params, "algo")?.unwrap_or("os-scaling");
+    let k = opt_u64(&req.params, "k")?.unwrap_or(1) as usize;
+    if k == 0 {
+        return Err(WireError::new(ErrorCode::BadRequest, "\"k\" must be ≥ 1"));
+    }
+    // Untrusted sizes never reach an allocator: an absurd k would
+    // otherwise flow into the top-k result set's pre-allocation.
+    if k > MAX_K {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            format!("\"k\" must be ≤ {MAX_K}"),
+        ));
+    }
+    // Tuning knobs stay `None` unless the request sent them: the
+    // paper's defaults live in kor-core's `*Params::default()` only, so
+    // served results cannot drift from the `kor query` CLI (which uses
+    // the same defaults) if those values are ever tuned.
+    let epsilon = opt_f64(&req.params, "epsilon")?;
+    let beta = opt_f64(&req.params, "beta")?;
+    let alpha = opt_f64(&req.params, "alpha")?;
+    let beam = opt_u64(&req.params, "beam")?.map(|b| b as usize);
+    // A knob that the selected algorithm never reads is a client bug,
+    // the same class of mistake as a typo'd key — reject it rather
+    // than silently serving default-tuned results.
+    let irrelevant: &[(&str, bool)] = match algo {
+        "os-scaling" => &[
+            ("beta", beta.is_some()),
+            ("alpha", alpha.is_some()),
+            ("beam", beam.is_some()),
+        ],
+        "bucket-bound" => &[("alpha", alpha.is_some()), ("beam", beam.is_some())],
+        "exact" => &[
+            ("epsilon", epsilon.is_some()),
+            ("beta", beta.is_some()),
+            ("alpha", alpha.is_some()),
+            ("beam", beam.is_some()),
+        ],
+        "greedy" => &[("epsilon", epsilon.is_some()), ("beta", beta.is_some())],
+        _ => &[], // unknown algo is rejected by the dispatch below
+    };
+    if let Some((name, _)) = irrelevant.iter().find(|(_, present)| *present) {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            format!("\"{name}\" does not apply to algo {algo:?}"),
+        ));
+    }
+    let deadline = match opt_u64(&req.params, "deadline_ms")? {
+        Some(ms) => Some(received + Duration::from_millis(ms)),
+        None if ctx.default_deadline_ms > 0 => {
+            Some(received + Duration::from_millis(ctx.default_deadline_ms))
+        }
+        None => None,
+    };
+
+    let graph = engine.graph();
+    let query = KorQuery::from_terms(
+        graph,
+        kor_graph::NodeId(from),
+        kor_graph::NodeId(to),
+        keywords.iter().map(String::as_str),
+        budget,
+    )
+    .map_err(engine_error)?;
+
+    dataset.note_query();
+    let mut extra: Vec<(&'static str, JsonValue)> = Vec::new();
+    let routes: Vec<RouteResult> = match algo {
+        "os-scaling" => {
+            let mut params = OsScalingParams {
+                deadline,
+                ..OsScalingParams::default()
+            };
+            if let Some(e) = epsilon {
+                params.epsilon = e;
+            }
+            if k == 1 {
+                engine
+                    .os_scaling(&query, &params)
+                    .map_err(engine_error)?
+                    .route
+                    .into_iter()
+                    .collect()
+            } else {
+                engine
+                    .top_k_os_scaling(&query, &params, k)
+                    .map_err(engine_error)?
+                    .routes
+            }
+        }
+        "bucket-bound" => {
+            let mut params = BucketBoundParams {
+                deadline,
+                ..BucketBoundParams::default()
+            };
+            if let Some(e) = epsilon {
+                params.epsilon = e;
+            }
+            if let Some(b) = beta {
+                params.beta = b;
+            }
+            if k == 1 {
+                engine
+                    .bucket_bound(&query, &params)
+                    .map_err(engine_error)?
+                    .route
+                    .into_iter()
+                    .collect()
+            } else {
+                engine
+                    .top_k_bucket_bound(&query, &params, k)
+                    .map_err(engine_error)?
+                    .routes
+            }
+        }
+        "exact" => {
+            if k != 1 {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    "\"exact\" does not support k > 1",
+                ));
+            }
+            engine
+                .exact_with_deadline(&query, deadline)
+                .map_err(engine_error)?
+                .route
+                .into_iter()
+                .collect()
+        }
+        "greedy" => {
+            if k != 1 {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    "\"greedy\" does not support k > 1",
+                ));
+            }
+            let mut params = GreedyParams::default();
+            if let Some(a) = alpha {
+                params.alpha = a;
+            }
+            if let Some(b) = beam {
+                params.beam_width = b.max(1);
+            }
+            match engine.greedy(&query, &params).map_err(engine_error)? {
+                Some(g) => {
+                    extra.push(("covers_keywords", g.covers_keywords.into()));
+                    extra.push(("within_budget", g.within_budget.into()));
+                    vec![RouteResult {
+                        route: g.route,
+                        objective: g.objective,
+                        budget: g.budget,
+                    }]
+                }
+                None => Vec::new(),
+            }
+        }
+        other => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!(
+                    "unknown algo {other:?} (expected os-scaling, bucket-bound, exact, or greedy)"
+                ),
+            ))
+        }
+    };
+
+    let mut fields: Vec<(&'static str, JsonValue)> = vec![
+        ("dataset", dataset.name().into()),
+        ("algo", algo.into()),
+        ("feasible", (!routes.is_empty()).into()),
+        (
+            "routes",
+            JsonValue::Arr(routes.iter().map(route_json).collect()),
+        ),
+    ];
+    fields.append(&mut extra);
+    Ok(JsonValue::obj(fields))
+}
+
+/// Renders one route: node ids in order plus exact scores (numbers use
+/// shortest round-trip formatting, so equal scores render identically).
+fn route_json(r: &RouteResult) -> JsonValue {
+    JsonValue::obj([
+        (
+            "nodes",
+            JsonValue::Arr(
+                r.route
+                    .nodes()
+                    .iter()
+                    .map(|n| JsonValue::from(u64::from(n.0)))
+                    .collect(),
+            ),
+        ),
+        ("objective", r.objective.into()),
+        ("budget", r.budget.into()),
+    ])
+}
+
+fn engine_error(e: KorError) -> WireError {
+    match e {
+        KorError::DeadlineExceeded => WireError::new(ErrorCode::DeadlineExceeded, e.to_string()),
+        other => WireError::new(ErrorCode::BadRequest, other.to_string()),
+    }
+}
+
+fn resolve(registry: &Registry, name: Option<&str>) -> Result<Arc<Dataset>, WireError> {
+    registry.resolve(name).map_err(|e| match e {
+        ResolveError::Unknown(n) => WireError::new(
+            ErrorCode::UnknownDataset,
+            format!("no dataset named {n:?} is loaded"),
+        ),
+        ResolveError::NoDefault(0) => {
+            WireError::new(ErrorCode::UnknownDataset, "no dataset is loaded")
+        }
+        ResolveError::NoDefault(n) => WireError::new(
+            ErrorCode::UnknownDataset,
+            format!("{n} datasets are loaded; pass \"dataset\" to pick one"),
+        ),
+    })
+}
+
+fn millis(d: Duration) -> u64 {
+    d.as_millis().min(u128::from(u64::MAX)) as u64
+}
+
+/// Rejects unknown parameter keys (strict protocol: typos fail loudly
+/// instead of being silently ignored).
+fn check_keys(params: &JsonValue, allowed: &[&str]) -> Result<(), WireError> {
+    if let JsonValue::Obj(fields) = params {
+        for (key, _) in fields {
+            if !allowed.contains(&key.as_str()) {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    format!("unknown parameter {key:?}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn req_str<'a>(params: &'a JsonValue, key: &str) -> Result<&'a str, WireError> {
+    opt_str(params, key)?
+        .ok_or_else(|| WireError::new(ErrorCode::BadRequest, format!("missing \"{key}\"")))
+}
+
+fn opt_str<'a>(params: &'a JsonValue, key: &str) -> Result<Option<&'a str>, WireError> {
+    match params.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_str().map(Some).ok_or_else(|| {
+            WireError::new(ErrorCode::BadRequest, format!("\"{key}\" must be a string"))
+        }),
+    }
+}
+
+fn opt_f64(params: &JsonValue, key: &str) -> Result<Option<f64>, WireError> {
+    match params.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| {
+            WireError::new(ErrorCode::BadRequest, format!("\"{key}\" must be a number"))
+        }),
+    }
+}
+
+fn req_f64(params: &JsonValue, key: &str) -> Result<f64, WireError> {
+    opt_f64(params, key)?
+        .ok_or_else(|| WireError::new(ErrorCode::BadRequest, format!("missing \"{key}\"")))
+}
+
+fn opt_u64(params: &JsonValue, key: &str) -> Result<Option<u64>, WireError> {
+    match params.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("\"{key}\" must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn req_u32(params: &JsonValue, key: &str) -> Result<u32, WireError> {
+    let v = opt_u64(params, key)?
+        .ok_or_else(|| WireError::new(ErrorCode::BadRequest, format!("missing \"{key}\"")))?;
+    u32::try_from(v).map_err(|_| {
+        WireError::new(
+            ErrorCode::BadRequest,
+            format!("\"{key}\" exceeds the node id range"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::protocol::parse_request;
+    use kor_graph::fixtures::figure1;
+
+    fn ctx_with_figure1() -> ServerContext {
+        let ctx = ServerContext::new(2, 0);
+        ctx.registry.insert(Dataset::from_graph("fig1", figure1()));
+        ctx
+    }
+
+    fn run(ctx: &ServerContext, line: &str) -> Result<JsonValue, WireError> {
+        handle(ctx, &parse_request(line).unwrap(), Instant::now())
+    }
+
+    #[test]
+    fn health_reports_dataset_count() {
+        let ctx = ctx_with_figure1();
+        let r = run(&ctx, r#"{"method":"health"}"#).unwrap();
+        assert_eq!(r.get("status").and_then(JsonValue::as_str), Some("ok"));
+        assert_eq!(r.get("datasets").and_then(JsonValue::as_u64), Some(1));
+    }
+
+    #[test]
+    fn query_matches_direct_engine_call() {
+        // Example 2 of the paper: Q = ⟨v0, v7, {t1, t2}, 10⟩ ⇒ OS 6, BS 10.
+        let ctx = ctx_with_figure1();
+        let r = run(
+            &ctx,
+            r#"{"method":"query","params":{"from":0,"to":7,"keywords":["t1","t2"],"budget":10,"algo":"os-scaling"}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.get("feasible").and_then(JsonValue::as_bool), Some(true));
+        let route = &r.get("routes").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            route.get("objective").and_then(JsonValue::as_f64),
+            Some(6.0)
+        );
+        assert_eq!(route.get("budget").and_then(JsonValue::as_f64), Some(10.0));
+        let nodes: Vec<u64> = route
+            .get("nodes")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(JsonValue::as_u64)
+            .collect();
+        assert_eq!(nodes, vec![0, 2, 3, 4, 7]);
+        assert_eq!(ctx.registry.get("fig1").unwrap().queries_served(), 1);
+    }
+
+    #[test]
+    fn all_algorithms_answer() {
+        let ctx = ctx_with_figure1();
+        for algo in ["os-scaling", "bucket-bound", "exact", "greedy"] {
+            let r = run(
+                &ctx,
+                &format!(
+                    r#"{{"method":"query","params":{{"from":0,"to":7,"keywords":["t1"],"budget":10,"algo":"{algo}"}}}}"#
+                ),
+            )
+            .unwrap();
+            assert_eq!(
+                r.get("feasible").and_then(JsonValue::as_bool),
+                Some(true),
+                "{algo}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_returns_sorted_routes() {
+        let ctx = ctx_with_figure1();
+        let r = run(
+            &ctx,
+            r#"{"method":"query","params":{"from":0,"to":7,"keywords":["t1","t2"],"budget":12,"algo":"bucket-bound","k":3}}"#,
+        )
+        .unwrap();
+        let routes = r.get("routes").unwrap().as_arr().unwrap();
+        assert!(!routes.is_empty());
+        let objectives: Vec<f64> = routes
+            .iter()
+            .filter_map(|x| x.get("objective").and_then(JsonValue::as_f64))
+            .collect();
+        let mut sorted = objectives.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(objectives, sorted);
+    }
+
+    #[test]
+    fn bad_requests_get_structured_errors() {
+        let ctx = ctx_with_figure1();
+        for (line, code) in [
+            (
+                r#"{"method":"query","params":{"from":0,"to":7}}"#,
+                ErrorCode::BadRequest, // missing budget
+            ),
+            (
+                r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"frm":1}}"#,
+                ErrorCode::BadRequest, // typo'd key
+            ),
+            (
+                r#"{"method":"query","params":{"from":99,"to":7,"budget":5}}"#,
+                ErrorCode::BadRequest, // unknown node
+            ),
+            (
+                r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"algo":"dijkstra"}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"k":1000000000000000}}"#,
+                ErrorCode::BadRequest, // k beyond the cap must not reach an allocator
+            ),
+            (
+                r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"algo":"os-scaling","beta":5.0}}"#,
+                ErrorCode::BadRequest, // beta does not apply to os-scaling
+            ),
+            (
+                r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"algo":"exact","epsilon":0.1}}"#,
+                ErrorCode::BadRequest, // exact takes no tuning knobs
+            ),
+            (
+                r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"algo":"greedy","epsilon":0.1}}"#,
+                ErrorCode::BadRequest, // epsilon does not apply to greedy
+            ),
+            (
+                r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"dataset":"nope"}}"#,
+                ErrorCode::UnknownDataset,
+            ),
+            (r#"{"method":"frobnicate"}"#, ErrorCode::UnknownMethod),
+            (
+                r#"{"method":"load_dataset","params":{"path":"/nonexistent.korg"}}"#,
+                ErrorCode::LoadFailed,
+            ),
+        ] {
+            let err = run(&ctx, line).unwrap_err();
+            assert_eq!(err.code, code, "{line} -> {}", err.message);
+        }
+    }
+
+    #[test]
+    fn relevant_knobs_are_accepted() {
+        let ctx = ctx_with_figure1();
+        for params in [
+            r#""algo":"os-scaling","epsilon":0.3,"k":2"#,
+            r#""algo":"bucket-bound","epsilon":0.3,"beta":1.5"#,
+            r#""algo":"greedy","alpha":0.7,"beam":2"#,
+            r#""algo":"exact","deadline_ms":60000"#,
+        ] {
+            let line = format!(
+                r#"{{"method":"query","params":{{"from":0,"to":7,"keywords":["t1"],"budget":10,{params}}}}}"#
+            );
+            let r = run(&ctx, &line).unwrap_or_else(|e| panic!("{params}: {}", e.message));
+            assert_eq!(
+                r.get("feasible").and_then(JsonValue::as_bool),
+                Some(true),
+                "{params}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_deadline_exceeded() {
+        let ctx = ctx_with_figure1();
+        let err = run(
+            &ctx,
+            r#"{"method":"query","params":{"from":0,"to":7,"keywords":["t1","t2"],"budget":10,"deadline_ms":0}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+    }
+
+    #[test]
+    fn default_deadline_applies_when_request_has_none() {
+        let ctx = ServerContext::new(1, 1);
+        ctx.registry.insert(Dataset::from_graph("fig1", figure1()));
+        // Pretend the request arrived long ago: the 1 ms default deadline
+        // has passed by the time the search starts.
+        let req = parse_request(
+            r#"{"method":"query","params":{"from":0,"to":7,"keywords":["t1","t2"],"budget":10}}"#,
+        )
+        .unwrap();
+        let long_ago = Instant::now()
+            .checked_sub(Duration::from_secs(1))
+            .expect("monotonic clock is past 1s");
+        let err = handle(&ctx, &req, long_ago).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+    }
+
+    #[test]
+    fn shutdown_sets_the_latch() {
+        let ctx = ctx_with_figure1();
+        assert!(!ctx.shutdown.load(Ordering::SeqCst));
+        let r = run(&ctx, r#"{"method":"shutdown"}"#).unwrap();
+        assert_eq!(r.get("stopping").and_then(JsonValue::as_bool), Some(true));
+        assert!(ctx.shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn stats_reports_graph_shape() {
+        let ctx = ctx_with_figure1();
+        run(
+            &ctx,
+            r#"{"method":"query","params":{"from":0,"to":7,"budget":10,"algo":"greedy"}}"#,
+        )
+        .unwrap();
+        let r = run(&ctx, r#"{"method":"stats"}"#).unwrap();
+        let ds = &r.get("datasets").unwrap().as_arr().unwrap()[0];
+        assert_eq!(ds.get("name").and_then(JsonValue::as_str), Some("fig1"));
+        assert_eq!(ds.get("nodes").and_then(JsonValue::as_u64), Some(8));
+        assert_eq!(
+            ds.get("queries_served").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        // The named-dataset filter returns the same entry.
+        let one = run(&ctx, r#"{"method":"stats","params":{"dataset":"fig1"}}"#).unwrap();
+        assert_eq!(one.get("datasets").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn load_dataset_round_trips_a_saved_graph() {
+        let dir = std::env::temp_dir().join(format!("kor-serve-handler-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.korg");
+        kor_data::save_graph(&path, &figure1()).unwrap();
+
+        let ctx = ServerContext::new(1, 0);
+        let line = format!(
+            r#"{{"method":"load_dataset","params":{{"path":{}}}}}"#,
+            JsonValue::from(path.to_str().unwrap()).render()
+        );
+        let r = run(&ctx, &line).unwrap();
+        assert_eq!(r.get("name").and_then(JsonValue::as_str), Some("fig1"));
+        assert_eq!(r.get("nodes").and_then(JsonValue::as_u64), Some(8));
+        assert_eq!(r.get("replaced").and_then(JsonValue::as_bool), Some(false));
+        // Loading again under the same (derived) name replaces.
+        let r2 = run(&ctx, &line).unwrap();
+        assert_eq!(r2.get("replaced").and_then(JsonValue::as_bool), Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

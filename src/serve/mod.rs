@@ -1,0 +1,352 @@
+//! `kor serve` — a concurrent TCP query service over warm engines.
+//!
+//! The paper frames KOR as an interactive query ("identify a preferable
+//! route" for a traveler), but one-shot CLI runs rebuild the graph,
+//! inverted index (§3.1), and pre-processing for every question. This
+//! module keeps them warm: datasets are loaded once into a
+//! [`registry::Registry`], each with one shared
+//! [`kor_core::KorEngine`], and a fixed pool of worker threads answers
+//! requests against them over plain TCP.
+//!
+//! The wire protocol is newline-delimited JSON — one request object per
+//! line, one response per line, in order. Supported methods: `query`
+//! (algorithm selectable: `os-scaling`, `bucket-bound`, `exact`,
+//! `greedy`, with top-k variants), `load_dataset`, `stats`, `health`,
+//! and `shutdown`, with per-request deadlines and structured error
+//! responses. The full contract, including a live transcript, is in
+//! `docs/PROTOCOL.md`; everything here is `std`-only (the environment
+//! vendors no async runtime, and this workload — CPU-bound searches on
+//! a bounded pool — does not miss one).
+//!
+//! # Example
+//!
+//! Start a server on an ephemeral port, ask it the paper's Example 2
+//! query, and shut it down:
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//!
+//! use kor::serve::registry::Dataset;
+//! use kor::serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".to_string(),
+//!     threads: 2,
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! server
+//!     .registry()
+//!     .insert(Dataset::from_graph("fig1", kor::graph::fixtures::figure1()));
+//! let addr = server.local_addr();
+//! let handle = server.start();
+//!
+//! let mut conn = TcpStream::connect(addr).unwrap();
+//! conn.write_all(
+//!     b"{\"id\":1,\"method\":\"query\",\"params\":\
+//!       {\"from\":0,\"to\":7,\"keywords\":[\"t1\",\"t2\"],\"budget\":10}}\n",
+//! )
+//! .unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap())
+//!     .read_line(&mut line)
+//!     .unwrap();
+//! assert!(line.contains("\"ok\":true"), "{line}");
+//! assert!(line.contains("\"objective\":6"), "{line}");
+//! handle.shutdown();
+//! ```
+
+mod handler;
+mod pool;
+pub mod protocol;
+pub mod registry;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use handler::ServerContext;
+use pool::ConnQueue;
+use registry::Registry;
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`; port `0` picks an
+    /// ephemeral port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker pool size (also the concurrent-connection bound);
+    /// `0` means one worker per available core.
+    pub threads: usize,
+    /// Deadline in milliseconds applied to `query` requests that carry
+    /// no `deadline_ms` of their own; `0` means unlimited.
+    pub default_deadline_ms: u64,
+    /// Maximum request-line length in bytes; longer lines are answered
+    /// with a `request_too_large` error and the connection is closed.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    /// Localhost port 7878, auto-sized pool, no default deadline,
+    /// 1 MiB request cap.
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 0,
+            default_deadline_ms: 0,
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
+
+/// A bound (but not yet serving) server: the listener socket exists, so
+/// [`Server::local_addr`] is final, and datasets can be preloaded via
+/// [`Server::registry`] before the first connection is accepted.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    ctx: Arc<ServerContext>,
+}
+
+impl Server {
+    /// Binds the listen socket and prepares the shared state.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = if config.threads > 0 {
+            config.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        let mut ctx = ServerContext::new(threads, config.default_deadline_ms);
+        ctx.max_request_bytes = config.max_request_bytes;
+        Ok(Server {
+            listener,
+            addr,
+            ctx: Arc::new(ctx),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The dataset registry, for preloading datasets before
+    /// [`Server::start`] (requests can also load them later via the
+    /// `load_dataset` method).
+    pub fn registry(&self) -> &Registry {
+        &self.ctx.registry
+    }
+
+    /// Spawns the listener and worker threads and returns a handle for
+    /// shutdown/join.
+    pub fn start(self) -> ServerHandle {
+        let queue = Arc::new(ConnQueue::new());
+        let mut workers = Vec::with_capacity(self.ctx.threads);
+        for _ in 0..self.ctx.threads {
+            let queue = Arc::clone(&queue);
+            let ctx = Arc::clone(&self.ctx);
+            workers.push(std::thread::spawn(move || pool::worker_loop(&queue, &ctx)));
+        }
+        let ctx = Arc::clone(&self.ctx);
+        let listener = self.listener;
+        let accept_queue = Arc::clone(&queue);
+        let listener_thread = std::thread::spawn(move || {
+            // Non-blocking accept with a short poll keeps the loop
+            // responsive to the shutdown latch without a self-connect
+            // dance; pending connections are drained before sleeping.
+            let _ = listener.set_nonblocking(true);
+            loop {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        ctx.connections.fetch_add(1, Ordering::Relaxed);
+                        if !accept_queue.push(stream) {
+                            break;
+                        }
+                    }
+                    // Back off on any error: WouldBlock is the idle
+                    // case, but persistent failures (e.g. EMFILE when
+                    // the fd limit is hit under a connection burst)
+                    // must not hot-spin the listener against the
+                    // workers it is feeding.
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            accept_queue.close();
+        });
+        ServerHandle {
+            addr: self.addr,
+            ctx: self.ctx,
+            workers,
+            listener_thread,
+        }
+    }
+
+    /// Convenience for the CLI: start and serve until a `shutdown`
+    /// request arrives.
+    pub fn run(self) {
+        self.start().join();
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerContext>,
+    workers: Vec<JoinHandle<()>>,
+    listener_thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the listener and every worker to
+    /// finish. Connections already being served run to completion
+    /// (their clients must close for workers to finish).
+    pub fn shutdown(self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+
+    /// Waits until the server stops — either via [`ServerHandle`] (from
+    /// another thread: [`ServerHandle::shutdown`]) or a `shutdown`
+    /// request over the wire.
+    pub fn join(self) {
+        let _ = self.listener_thread.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::registry::Dataset;
+    use super::*;
+    use crate::json::JsonValue;
+    use kor_graph::fixtures::figure1;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn fixture_server(threads: usize) -> (SocketAddr, ServerHandle) {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        server
+            .registry()
+            .insert(Dataset::from_graph("fig1", figure1()));
+        let addr = server.local_addr();
+        (addr, server.start())
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut out = Vec::new();
+        for line in lines {
+            conn.write_all(line.as_bytes()).unwrap();
+            conn.write_all(b"\n").unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            out.push(resp.trim_end().to_string());
+        }
+        out
+    }
+
+    #[test]
+    fn concurrent_identical_queries_get_identical_bytes() {
+        let (addr, handle) = fixture_server(3);
+        let line = r#"{"id":9,"method":"query","params":{"from":0,"to":7,"keywords":["t1","t2"],"budget":10,"algo":"os-scaling"}}"#;
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            threads.push(std::thread::spawn(move || {
+                roundtrip(addr, &[line]).remove(0)
+            }));
+        }
+        let responses: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        for r in &responses {
+            assert_eq!(r, &responses[0], "responses must be byte-identical");
+        }
+        let parsed = JsonValue::parse(&responses[0]).unwrap();
+        assert_eq!(parsed.get("ok").and_then(JsonValue::as_bool), Some(true));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let (addr, handle) = fixture_server(1);
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"id":1,"method":"health"}"#,
+                r#"{"id":2,"method":"stats"}"#,
+                "garbage",
+                r#"{"id":4,"method":"query","params":{"from":0,"to":7,"budget":10}}"#,
+            ],
+        );
+        assert!(responses[0].starts_with(r#"{"id":1,"ok":true"#));
+        assert!(responses[1].starts_with(r#"{"id":2,"ok":true"#));
+        assert!(responses[2].contains("parse_error"));
+        assert!(responses[3].starts_with(r#"{"id":4,"ok":true"#));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_and_connection_closed() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            max_request_bytes: 64,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.start();
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let big = format!("{{\"method\":\"health\",\"id\":\"{}\"}}\n", "x".repeat(200));
+        conn.write_all(big.as_bytes()).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("request_too_large"), "{resp}");
+        // The server hangs up after the error.
+        let mut next = String::new();
+        assert_eq!(reader.read_line(&mut next).unwrap(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_request_terminates_join() {
+        let (addr, handle) = fixture_server(2);
+        let responses = roundtrip(addr, &[r#"{"id":"bye","method":"shutdown"}"#]);
+        assert!(
+            responses[0].contains("\"stopping\":true"),
+            "{}",
+            responses[0]
+        );
+        // join() returns because the wire request tripped the latch.
+        handle.join();
+    }
+}

@@ -1,0 +1,291 @@
+//! The worker pool: a shared connection queue and the per-connection
+//! request loop.
+//!
+//! The server runs a fixed number of worker threads. The listener
+//! thread accepts sockets and pushes them onto a `Mutex`+`Condvar`
+//! queue; each worker pops one connection and serves it to completion
+//! (newline-delimited request/response, in order) before taking the
+//! next. The pool size therefore bounds the number of concurrently
+//! served connections; excess connections wait in the queue with their
+//! requests unread.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::json::JsonValue;
+use crate::serve::handler::{handle, ServerContext};
+use crate::serve::protocol::{error_response, ok_response, parse_request, ErrorCode, WireError};
+
+/// Blocking multi-producer multi-consumer queue of accepted sockets.
+pub(crate) struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    pub(crate) fn new() -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a connection; returns `false` (dropping the stream)
+    /// once the queue is closed.
+    pub(crate) fn push(&self, stream: TcpStream) -> bool {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return false;
+        }
+        state.conns.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next connection; `None` once the queue is closed
+    /// and drained.
+    pub(crate) fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(stream) = state.conns.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue and wakes every blocked worker. Queued but
+    /// unserved connections are still drained and served.
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One worker: serve connections until the queue closes.
+pub(crate) fn worker_loop(queue: &ConnQueue, ctx: &ServerContext) {
+    while let Some(stream) = queue.pop() {
+        // IO errors AND panics are per-connection: drop the socket,
+        // keep serving. Without the unwind guard, one panicking request
+        // would permanently shrink the fixed-size pool.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_connection(stream, ctx)
+        }));
+    }
+}
+
+/// Outcome of reading one request line.
+enum LineRead {
+    /// A full line landed in the caller's buffer.
+    Complete,
+    /// The peer closed the connection (any partial line is discarded —
+    /// a request without its newline was never committed).
+    Eof,
+    /// The line exceeded the size cap.
+    TooLarge,
+    /// The read timed out; the partial line stays in the caller's
+    /// buffer. The caller checks the shutdown latch and retries.
+    TimedOut,
+}
+
+/// Reads up to and including the next `\n` into `line`, capped at `max`
+/// payload bytes (the newline not counted). `line` accumulates across
+/// [`LineRead::TimedOut`] returns so a slow writer loses nothing.
+fn read_line(reader: &mut impl BufRead, line: &mut Vec<u8>, max: usize) -> io::Result<LineRead> {
+    loop {
+        let (found_newline, consumed) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(LineRead::TimedOut)
+                }
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&buf[..pos]);
+                    (true, pos + 1)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (false, buf.len())
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > max {
+            return Ok(LineRead::TooLarge);
+        }
+        if found_newline {
+            return Ok(LineRead::Complete);
+        }
+    }
+}
+
+/// How long a blocked read waits before re-checking the shutdown latch.
+const READ_POLL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Serves one connection to completion: request lines in, response
+/// lines out, until EOF, an oversized line, a `shutdown` request, or —
+/// for idle connections — server shutdown.
+fn serve_connection(mut stream: TcpStream, ctx: &ServerContext) -> io::Result<()> {
+    let max = ctx.max_request_bytes;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        let line = loop {
+            match read_line(&mut reader, &mut buf, max)? {
+                LineRead::Eof => return Ok(()),
+                LineRead::TimedOut => {
+                    if ctx.shutdown.load(Ordering::SeqCst) {
+                        return Ok(()); // idle connection during shutdown
+                    }
+                }
+                LineRead::TooLarge => {
+                    let err = WireError::new(
+                        ErrorCode::RequestTooLarge,
+                        format!("request line exceeds {max} bytes"),
+                    );
+                    write_line(&mut stream, &error_response(&JsonValue::Null, &err))?;
+                    return Ok(());
+                }
+                LineRead::Complete => break std::mem::take(&mut buf),
+            }
+        };
+        let received = Instant::now();
+        let text = String::from_utf8_lossy(&line);
+        if text.trim().is_empty() {
+            continue; // blank lines keep interactive nc sessions pleasant
+        }
+        ctx.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match parse_request(text.trim()) {
+            Err(e) => error_response(&JsonValue::Null, &e),
+            Ok(req) => {
+                let shutting_down = req.method == "shutdown";
+                let resp = match handle(ctx, &req, received) {
+                    Ok(result) => ok_response(&req.id, result),
+                    Err(e) => error_response(&req.id, &e),
+                };
+                if shutting_down && ctx.shutdown.load(Ordering::SeqCst) {
+                    // Acknowledge, then close this connection; the
+                    // listener is woken by the caller in mod.rs.
+                    write_line(&mut stream, &resp)?;
+                    return Ok(());
+                }
+                resp
+            }
+        };
+        write_line(&mut stream, &response)?;
+        // A busy pipelining connection would otherwise never hit the
+        // read-timeout latch check and could keep the server alive
+        // indefinitely after an acknowledged shutdown.
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_line_splits_and_caps() {
+        let mut r = BufReader::new(Cursor::new(b"abc\ndefgh\n".to_vec()));
+        let mut line = Vec::new();
+        assert!(matches!(
+            read_line(&mut r, &mut line, 100).unwrap(),
+            LineRead::Complete
+        ));
+        assert_eq!(line, b"abc");
+        line.clear();
+        assert!(matches!(
+            read_line(&mut r, &mut line, 100).unwrap(),
+            LineRead::Complete
+        ));
+        assert_eq!(line, b"defgh");
+        line.clear();
+        assert!(matches!(
+            read_line(&mut r, &mut line, 100).unwrap(),
+            LineRead::Eof
+        ));
+
+        let mut r = BufReader::new(Cursor::new(b"0123456789\n".to_vec()));
+        let mut line = Vec::new();
+        assert!(matches!(
+            read_line(&mut r, &mut line, 4).unwrap(),
+            LineRead::TooLarge
+        ));
+
+        // A trailing fragment without its newline was never committed.
+        let mut r = BufReader::new(Cursor::new(b"tail".to_vec()));
+        let mut line = Vec::new();
+        assert!(matches!(
+            read_line(&mut r, &mut line, 100).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn queue_drains_then_reports_closed() {
+        use std::net::TcpListener;
+        let queue = ConnQueue::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        assert!(queue.push(server_side));
+        queue.close();
+        assert!(queue.pop().is_some(), "queued conn drains after close");
+        assert!(queue.pop().is_none(), "then the queue reports closed");
+        drop(client);
+        // Pushing after close drops the stream.
+        let client2 = TcpStream::connect(addr).unwrap();
+        let (server_side2, _) = listener.accept().unwrap();
+        assert!(!queue.push(server_side2));
+        drop(client2);
+    }
+
+    #[test]
+    fn closed_queue_wakes_blocked_workers() {
+        let queue = std::sync::Arc::new(ConnQueue::new());
+        let q2 = std::sync::Arc::clone(&queue);
+        let worker = std::thread::spawn(move || q2.pop().is_none());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert!(worker.join().unwrap(), "worker saw the close");
+    }
+}

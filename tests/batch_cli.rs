@@ -2,195 +2,19 @@
 //! Flickr-like dataset with the CLI, run a batch over it, and check that
 //! the JSON summary actually parses and carries sane numbers.
 //!
-//! The environment vendors no `serde_json`, so the test includes a small
-//! strict RFC 8259 parser — enough to genuinely validate the summary
-//! rather than grepping for substrings.
+//! Validation uses the strict RFC 8259 parser in [`kor::json`] (the
+//! same module the `kor serve` wire protocol is built on), so the
+//! summary is genuinely parsed rather than grepped for substrings.
 
-use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::Command;
 
-/// Minimal JSON value tree.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
-}
+use kor::json::JsonValue;
 
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    fn num(&self, key: &str) -> f64 {
-        match self.get(key) {
-            Some(Json::Num(n)) => *n,
-            other => panic!("expected number at {key:?}, got {other:?}"),
-        }
-    }
-}
-
-/// Strict recursive-descent JSON parser over the full input.
-fn parse_json(text: &str) -> Result<Json, String> {
-    let bytes: Vec<char> = text.chars().collect();
-    let mut at = 0usize;
-    let value = parse_value(&bytes, &mut at)?;
-    skip_ws(&bytes, &mut at);
-    if at != bytes.len() {
-        return Err(format!("trailing garbage at char {at}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(b: &[char], at: &mut usize) {
-    while *at < b.len() && matches!(b[*at], ' ' | '\t' | '\n' | '\r') {
-        *at += 1;
-    }
-}
-
-fn expect(b: &[char], at: &mut usize, c: char) -> Result<(), String> {
-    skip_ws(b, at);
-    if b.get(*at) == Some(&c) {
-        *at += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected {c:?} at char {at}, found {:?}",
-            b.get(*at)
-        ))
-    }
-}
-
-fn parse_value(b: &[char], at: &mut usize) -> Result<Json, String> {
-    skip_ws(b, at);
-    match b.get(*at) {
-        Some('{') => parse_object(b, at),
-        Some('[') => parse_array(b, at),
-        Some('"') => Ok(Json::Str(parse_string(b, at)?)),
-        Some('t') => parse_literal(b, at, "true", Json::Bool(true)),
-        Some('f') => parse_literal(b, at, "false", Json::Bool(false)),
-        Some('n') => parse_literal(b, at, "null", Json::Null),
-        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(b, at),
-        other => Err(format!("unexpected {other:?} at char {at}")),
-    }
-}
-
-fn parse_literal(b: &[char], at: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
-    for c in lit.chars() {
-        if b.get(*at) != Some(&c) {
-            return Err(format!("bad literal at char {at}"));
-        }
-        *at += 1;
-    }
-    Ok(v)
-}
-
-fn parse_number(b: &[char], at: &mut usize) -> Result<Json, String> {
-    let start = *at;
-    while *at < b.len() && matches!(b[*at], '-' | '+' | '.' | 'e' | 'E' | '0'..='9') {
-        *at += 1;
-    }
-    let s: String = b[start..*at].iter().collect();
-    s.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("bad number {s:?} at char {start}"))
-}
-
-fn parse_string(b: &[char], at: &mut usize) -> Result<String, String> {
-    expect(b, at, '"')?;
-    let mut out = String::new();
-    loop {
-        match b.get(*at) {
-            None => return Err("unterminated string".into()),
-            Some('"') => {
-                *at += 1;
-                return Ok(out);
-            }
-            Some('\\') => {
-                *at += 1;
-                match b.get(*at) {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('n') => out.push('\n'),
-                    Some('r') => out.push('\r'),
-                    Some('t') => out.push('\t'),
-                    Some('b') => out.push('\u{8}'),
-                    Some('f') => out.push('\u{c}'),
-                    Some('u') => {
-                        let hex: String = b
-                            .get(*at + 1..*at + 5)
-                            .ok_or("truncated \\u escape")?
-                            .iter()
-                            .collect();
-                        let code = u32::from_str_radix(&hex, 16)
-                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *at += 4;
-                    }
-                    other => return Err(format!("bad escape {other:?}")),
-                }
-                *at += 1;
-            }
-            Some(&c) => {
-                out.push(c);
-                *at += 1;
-            }
-        }
-    }
-}
-
-fn parse_array(b: &[char], at: &mut usize) -> Result<Json, String> {
-    expect(b, at, '[')?;
-    let mut items = Vec::new();
-    skip_ws(b, at);
-    if b.get(*at) == Some(&']') {
-        *at += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(b, at)?);
-        skip_ws(b, at);
-        match b.get(*at) {
-            Some(',') => *at += 1,
-            Some(']') => {
-                *at += 1;
-                return Ok(Json::Arr(items));
-            }
-            other => return Err(format!("expected , or ] at char {at}, found {other:?}")),
-        }
-    }
-}
-
-fn parse_object(b: &[char], at: &mut usize) -> Result<Json, String> {
-    expect(b, at, '{')?;
-    let mut map = BTreeMap::new();
-    skip_ws(b, at);
-    if b.get(*at) == Some(&'}') {
-        *at += 1;
-        return Ok(Json::Obj(map));
-    }
-    loop {
-        skip_ws(b, at);
-        let key = parse_string(b, at)?;
-        expect(b, at, ':')?;
-        map.insert(key, parse_value(b, at)?);
-        skip_ws(b, at);
-        match b.get(*at) {
-            Some(',') => *at += 1,
-            Some('}') => {
-                *at += 1;
-                return Ok(Json::Obj(map));
-            }
-            other => return Err(format!("expected , or }} at char {at}, found {other:?}")),
-        }
+fn num(v: &JsonValue, key: &str) -> f64 {
+    match v.get(key) {
+        Some(JsonValue::Num(n)) => *n,
+        other => panic!("expected number at {key:?}, got {other:?}"),
     }
 }
 
@@ -249,38 +73,41 @@ fn batch_subcommand_end_to_end() {
     // The JSON summary is both written to --json-out and printed as the
     // last stdout line; both must parse to the same tree.
     let from_file = std::fs::read_to_string(&summary).unwrap();
-    let parsed = parse_json(&from_file).expect("summary JSON must parse");
+    let parsed = JsonValue::parse(&from_file).expect("summary JSON must parse");
     let stdout = String::from_utf8_lossy(&run.stdout);
     let last_line = stdout.lines().rev().find(|l| !l.trim().is_empty()).unwrap();
-    assert_eq!(parse_json(last_line.trim()).unwrap(), parsed);
+    assert_eq!(JsonValue::parse(last_line.trim()).unwrap(), parsed);
 
-    assert_eq!(parsed.get("algo"), Some(&Json::Str("bucket-bound".into())));
-    assert_eq!(parsed.num("queries"), 16.0);
-    assert_eq!(parsed.num("threads"), 2.0);
-    assert_eq!(parsed.num("errors"), 0.0);
+    assert_eq!(
+        parsed.get("algo"),
+        Some(&JsonValue::Str("bucket-bound".into()))
+    );
+    assert_eq!(num(&parsed, "queries"), 16.0);
+    assert_eq!(num(&parsed, "threads"), 2.0);
+    assert_eq!(num(&parsed, "errors"), 0.0);
     assert!(
-        parsed.num("feasible") >= 1.0,
+        num(&parsed, "feasible") >= 1.0,
         "expected some feasible routes"
     );
-    assert!(parsed.num("wall_ms") > 0.0);
-    assert!(parsed.num("throughput_qps") > 0.0);
+    assert!(num(&parsed, "wall_ms") > 0.0);
+    assert!(num(&parsed, "throughput_qps") > 0.0);
 
     let latency = parsed.get("latency_us").expect("latency_us present");
     for key in ["min", "mean", "p50", "p95", "p99", "max"] {
-        assert!(latency.num(key) > 0.0, "latency {key} must be positive");
+        assert!(num(latency, key) > 0.0, "latency {key} must be positive");
     }
-    assert!(latency.num("min") <= latency.num("p50"));
-    assert!(latency.num("p50") <= latency.num("max"));
+    assert!(num(latency, "min") <= num(latency, "p50"));
+    assert!(num(latency, "p50") <= num(latency, "max"));
 
-    let Some(Json::Arr(sets)) = parsed.get("per_set") else {
+    let Some(JsonValue::Arr(sets)) = parsed.get("per_set") else {
         panic!("per_set must be an array");
     };
     assert_eq!(sets.len(), 2);
-    let counts: Vec<f64> = sets.iter().map(|s| s.num("keywords")).collect();
+    let counts: Vec<f64> = sets.iter().map(|s| num(s, "keywords")).collect();
     assert_eq!(counts, vec![1.0, 2.0]);
     assert_eq!(
         sets.iter()
-            .map(|s| s.num("queries") as usize)
+            .map(|s| num(s, "queries") as usize)
             .sum::<usize>(),
         16
     );
@@ -291,9 +118,9 @@ fn batch_subcommand_end_to_end() {
 #[test]
 fn json_parser_rejects_malformed_input() {
     for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} x", "\"unterminated"] {
-        assert!(parse_json(bad).is_err(), "{bad:?} should not parse");
+        assert!(JsonValue::parse(bad).is_err(), "{bad:?} should not parse");
     }
     // And accepts the shapes the summary uses.
     let ok = r#"{"a":"x\"y","b":[1,2.5,null],"c":{"d":true}}"#;
-    assert!(parse_json(ok).is_ok());
+    assert!(JsonValue::parse(ok).is_ok());
 }

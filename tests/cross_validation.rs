@@ -14,7 +14,13 @@ fn road() -> Graph {
     })
 }
 
-fn queries(graph: &Graph, engine: &KorEngine<'_>, m: usize, n: usize, seed: u64) -> Vec<KorQuery> {
+fn queries(
+    graph: &Graph,
+    engine: &KorEngine<&Graph>,
+    m: usize,
+    n: usize,
+    seed: u64,
+) -> Vec<KorQuery> {
     let workload = generate_workload(
         graph,
         engine.index(),
