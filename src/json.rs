@@ -10,7 +10,11 @@
 //!   it);
 //! * duplicate object keys are rejected (a request saying
 //!   `"budget": 1, "budget": 2` is ambiguous, not last-wins);
-//! * only the escape sequences of RFC 8259 are accepted.
+//! * only the escape sequences of RFC 8259 are accepted;
+//! * nesting is capped at [`MAX_DEPTH`] containers — the parser
+//!   recurses per container, and untrusted input must not be able to
+//!   pick the stack depth (a stack overflow is a process abort, not an
+//!   unwinding panic, so no downstream guard could contain it).
 //!
 //! Rendering is deterministic: object fields keep insertion order, and
 //! numbers use Rust's shortest round-trip `Display` so a parsed value
@@ -26,6 +30,12 @@
 //! ```
 
 use std::fmt;
+
+/// Maximum container (array/object) nesting [`JsonValue::parse`]
+/// accepts. Far beyond any legitimate wire request, and small enough
+/// that the recursive-descent parser stays well inside even a 2 MiB
+/// worker-thread stack.
+pub const MAX_DEPTH: usize = 128;
 
 /// A JSON value tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,7 +77,11 @@ impl JsonValue {
     /// error.
     pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
         let chars: Vec<char> = text.chars().collect();
-        let mut p = Parser { chars, at: 0 };
+        let mut p = Parser {
+            chars,
+            at: 0,
+            depth: 0,
+        };
         let value = p.value()?;
         p.skip_ws();
         if p.at != p.chars.len() {
@@ -257,6 +271,9 @@ pub fn escape_into(out: &mut String, s: &str) {
 struct Parser {
     chars: Vec<char>,
     at: usize,
+    /// Current container nesting; bounded by [`MAX_DEPTH`] because each
+    /// level is a `value -> array/object -> value` recursion frame.
+    depth: usize,
 }
 
 impl Parser {
@@ -265,6 +282,14 @@ impl Parser {
             message: message.to_string(),
             at: self.at,
         }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -397,11 +422,13 @@ impl Parser {
     }
 
     fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.enter()?;
         self.expect('[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.chars.get(self.at) == Some(&']') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -411,6 +438,7 @@ impl Parser {
                 Some(',') => self.at += 1,
                 Some(']') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(self.err("expected , or ]")),
@@ -419,11 +447,13 @@ impl Parser {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.enter()?;
         self.expect('{')?;
         let mut fields: Vec<(String, JsonValue)> = Vec::new();
         self.skip_ws();
         if self.chars.get(self.at) == Some(&'}') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(fields));
         }
         loop {
@@ -439,6 +469,7 @@ impl Parser {
                 Some(',') => self.at += 1,
                 Some('}') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(fields));
                 }
                 _ => return Err(self.err("expected , or }")),
@@ -565,6 +596,34 @@ mod tests {
         // Mixed with ordinary text, and inside object keys.
         let v = JsonValue::parse("{\"a\\ud83d\\ude00b\":1}").unwrap();
         assert_eq!(v.get("a\u{1F600}b").and_then(JsonValue::as_u64), Some(1));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // A ~100k-deep array fits comfortably under the 1 MiB request
+        // cap but would blow a 2 MiB worker stack if the parser
+        // recursed per bracket — a process abort, not a catchable
+        // panic, so the parser must refuse before recursing.
+        for doc in ["[".repeat(100_000), "[{\"k\":".repeat(50_000)] {
+            let e = JsonValue::parse(&doc).unwrap_err();
+            assert!(e.message.contains("nesting too deep"), "{e}");
+        }
+    }
+
+    #[test]
+    fn nesting_up_to_the_limit_parses() {
+        let doc = format!("{}null{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&doc).is_ok());
+        let over = format!(
+            "{}null{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(JsonValue::parse(&over).is_err());
+        // Depth counts open containers, not total containers: a long
+        // flat array of shallow objects is fine.
+        let flat = format!("[{}{{}}]", "{},".repeat(10_000));
+        assert!(JsonValue::parse(&flat).is_ok());
     }
 
     #[test]

@@ -222,6 +222,12 @@ fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonVa
     let beta = opt_f64(&req.params, "beta")?;
     let alpha = opt_f64(&req.params, "alpha")?;
     let beam = opt_u64(&req.params, "beam")?.map(|b| b as usize);
+    if beam == Some(0) {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            "\"beam\" must be ≥ 1",
+        ));
+    }
     // A knob that the selected algorithm never reads is a client bug,
     // the same class of mistake as a typo'd key — reject it rather
     // than silently serving default-tuned results.
@@ -247,10 +253,14 @@ fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonVa
             format!("\"{name}\" does not apply to algo {algo:?}"),
         ));
     }
+    // `checked_add` because `Instant + Duration` panics on overflow:
+    // an absurd client-supplied deadline_ms (e.g. 1e18) must not kill
+    // the request. A deadline past the representable future can never
+    // fire, so overflow degrades to "unlimited".
     let deadline = match opt_u64(&req.params, "deadline_ms")? {
-        Some(ms) => Some(received + Duration::from_millis(ms)),
+        Some(ms) => received.checked_add(Duration::from_millis(ms)),
         None if ctx.default_deadline_ms > 0 => {
-            Some(received + Duration::from_millis(ctx.default_deadline_ms))
+            received.checked_add(Duration::from_millis(ctx.default_deadline_ms))
         }
         None => None,
     };
@@ -341,7 +351,7 @@ fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonVa
                 params.alpha = a;
             }
             if let Some(b) = beam {
-                params.beam_width = b.max(1);
+                params.beam_width = b;
             }
             match engine.greedy(&query, &params).map_err(engine_error)? {
                 Some(g) => {
@@ -619,6 +629,10 @@ mod tests {
                 ErrorCode::BadRequest, // epsilon does not apply to greedy
             ),
             (
+                r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"algo":"greedy","beam":0}}"#,
+                ErrorCode::BadRequest, // beam 0 is rejected, not clamped
+            ),
+            (
                 r#"{"method":"query","params":{"from":0,"to":7,"budget":5,"dataset":"nope"}}"#,
                 ErrorCode::UnknownDataset,
             ),
@@ -652,6 +666,20 @@ mod tests {
                 "{params}"
             );
         }
+    }
+
+    #[test]
+    fn absurd_deadline_is_unlimited_not_a_panic() {
+        // Instant + Duration panics on overflow; an enormous
+        // deadline_ms must degrade to "no deadline", not take down the
+        // worker (or, unguarded, the connection).
+        let ctx = ctx_with_figure1();
+        let r = run(
+            &ctx,
+            r#"{"method":"query","params":{"from":0,"to":7,"keywords":["t1"],"budget":10,"deadline_ms":1000000000000000000}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.get("feasible").and_then(JsonValue::as_bool), Some(true));
     }
 
     #[test]

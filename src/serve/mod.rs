@@ -70,7 +70,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use handler::ServerContext;
-use pool::ConnQueue;
+use pool::{ConnQueue, PushRefused, QUEUE_DEPTH_PER_WORKER};
 use registry::Registry;
 
 /// Configuration for [`Server::bind`].
@@ -80,7 +80,9 @@ pub struct ServeConfig {
     /// ephemeral port (see [`Server::local_addr`]).
     pub addr: String,
     /// Worker pool size (also the concurrent-connection bound);
-    /// `0` means one worker per available core.
+    /// `0` means one worker per available core. Up to 4 further
+    /// connections per worker may wait in the accept queue; past that
+    /// the server answers `overloaded` and closes.
     pub threads: usize,
     /// Deadline in milliseconds applied to `query` requests that carry
     /// no `deadline_ms` of their own; `0` means unlimited.
@@ -146,7 +148,7 @@ impl Server {
     /// Spawns the listener and worker threads and returns a handle for
     /// shutdown/join.
     pub fn start(self) -> ServerHandle {
-        let queue = Arc::new(ConnQueue::new());
+        let queue = Arc::new(ConnQueue::new(self.ctx.threads * QUEUE_DEPTH_PER_WORKER));
         let mut workers = Vec::with_capacity(self.ctx.threads);
         for _ in 0..self.ctx.threads {
             let queue = Arc::clone(&queue);
@@ -169,8 +171,54 @@ impl Server {
                     Ok((stream, _)) => {
                         let _ = stream.set_nonblocking(false);
                         ctx.connections.fetch_add(1, Ordering::Relaxed);
-                        if !accept_queue.push(stream) {
-                            break;
+                        match accept_queue.push(stream) {
+                            Ok(()) => {}
+                            // Backpressure: every worker is busy and
+                            // the wait queue is at capacity. Tell the
+                            // client and hang up instead of letting
+                            // open fds (and client patience) grow
+                            // without bound.
+                            Err(PushRefused::Full(mut stream)) => {
+                                let err = protocol::WireError::new(
+                                    protocol::ErrorCode::Overloaded,
+                                    "all workers busy and the connection queue is full; \
+                                     retry later",
+                                );
+                                let line =
+                                    protocol::error_response(&crate::json::JsonValue::Null, &err);
+                                // Dropping a socket with unread client
+                                // data pending turns the close into an
+                                // RST, which would discard this
+                                // response before the client reads it.
+                                // Half-close, then briefly drain what
+                                // the client already sent (typically
+                                // one pipelined request line) so the
+                                // line is delivered over an orderly
+                                // FIN. Delivery is best-effort: the
+                                // drain is hard-bounded because it runs
+                                // on the listener thread, so a peer
+                                // that trickles bytes stalls accepts
+                                // ~100 ms at most, and one that
+                                // pipelines more than the drain budget
+                                // may still see a reset — acceptable
+                                // for a path that only exists when the
+                                // server is already saturated (slower
+                                // accepts ARE the backpressure).
+                                if pool::write_line(&mut stream, &line).is_ok() {
+                                    use std::io::Read;
+                                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                                    let _ =
+                                        stream.set_read_timeout(Some(Duration::from_millis(25)));
+                                    let mut sink = [0u8; 4096];
+                                    for _ in 0..4 {
+                                        match stream.read(&mut sink) {
+                                            Ok(0) | Err(_) => break,
+                                            Ok(_) => {}
+                                        }
+                                    }
+                                }
+                            }
+                            Err(PushRefused::Closed) => break,
                         }
                     }
                     // Back off on any error: WouldBlock is the idle
@@ -311,6 +359,26 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_request_is_an_error_not_a_crash() {
+        // ~100 KB of '[' fits under the 1 MiB request cap but would
+        // overflow a worker stack if the JSON parser recursed per
+        // bracket — and a stack overflow aborts the whole process, past
+        // any unwind guard. The server must answer parse_error and keep
+        // serving.
+        let (addr, handle) = fixture_server(1);
+        let bomb = "[".repeat(100_000);
+        let responses = roundtrip(addr, &[&bomb, r#"{"id":2,"method":"health"}"#]);
+        assert!(responses[0].contains("parse_error"), "{}", responses[0]);
+        assert!(
+            responses[0].contains("nesting too deep"),
+            "{}",
+            responses[0]
+        );
+        assert!(responses[1].starts_with(r#"{"id":2,"ok":true"#));
+        handle.shutdown();
+    }
+
+    #[test]
     fn oversized_request_is_rejected_and_connection_closed() {
         let server = Server::bind(ServeConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -334,6 +402,46 @@ mod tests {
         // The server hangs up after the error.
         let mut next = String::new();
         assert_eq!(reader.read_line(&mut next).unwrap(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connection_burst_past_queue_capacity_gets_overloaded() {
+        let (addr, handle) = fixture_server(1);
+        // Occupy the single worker: a completed round trip proves it
+        // has popped this connection and is now serving it.
+        let busy = TcpStream::connect(addr).unwrap();
+        {
+            let mut conn = busy.try_clone().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            conn.write_all(b"{\"method\":\"health\"}\n").unwrap();
+            let mut resp = String::new();
+            BufReader::new(conn).read_line(&mut resp).unwrap();
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+        }
+        // Fill the wait queue (QUEUE_DEPTH_PER_WORKER per worker)...
+        let queued: Vec<TcpStream> = (0..QUEUE_DEPTH_PER_WORKER)
+            .map(|_| TcpStream::connect(addr).unwrap())
+            .collect();
+        // ...then one more: the listener must answer `overloaded` and
+        // hang up rather than queue it indefinitely. This client uses
+        // the realistic write-then-read pattern: its unread request
+        // must not turn the server's close into an RST that discards
+        // the overloaded response.
+        let mut extra = TcpStream::connect(addr).unwrap();
+        extra
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        extra.write_all(b"{\"method\":\"health\"}\n").unwrap();
+        let mut reader = BufReader::new(extra);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"overloaded\""), "{resp}");
+        let mut next = String::new();
+        assert_eq!(reader.read_line(&mut next).unwrap(), 0, "then hangs up");
+        drop(queued);
+        drop(busy);
         handle.shutdown();
     }
 

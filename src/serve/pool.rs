@@ -2,12 +2,16 @@
 //! request loop.
 //!
 //! The server runs a fixed number of worker threads. The listener
-//! thread accepts sockets and pushes them onto a `Mutex`+`Condvar`
-//! queue; each worker pops one connection and serves it to completion
-//! (newline-delimited request/response, in order) before taking the
-//! next. The pool size therefore bounds the number of concurrently
-//! served connections; excess connections wait in the queue with their
-//! requests unread.
+//! thread accepts sockets and pushes them onto a bounded
+//! `Mutex`+`Condvar` queue; each worker pops one connection and serves
+//! it to completion (newline-delimited request/response, in order)
+//! before taking the next. The pool size therefore bounds the number
+//! of concurrently served connections; excess connections wait in the
+//! queue with their requests unread — up to the queue's capacity
+//! ([`QUEUE_DEPTH_PER_WORKER`] per worker), past which the listener
+//! answers `overloaded` and closes, so a connection burst cannot grow
+//! the open-fd count without bound or park clients in a queue that
+//! will never reach them.
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
@@ -20,10 +24,27 @@ use crate::json::JsonValue;
 use crate::serve::handler::{handle, ServerContext};
 use crate::serve::protocol::{error_response, ok_response, parse_request, ErrorCode, WireError};
 
-/// Blocking multi-producer multi-consumer queue of accepted sockets.
+/// Queued connections per worker thread: enough slack to absorb a
+/// short burst, small enough that a queued client waits at most a few
+/// service times before a worker reaches it.
+pub(crate) const QUEUE_DEPTH_PER_WORKER: usize = 4;
+
+/// Why [`ConnQueue::push`] refused a connection.
+pub(crate) enum PushRefused {
+    /// The queue is at capacity; the stream is handed back so the
+    /// listener can answer `overloaded` before closing it.
+    Full(TcpStream),
+    /// The queue is closed (server shutting down); the stream is
+    /// dropped.
+    Closed,
+}
+
+/// Blocking multi-producer multi-consumer bounded queue of accepted
+/// sockets.
 pub(crate) struct ConnQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
+    capacity: usize,
 }
 
 struct QueueState {
@@ -32,27 +53,32 @@ struct QueueState {
 }
 
 impl ConnQueue {
-    pub(crate) fn new() -> ConnQueue {
+    /// A queue holding at most `capacity` waiting connections.
+    pub(crate) fn new(capacity: usize) -> ConnQueue {
         ConnQueue {
             state: Mutex::new(QueueState {
                 conns: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
+            capacity,
         }
     }
 
-    /// Enqueues a connection; returns `false` (dropping the stream)
-    /// once the queue is closed.
-    pub(crate) fn push(&self, stream: TcpStream) -> bool {
+    /// Enqueues a connection, or hands it back when the queue is full
+    /// (so the listener can signal backpressure) or closed.
+    pub(crate) fn push(&self, stream: TcpStream) -> Result<(), PushRefused> {
         let mut state = self.state.lock().unwrap();
         if state.closed {
-            return false;
+            return Err(PushRefused::Closed);
+        }
+        if state.conns.len() >= self.capacity {
+            return Err(PushRefused::Full(stream));
         }
         state.conns.push_back(stream);
         drop(state);
         self.ready.notify_one();
-        true
+        Ok(())
     }
 
     /// Blocks for the next connection; `None` once the queue is closed
@@ -211,7 +237,8 @@ fn serve_connection(mut stream: TcpStream, ctx: &ServerContext) -> io::Result<()
     }
 }
 
-fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+/// Writes one response line (payload + `\n`) and flushes.
+pub(crate) fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
     stream.write_all(line.as_bytes())?;
     stream.write_all(b"\n")?;
     stream.flush()
@@ -262,26 +289,48 @@ mod tests {
     #[test]
     fn queue_drains_then_reports_closed() {
         use std::net::TcpListener;
-        let queue = ConnQueue::new();
+        let queue = ConnQueue::new(8);
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let client = TcpStream::connect(addr).unwrap();
         let (server_side, _) = listener.accept().unwrap();
-        assert!(queue.push(server_side));
+        assert!(queue.push(server_side).is_ok());
         queue.close();
         assert!(queue.pop().is_some(), "queued conn drains after close");
         assert!(queue.pop().is_none(), "then the queue reports closed");
         drop(client);
-        // Pushing after close drops the stream.
+        // Pushing after close hands the stream back.
         let client2 = TcpStream::connect(addr).unwrap();
         let (server_side2, _) = listener.accept().unwrap();
-        assert!(!queue.push(server_side2));
+        assert!(matches!(queue.push(server_side2), Err(PushRefused::Closed)));
         drop(client2);
     }
 
     #[test]
+    fn full_queue_refuses_with_backpressure() {
+        use std::net::TcpListener;
+        let queue = ConnQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _c1 = TcpStream::connect(addr).unwrap();
+        let _c2 = TcpStream::connect(addr).unwrap();
+        let (s1, _) = listener.accept().unwrap();
+        let (s2, _) = listener.accept().unwrap();
+        assert!(queue.push(s1).is_ok());
+        let refused = queue.push(s2);
+        assert!(matches!(refused, Err(PushRefused::Full(_))));
+        // Popping frees a slot; the refused stream can be retried.
+        let popped = queue.pop().unwrap();
+        let Err(PushRefused::Full(s2)) = refused else {
+            unreachable!()
+        };
+        assert!(queue.push(s2).is_ok());
+        drop(popped);
+    }
+
+    #[test]
     fn closed_queue_wakes_blocked_workers() {
-        let queue = std::sync::Arc::new(ConnQueue::new());
+        let queue = std::sync::Arc::new(ConnQueue::new(8));
         let q2 = std::sync::Arc::clone(&queue);
         let worker = std::thread::spawn(move || q2.pop().is_none());
         std::thread::sleep(std::time::Duration::from_millis(20));

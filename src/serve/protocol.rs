@@ -31,6 +31,10 @@ pub enum ErrorCode {
     /// The request line exceeded the server's size limit; the
     /// connection is closed after this response.
     RequestTooLarge,
+    /// Every worker is busy and the accepted-connection queue is full;
+    /// the connection is closed after this response. Retry later,
+    /// ideally with backoff.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -44,6 +48,7 @@ impl ErrorCode {
             ErrorCode::LoadFailed => "load_failed",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::RequestTooLarge => "request_too_large",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 }
@@ -212,6 +217,7 @@ mod tests {
             (ErrorCode::LoadFailed, "load_failed"),
             (ErrorCode::DeadlineExceeded, "deadline_exceeded"),
             (ErrorCode::RequestTooLarge, "request_too_large"),
+            (ErrorCode::Overloaded, "overloaded"),
         ];
         for (code, s) in pairs {
             assert_eq!(code.as_str(), s);
