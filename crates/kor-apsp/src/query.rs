@@ -18,29 +18,27 @@ use crate::tree::{backward_tree, Metric, Tree};
 /// Computed with two backward Dijkstra trees, which also reconstruct the
 /// completion paths needed to materialize result routes — values identical
 /// to a [`crate::DenseApsp`] row.
+///
+/// The context owns its trees outright (no borrow of the graph), so
+/// long-lived services can keep contexts for popular targets in a shared
+/// cache behind `Arc` and skip the two Dijkstras on repeat queries — see
+/// `kor_core`'s pre-processing cache.
 #[derive(Debug, Clone)]
-pub struct QueryContext<'g> {
-    graph: &'g Graph,
+pub struct QueryContext {
     target: NodeId,
     tau: Tree,
     sigma: Tree,
 }
 
-impl<'g> QueryContext<'g> {
+impl QueryContext {
     /// Builds the two to-target trees for `target`.
-    pub fn new(graph: &'g Graph, target: NodeId) -> Self {
+    pub fn new(graph: &Graph, target: NodeId) -> Self {
         let seeds = [(target, 0.0, 0.0)];
         Self {
-            graph,
             target,
             tau: backward_tree(graph, Metric::Objective, &seeds),
             sigma: backward_tree(graph, Metric::Budget, &seeds),
         }
-    }
-
-    /// The graph this context was built over.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
     }
 
     /// The target node `v_t`.

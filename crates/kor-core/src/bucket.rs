@@ -11,16 +11,20 @@
 //! magnitude faster than Algorithm 1.
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use kor_apsp::{KeywordReach, QueryContext};
 use kor_graph::{Graph, NodeId, Route};
 use kor_index::InvertedIndex;
 
+use crate::cache::PreprocessCache;
 use crate::dominance::LabelStore;
 use crate::error::KorError;
 use crate::label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
-use crate::labeling::{build_opt2, Opt2, QItem, ScoreMode};
+use crate::labeling::{
+    acquire_context, build_opt2, query_mask_table, Opt2, QItem, ScoreMode, DEADLINE_STRIDE,
+};
 use crate::params::BucketBoundParams;
 use crate::query::KorQuery;
 use crate::result::{RouteResult, SearchResult, TopKResult};
@@ -34,8 +38,21 @@ pub fn bucket_bound(
     query: &KorQuery,
     params: &BucketBoundParams,
 ) -> Result<SearchResult, KorError> {
+    bucket_bound_with_cache(graph, index, query, params, None)
+}
+
+/// [`bucket_bound`] reusing a shared [`PreprocessCache`] for the
+/// to-target trees and Opt-2 bounds. Results are byte-identical to the
+/// cold path; only the setup cost changes.
+pub fn bucket_bound_with_cache(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    params: &BucketBoundParams,
+    cache: Option<&PreprocessCache>,
+) -> Result<SearchResult, KorError> {
     params.validate()?;
-    let mut engine = BucketEngine::new(graph, index, query, params, 1);
+    let mut engine = BucketEngine::new(graph, index, query, params, 1, cache);
     let mut routes = engine.run()?;
     Ok(SearchResult {
         route: routes.pop(),
@@ -53,11 +70,23 @@ pub fn top_k_bucket_bound(
     params: &BucketBoundParams,
     k: usize,
 ) -> Result<TopKResult, KorError> {
+    top_k_bucket_bound_with_cache(graph, index, query, params, k, None)
+}
+
+/// [`top_k_bucket_bound`] reusing a shared [`PreprocessCache`].
+pub fn top_k_bucket_bound_with_cache(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    params: &BucketBoundParams,
+    k: usize,
+    cache: Option<&PreprocessCache>,
+) -> Result<TopKResult, KorError> {
     params.validate()?;
     if k == 0 {
         return Err(KorError::InvalidK);
     }
-    let mut engine = BucketEngine::new(graph, index, query, params, k);
+    let mut engine = BucketEngine::new(graph, index, query, params, k, cache);
     let routes = engine.run()?;
     Ok(TopKResult {
         routes,
@@ -129,7 +158,9 @@ struct BucketEngine<'a> {
     k: usize,
     collect_labels: bool,
     deadline: Option<Instant>,
-    ctx: QueryContext<'a>,
+    ctx: Arc<QueryContext>,
+    /// Per-node query-keyword masks (empty ⇒ all zero).
+    masks: Vec<u32>,
     reach: Option<KeywordReach>,
     opt2: Option<Opt2>,
     arena: LabelArena,
@@ -147,8 +178,11 @@ impl<'a> BucketEngine<'a> {
         query: &'a KorQuery,
         params: &BucketBoundParams,
         k: usize,
+        cache: Option<&PreprocessCache>,
     ) -> Self {
-        let ctx = QueryContext::new(graph, query.target);
+        let mut stats = SearchStats::default();
+        let ctx = acquire_context(graph, query.target, cache, &mut stats);
+        let masks = query_mask_table(graph.node_count(), &query.keywords, index);
         let reach = (params.use_opt1 && !query.keywords.is_empty()).then(|| {
             KeywordReach::new(
                 graph,
@@ -156,17 +190,21 @@ impl<'a> BucketEngine<'a> {
                 &index.query_postings(&query.keywords),
             )
         });
-        let opt2 = params
-            .use_opt2
-            .then(|| build_opt2(graph, index, query, &ctx, params.infrequent_threshold))
-            .flatten();
+        let opt2 = if params.use_opt2 {
+            build_opt2(
+                graph,
+                index,
+                query,
+                &ctx,
+                params.infrequent_threshold,
+                cache,
+                &mut stats,
+            )
+        } else {
+            None
+        };
         let mode = ScoreMode::Scaled(Scaler::new(graph, params.epsilon, query.budget));
-        let store = LabelStore::new(
-            mode.dom_mode(),
-            graph.node_count(),
-            query.keywords.full_mask(),
-            k,
-        );
+        let store = LabelStore::new(mode.dom_mode(), query.keywords.full_mask(), k);
         // Bucket base: OS(τ_{s,t}); when source == target that is 0, so
         // fall back to the smallest edge objective (any covering cycle
         // costs at least that), keeping the intervals well-defined.
@@ -184,14 +222,25 @@ impl<'a> BucketEngine<'a> {
             collect_labels: params.collect_labels,
             deadline: params.deadline,
             ctx,
+            masks,
             reach,
             opt2,
             arena: LabelArena::new(),
             store,
             buckets: Buckets::new(base, params.beta),
             found: Vec::new(),
-            stats: SearchStats::default(),
+            stats,
             snapshots: Vec::new(),
+        }
+    }
+
+    /// The query-keyword mask of `node` (one indexed load).
+    #[inline]
+    fn node_mask(&self, node: NodeId) -> u32 {
+        if self.masks.is_empty() {
+            0
+        } else {
+            self.masks[node.index()]
         }
     }
 
@@ -202,7 +251,7 @@ impl<'a> BucketEngine<'a> {
         }
         let init = Label {
             node: source,
-            mask: self.query.keywords.mask_of(self.graph.keywords(source)),
+            mask: self.node_mask(source),
             scaled: 0,
             objective: 0.0,
             budget: 0.0,
@@ -218,12 +267,18 @@ impl<'a> BucketEngine<'a> {
         self.store.try_insert(&mut self.arena, init_id);
         self.file_label(init_id);
 
+        let mut pops: u64 = 0;
         while !self.done() {
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    return Err(KorError::DeadlineExceeded);
+            // Stride-based deadline check (see `labeling::DEADLINE_STRIDE`);
+            // the first iteration always checks.
+            if pops % DEADLINE_STRIDE == 0 {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(KorError::DeadlineExceeded);
+                    }
                 }
             }
+            pops += 1;
             let Some((_, item)) = self
                 .buckets
                 .pop_first(&self.arena, &mut self.stats.labels_skipped)
@@ -293,13 +348,12 @@ impl<'a> BucketEngine<'a> {
 
     fn expand(&mut self, id: u32) {
         let label = *self.arena.get(id);
-        let out: Vec<(NodeId, f64, f64)> = self
-            .graph
-            .out_edges(label.node)
-            .map(|e| (e.node, e.objective, e.budget))
-            .collect();
-        for (node, eo, eb) in out {
-            self.make_child(id, node, eo, eb);
+        // Copying the `&'a Graph` reference out lets the CSR adjacency
+        // iterator borrow the graph — not `self` — so the slices are
+        // walked in place with no per-expansion `Vec` allocation.
+        let graph = self.graph;
+        for e in graph.out_edges(label.node) {
+            self.make_child(id, e.node, e.objective, e.budget);
             if self.done() {
                 return;
             }
@@ -315,7 +369,7 @@ impl<'a> BucketEngine<'a> {
         let budget = parent.budget + edge_bud;
         let child = Label {
             node,
-            mask: parent.mask | self.query.keywords.mask_of(self.graph.keywords(node)),
+            mask: parent.mask | self.node_mask(node),
             scaled: self.mode.child_key(&parent, edge_obj, objective),
             objective,
             budget,
@@ -341,7 +395,7 @@ impl<'a> BucketEngine<'a> {
         // Optimization Strategy 2 (budget side only: there is no U).
         if let Some(opt2) = &self.opt2 {
             if child.mask & opt2.bit_mask == 0
-                && child.budget + opt2.bud_bound.budget(child.node) > self.query.budget
+                && child.budget + opt2.trees.bud_bound.budget(child.node) > self.query.budget
             {
                 self.stats.opt2_discards += 1;
                 return;
@@ -423,7 +477,7 @@ impl<'a> BucketEngine<'a> {
                 let objective = parent.objective + e.objective;
                 let child = Label {
                     node: to,
-                    mask: parent.mask | self.query.keywords.mask_of(self.graph.keywords(to)),
+                    mask: parent.mask | self.node_mask(to),
                     scaled: self.mode.child_key(&parent, e.objective, objective),
                     objective,
                     budget: parent.budget + e.budget,

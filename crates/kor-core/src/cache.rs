@@ -1,0 +1,490 @@
+//! The shared per-query pre-processing cache.
+//!
+//! The paper's cost model assumes the `τ`/`σ` pre-processing is amortized
+//! across queries, but a naive engine rebuilds it per call: every label
+//! search starts with two full backward Dijkstras ([`QueryContext`]) and
+//! Optimization Strategy 2 runs two more. Under serve/batch traffic many
+//! queries share popular targets and keyword sets, so those trees are
+//! pure recomputation.
+//!
+//! [`PreprocessCache`] memoizes both products behind `Arc`-cloned
+//! entries:
+//!
+//! * **query contexts** — the to-target `τ`/`σ` tree pair, keyed by the
+//!   target node (identical for every query ending at that target);
+//! * **Opt-2 bound trees** — the "through an infrequent-keyword node,
+//!   then finish" lower-bound tree pair, keyed by `(target, keyword)`
+//!   (the seed set is exactly the keyword's postings weighted by the
+//!   target context, so the pair pins the trees down completely).
+//!
+//! Entries are evicted least-recently-used once a map exceeds its
+//! capacity, bounding memory at roughly
+//! `capacity × 4 trees × node_count × sizeof(SptNode)`. The design
+//! mirrors [`kor_apsp::CachedPairCosts`]: one `Mutex` around a memo
+//! table, shared by any number of worker threads, with the expensive
+//! tree construction performed *outside* the lock so concurrent misses
+//! on different keys never serialize on Dijkstra.
+//!
+//! Cached and cold searches are byte-identical by construction: a cache
+//! hit returns the same deterministic `Tree` values a fresh build would
+//! produce (pinned down by the equivalence tests in
+//! `tests/cache_equivalence.rs`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use kor_apsp::{backward_tree, Metric, QueryContext, Tree};
+use kor_graph::{Graph, KeywordId, NodeId};
+use kor_index::InvertedIndex;
+
+/// The two Optimization-Strategy-2 lower-bound trees for one
+/// `(target, infrequent keyword)` pair.
+///
+/// Seeds carry the to-target completion as initial potential, so each
+/// tree bounds "reach an infrequent-keyword node, then finish at the
+/// target" (objective-side and budget-side respectively).
+#[derive(Debug)]
+pub struct Opt2Trees {
+    /// Objective lower bound through an infrequent-keyword node.
+    pub obj_bound: Tree,
+    /// Budget lower bound through an infrequent-keyword node.
+    pub bud_bound: Tree,
+}
+
+/// Builds the Opt-2 tree pair for `kw` under `ctx`'s target.
+pub(crate) fn build_opt2_trees(
+    graph: &Graph,
+    index: &InvertedIndex,
+    ctx: &QueryContext,
+    kw: KeywordId,
+) -> Opt2Trees {
+    let mut obj_seeds = Vec::new();
+    let mut bud_seeds = Vec::new();
+    for &l in index.postings(kw) {
+        if let Some(tau) = ctx.tau_to_target(l) {
+            obj_seeds.push((l, tau.objective, tau.budget));
+        }
+        if let Some(sigma) = ctx.sigma_to_target(l) {
+            bud_seeds.push((l, sigma.objective, sigma.budget));
+        }
+    }
+    Opt2Trees {
+        obj_bound: backward_tree(graph, Metric::Objective, &obj_seeds),
+        bud_bound: backward_tree(graph, Metric::Budget, &bud_seeds),
+    }
+}
+
+/// Point-in-time counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Query-context lookups answered from the cache.
+    pub ctx_hits: u64,
+    /// Query-context lookups that had to build trees.
+    pub ctx_misses: u64,
+    /// Opt-2 tree lookups answered from the cache.
+    pub opt2_hits: u64,
+    /// Opt-2 tree lookups that had to build trees.
+    pub opt2_misses: u64,
+    /// Entries removed by the LRU cap (contexts and Opt-2 pairs alike).
+    pub evictions: u64,
+    /// Backward Dijkstra trees built on behalf of this cache (two per
+    /// context miss, two per Opt-2 miss — including builds that lost a
+    /// concurrent race and were discarded).
+    pub trees_built: u64,
+}
+
+impl CacheStats {
+    /// Fraction of all lookups answered from the cache (`0.0` when no
+    /// lookup has happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.ctx_hits + self.opt2_hits;
+        let total = hits + self.ctx_misses + self.opt2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// One memoized entry plus its LRU clock value.
+struct Slot<T> {
+    value: Arc<T>,
+    last_used: u64,
+}
+
+struct Inner {
+    /// Monotone logical clock for LRU ordering.
+    tick: u64,
+    /// `(node_count, edge_count)` of the graph this cache serves, pinned
+    /// on first use. Keys are plain `NodeId`s, so trees from one graph
+    /// would silently answer queries on another — a shape mismatch is a
+    /// caller bug and panics instead.
+    graph_shape: Option<(usize, usize)>,
+    contexts: HashMap<NodeId, Slot<QueryContext>>,
+    opt2: HashMap<(NodeId, KeywordId), Slot<Opt2Trees>>,
+    stats: CacheStats,
+}
+
+impl Inner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Pins the cache to `graph` on first use; panics if a later lookup
+    /// arrives with a different graph shape.
+    fn check_graph(&mut self, graph: &Graph) {
+        let shape = (graph.node_count(), graph.edge_count());
+        match self.graph_shape {
+            None => self.graph_shape = Some(shape),
+            Some(bound) => assert_eq!(
+                bound, shape,
+                "PreprocessCache is bound to one graph: cached trees for a \
+                 {bound:?} (nodes, edges) graph cannot answer queries on a \
+                 {shape:?} graph — use one cache per dataset"
+            ),
+        }
+    }
+}
+
+/// Thread-safe, LRU-capped cache of per-query pre-processing products.
+///
+/// See the module documentation for the design. One cache per
+/// dataset is meant to be shared by reference across worker threads;
+/// [`crate::KorEngine`] owns one and threads it through every label
+/// search automatically.
+pub struct PreprocessCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for PreprocessCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("PreprocessCache")
+            .field("capacity", &self.capacity)
+            .field("contexts", &inner.contexts.len())
+            .field("opt2", &inner.opt2.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl Default for PreprocessCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PreprocessCache {
+    /// Default number of targets (and Opt-2 pairs) kept warm.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// A cache with [`Self::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` query contexts and `capacity`
+    /// Opt-2 tree pairs (each map is capped independently).
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero — a zero-capacity cache would thrash on
+    /// every lookup; pass no cache instead.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be ≥ 1");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                tick: 0,
+                graph_shape: None,
+                contexts: HashMap::new(),
+                opt2: HashMap::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The configured per-map entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The to-target context for `target`, built on first use.
+    ///
+    /// Returns the shared context and whether this lookup was a hit.
+    /// Tree construction happens outside the cache lock; when two
+    /// threads miss the same target concurrently, the first insert wins
+    /// and the loser's build is discarded (both count as misses).
+    ///
+    /// # Panics
+    ///
+    /// If `graph` differs in shape from the graph this cache served
+    /// first — one cache serves exactly one dataset.
+    pub fn context(&self, graph: &Graph, target: NodeId) -> (Arc<QueryContext>, bool) {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.check_graph(graph);
+            let tick = inner.next_tick();
+            if let Some(slot) = inner.contexts.get_mut(&target) {
+                slot.last_used = tick;
+                let value = slot.value.clone();
+                inner.stats.ctx_hits += 1;
+                return (value, true);
+            }
+        }
+        let built = Arc::new(QueryContext::new(graph, target));
+        let mut inner = self.inner.lock().unwrap();
+        let tick = inner.next_tick();
+        inner.stats.ctx_misses += 1;
+        inner.stats.trees_built += 2;
+        let value = match inner.contexts.entry(target) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // A concurrent miss inserted first; converge on its trees
+                // so every holder shares one allocation.
+                e.get_mut().last_used = tick;
+                e.get().value.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Slot {
+                    value: built.clone(),
+                    last_used: tick,
+                });
+                built
+            }
+        };
+        let evicted = evict_lru(&mut inner.contexts, self.capacity);
+        inner.stats.evictions += evicted;
+        (value, false)
+    }
+
+    /// The Opt-2 bound-tree pair for `(target, kw)`, built on first use
+    /// from `ctx` (which must be the context for the same target).
+    ///
+    /// # Panics
+    ///
+    /// If `graph` differs in shape from the graph this cache served
+    /// first — one cache serves exactly one dataset.
+    pub fn opt2_trees(
+        &self,
+        graph: &Graph,
+        index: &InvertedIndex,
+        ctx: &QueryContext,
+        kw: KeywordId,
+    ) -> (Arc<Opt2Trees>, bool) {
+        let key = (ctx.target(), kw);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.check_graph(graph);
+            let tick = inner.next_tick();
+            if let Some(slot) = inner.opt2.get_mut(&key) {
+                slot.last_used = tick;
+                let value = slot.value.clone();
+                inner.stats.opt2_hits += 1;
+                return (value, true);
+            }
+        }
+        let built = Arc::new(build_opt2_trees(graph, index, ctx, kw));
+        let mut inner = self.inner.lock().unwrap();
+        let tick = inner.next_tick();
+        inner.stats.opt2_misses += 1;
+        inner.stats.trees_built += 2;
+        let value = match inner.opt2.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().last_used = tick;
+                e.get().value.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Slot {
+                    value: built.clone(),
+                    last_used: tick,
+                });
+                built
+            }
+        };
+        let evicted = evict_lru(&mut inner.opt2, self.capacity);
+        inner.stats.evictions += evicted;
+        (value, false)
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Number of query contexts currently cached.
+    pub fn context_entries(&self) -> usize {
+        self.inner.lock().unwrap().contexts.len()
+    }
+
+    /// Number of Opt-2 tree pairs currently cached.
+    pub fn opt2_entries(&self) -> usize {
+        self.inner.lock().unwrap().opt2.len()
+    }
+
+    /// Drops every cached entry (counters are kept). The graph binding
+    /// is released too: with no stale trees left, the cache may serve a
+    /// different dataset afterwards.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.contexts.clear();
+        inner.opt2.clear();
+        inner.graph_shape = None;
+    }
+}
+
+/// Removes least-recently-used slots until `map` fits `capacity`;
+/// returns how many were evicted.
+fn evict_lru<K: std::hash::Hash + Eq + Copy, T>(
+    map: &mut HashMap<K, Slot<T>>,
+    capacity: usize,
+) -> u64 {
+    let mut evicted = 0;
+    while map.len() > capacity {
+        let oldest = map
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(&k, _)| k)
+            .expect("map is non-empty");
+        map.remove(&oldest);
+        evicted += 1;
+    }
+    evicted
+}
+
+// Worker threads share one cache per dataset; a regression to
+// `Send`/`Sync` must fail the build here, not at distant call sites.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreprocessCache>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kor_graph::fixtures::{figure1, v};
+
+    #[test]
+    fn context_is_memoized_and_shared() {
+        let g = figure1();
+        let cache = PreprocessCache::new();
+        let (a, hit_a) = cache.context(&g, v(7));
+        let (b, hit_b) = cache.context(&g, v(7));
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the same allocation");
+        let s = cache.stats();
+        assert_eq!((s.ctx_hits, s.ctx_misses, s.trees_built), (1, 1, 2));
+        assert_eq!(cache.context_entries(), 1);
+    }
+
+    #[test]
+    fn cached_context_matches_cold_build() {
+        let g = figure1();
+        let cache = PreprocessCache::new();
+        let (warm, _) = cache.context(&g, v(7));
+        let cold = QueryContext::new(&g, v(7));
+        for n in g.nodes() {
+            assert_eq!(warm.os_tau(n).to_bits(), cold.os_tau(n).to_bits());
+            assert_eq!(warm.bs_tau(n).to_bits(), cold.bs_tau(n).to_bits());
+            assert_eq!(warm.bs_sigma(n).to_bits(), cold.bs_sigma(n).to_bits());
+            assert_eq!(warm.os_sigma(n).to_bits(), cold.os_sigma(n).to_bits());
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_target() {
+        let g = figure1();
+        let cache = PreprocessCache::with_capacity(2);
+        cache.context(&g, v(5));
+        cache.context(&g, v(6));
+        // Touch v5 so v6 becomes the LRU entry.
+        cache.context(&g, v(5));
+        cache.context(&g, v(7));
+        assert_eq!(cache.context_entries(), 2);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        // v5 and v7 survive: v5 hits, v6 re-misses.
+        assert!(cache.context(&g, v(5)).1);
+        assert!(!cache.context(&g, v(6)).1);
+    }
+
+    #[test]
+    fn opt2_trees_memoized_per_target_and_keyword() {
+        use kor_graph::fixtures::t;
+        let g = figure1();
+        let index = kor_index::InvertedIndex::build(&g);
+        let cache = PreprocessCache::new();
+        let (ctx, _) = cache.context(&g, v(7));
+        let (a, hit_a) = cache.opt2_trees(&g, &index, &ctx, t(1));
+        let (b, hit_b) = cache.opt2_trees(&g, &index, &ctx, t(1));
+        let (_, hit_c) = cache.opt2_trees(&g, &index, &ctx, t(2));
+        assert!(!hit_a && hit_b && !hit_c);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.opt2_entries(), 2);
+        let s = cache.stats();
+        assert_eq!((s.opt2_hits, s.opt2_misses), (1, 2));
+        // 1 ctx miss + 2 opt2 misses = 6 trees.
+        assert_eq!(s.trees_built, 6);
+    }
+
+    #[test]
+    fn hit_rate_counts_both_kinds() {
+        let g = figure1();
+        let cache = PreprocessCache::new();
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.context(&g, v(7));
+        cache.context(&g, v(7));
+        cache.context(&g, v(7));
+        assert!((cache.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let g = figure1();
+        let cache = PreprocessCache::new();
+        cache.context(&g, v(7));
+        cache.clear();
+        assert_eq!(cache.context_entries(), 0);
+        assert_eq!(cache.stats().ctx_misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be ≥ 1")]
+    fn zero_capacity_panics() {
+        let _ = PreprocessCache::with_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to one graph")]
+    fn sharing_across_graphs_panics() {
+        use kor_graph::GraphBuilder;
+        let a = figure1();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["a"]);
+        let y = b.add_node(["b"]);
+        b.add_edge(x, y, 1.0, 1.0).unwrap();
+        let b = b.build().unwrap();
+        let cache = PreprocessCache::new();
+        cache.context(&a, v(7));
+        // Same NodeId namespace, different graph: must panic, not
+        // silently answer with figure1's trees.
+        cache.context(&b, x);
+    }
+
+    #[test]
+    fn clear_releases_graph_binding() {
+        use kor_graph::GraphBuilder;
+        let a = figure1();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["a"]);
+        let b = b.build().unwrap();
+        let cache = PreprocessCache::new();
+        cache.context(&a, v(7));
+        cache.clear();
+        // No stale trees remain, so a new dataset is fine.
+        let (_, hit) = cache.context(&b, x);
+        assert!(!hit);
+    }
+}

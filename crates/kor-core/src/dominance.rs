@@ -49,26 +49,30 @@ type Entry = (u64, f64, u32);
 /// a dominance test is one binary search and evictions splice a
 /// contiguous range. For `k > 1` groups are plain lists scanned linearly
 /// (top-k workloads are small).
+///
+/// Per-node group maps are allocated lazily: a search that touches a few
+/// hundred nodes of a million-node graph pays for exactly those nodes,
+/// not an `O(|V|)` table per query.
 #[derive(Debug)]
 pub struct LabelStore {
     mode: DomMode,
     k: usize,
     full_mask: u32,
-    groups: Vec<HashMap<u32, Vec<Entry>>>,
+    groups: HashMap<u32, HashMap<u32, Vec<Entry>>>,
     dominated: u64,
     evicted: u64,
 }
 
 impl LabelStore {
-    /// Creates a store for `node_count` nodes, query mask universe
-    /// `full_mask`, and dominance threshold `k ≥ 1`.
-    pub fn new(mode: DomMode, node_count: usize, full_mask: u32, k: usize) -> Self {
+    /// Creates a store for query mask universe `full_mask` and dominance
+    /// threshold `k ≥ 1`. Nodes acquire storage on first touch.
+    pub fn new(mode: DomMode, full_mask: u32, k: usize) -> Self {
         assert!(k >= 1, "dominance threshold must be ≥ 1");
         Self {
             mode,
             k,
             full_mask,
-            groups: vec![HashMap::new(); node_count],
+            groups: HashMap::new(),
             dominated: 0,
             evicted: 0,
         }
@@ -86,8 +90,10 @@ impl LabelStore {
 
     /// Number of alive labels currently stored on `node`.
     pub fn alive_on(&self, arena: &LabelArena, node: usize) -> usize {
-        self.groups[node]
-            .values()
+        self.groups
+            .get(&(node as u32))
+            .into_iter()
+            .flat_map(HashMap::values)
             .flatten()
             .filter(|&&(_, _, id)| arena.get(id).alive)
             .count()
@@ -114,29 +120,31 @@ impl LabelStore {
         label: &Label,
         key: u64,
     ) -> bool {
-        let node = label.node.index();
-
-        // Enumerating all 2^(m−|λ|) superset masks is wasteful when the
-        // node has seen only a few distinct masks; iterate whichever set
-        // is smaller.
-        let present = self.groups[node].len();
-        let free_bits = (self.full_mask & !label.mask).count_ones();
-        let enumerate_bitmasks = free_bits < 10 && (1usize << free_bits) <= present * 2;
+        let node = label.node.0;
 
         // Dominance test: in every superset-mask frontier, the candidate
         // is dominated iff the entry with the largest key ≤ `key` has
         // budget ≤ `label.budget` (budgets fall as keys grow).
+        // Enumerating all 2^(m−|λ|) superset masks is wasteful when the
+        // node has seen only a few distinct masks; iterate whichever set
+        // is smaller (`node_groups.len()` is the "present" count).
         let dominated_in = |group: &Vec<Entry>| -> bool {
             let pos = group.partition_point(|e| e.0 <= key);
             pos > 0 && group[pos - 1].1 <= label.budget
         };
-        let is_dominated = if enumerate_bitmasks {
-            supersets_of(label.mask, self.full_mask)
-                .any(|sup| self.groups[node].get(&sup).is_some_and(dominated_in))
-        } else {
-            self.groups[node]
-                .iter()
-                .any(|(&m, group)| m & label.mask == label.mask && dominated_in(group))
+        let is_dominated = match self.groups.get(&node) {
+            None => false,
+            Some(node_groups) => {
+                let free_bits = (self.full_mask & !label.mask).count_ones();
+                if free_bits < 10 && (1usize << free_bits) <= node_groups.len() * 2 {
+                    supersets_of(label.mask, self.full_mask)
+                        .any(|sup| node_groups.get(&sup).is_some_and(dominated_in))
+                } else {
+                    node_groups
+                        .iter()
+                        .any(|(&m, group)| m & label.mask == label.mask && dominated_in(group))
+                }
+            }
         };
         if is_dominated {
             self.dominated += 1;
@@ -145,35 +153,45 @@ impl LabelStore {
 
         // Eviction: in every subset-mask frontier, entries with key ≥
         // `key` and budget ≥ `label.budget` form a contiguous run.
-        let mask_bits = label.mask.count_ones();
-        let subset_masks: Vec<u32> = if mask_bits < 10 && (1usize << mask_bits) <= present * 2 {
-            subsets_of(label.mask)
-                .filter(|m| self.groups[node].contains_key(m))
-                .collect()
-        } else {
-            self.groups[node]
-                .keys()
-                .copied()
-                .filter(|&m| m & label.mask == m)
-                .collect()
-        };
-        for sub in subset_masks {
-            let group = self.groups[node].get_mut(&sub).expect("key exists");
-            let start = group.partition_point(|e| e.0 < key);
-            let mut end = start;
-            while end < group.len() && group[end].1 >= label.budget {
-                end += 1;
-            }
-            if end > start {
-                for &(_, _, victim) in &group[start..end] {
-                    arena.kill(victim);
+        if let Some(node_groups) = self.groups.get_mut(&node) {
+            let mask_bits = label.mask.count_ones();
+            let subset_masks: Vec<u32> =
+                if mask_bits < 10 && (1usize << mask_bits) <= node_groups.len() * 2 {
+                    subsets_of(label.mask)
+                        .filter(|m| node_groups.contains_key(m))
+                        .collect()
+                } else {
+                    node_groups
+                        .keys()
+                        .copied()
+                        .filter(|&m| m & label.mask == m)
+                        .collect()
+                };
+            let mut evicted = 0u64;
+            for sub in subset_masks {
+                let group = node_groups.get_mut(&sub).expect("key exists");
+                let start = group.partition_point(|e| e.0 < key);
+                let mut end = start;
+                while end < group.len() && group[end].1 >= label.budget {
+                    end += 1;
                 }
-                self.evicted += (end - start) as u64;
-                group.drain(start..end);
+                if end > start {
+                    for &(_, _, victim) in &group[start..end] {
+                        arena.kill(victim);
+                    }
+                    evicted += (end - start) as u64;
+                    group.drain(start..end);
+                }
             }
+            self.evicted += evicted;
         }
 
-        let group = self.groups[node].entry(label.mask).or_default();
+        let group = self
+            .groups
+            .entry(node)
+            .or_default()
+            .entry(label.mask)
+            .or_default();
         let pos = group.partition_point(|e| e.0 < key);
         group.insert(pos, (key, label.budget, id));
         debug_assert!(
@@ -185,7 +203,7 @@ impl LabelStore {
 
     /// General path (`k ≥ 2`): linear scans with k-dominance counting.
     fn try_insert_k(&mut self, arena: &mut LabelArena, id: u32, label: &Label, key: u64) -> bool {
-        let node = label.node.index();
+        let node = label.node.0;
         if self.count_dominators(arena, node, label.mask, key, label.budget, self.k, id) >= self.k {
             self.dominated += 1;
             return false;
@@ -194,7 +212,7 @@ impl LabelStore {
         // Evict stored labels now k-dominated by the newcomer.
         let mut victims: Vec<u32> = Vec::new();
         for sub in subsets_of(label.mask) {
-            let Some(group) = self.groups[node].get(&sub) else {
+            let Some(group) = self.groups.get(&node).and_then(|g| g.get(&sub)) else {
                 continue;
             };
             for &(okey, obud, other) in group {
@@ -226,7 +244,12 @@ impl LabelStore {
         }
 
         // Insert and lazily compact dead ids in the target group.
-        let group = self.groups[node].entry(label.mask).or_default();
+        let group = self
+            .groups
+            .entry(node)
+            .or_default()
+            .entry(label.mask)
+            .or_default();
         group.retain(|&(_, _, other)| arena.get(other).alive);
         group.push((key, label.budget, id));
         true
@@ -238,7 +261,7 @@ impl LabelStore {
     fn count_dominators(
         &self,
         arena: &LabelArena,
-        node: usize,
+        node: u32,
         mask: u32,
         key: u64,
         budget: f64,
@@ -247,7 +270,7 @@ impl LabelStore {
     ) -> usize {
         let mut count = 0;
         for sup in supersets_of(mask, self.full_mask) {
-            let Some(group) = self.groups[node].get(&sup) else {
+            let Some(group) = self.groups.get(&node).and_then(|g| g.get(&sup)) else {
                 continue;
             };
             for &(okey, obud, other) in group {
@@ -285,7 +308,7 @@ mod tests {
     }
 
     fn store(k: usize) -> LabelStore {
-        LabelStore::new(DomMode::Scaled, 4, 0b111, k)
+        LabelStore::new(DomMode::Scaled, 0b111, k)
     }
 
     #[test]
@@ -429,7 +452,7 @@ mod tests {
     #[test]
     fn exact_mode_compares_objectives() {
         let mut arena = LabelArena::new();
-        let mut s = LabelStore::new(DomMode::Exact, 2, 0b1, 1);
+        let mut s = LabelStore::new(DomMode::Exact, 0b1, 1);
         // Same scaled score but different exact objective: in Exact mode
         // the cheaper objective dominates.
         let a = arena.push(Label {
@@ -457,7 +480,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be ≥ 1")]
     fn zero_k_panics() {
-        let _ = LabelStore::new(DomMode::Scaled, 1, 0, 0);
+        let _ = LabelStore::new(DomMode::Scaled, 0, 0);
     }
 
     /// Brute-force reference check of the frontier path on a random
@@ -468,7 +491,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
         let mut arena = LabelArena::new();
-        let mut s = LabelStore::new(DomMode::Scaled, 1, 0b11, 1);
+        let mut s = LabelStore::new(DomMode::Scaled, 0b11, 1);
         // naive mirror: Vec of alive (mask, key, budget)
         let mut naive: Vec<(u32, u64, f64, u32)> = Vec::new();
         for _ in 0..500 {

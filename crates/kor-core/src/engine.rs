@@ -7,17 +7,27 @@ use kor_graph::Graph;
 use kor_index::InvertedIndex;
 
 use crate::brute::{brute_force, BruteForceParams};
-use crate::bucket::{bucket_bound, top_k_bucket_bound};
+use crate::bucket::{bucket_bound_with_cache, top_k_bucket_bound_with_cache};
+use crate::cache::{CacheStats, PreprocessCache};
 use crate::error::KorError;
-use crate::greedy::{greedy, GreedyParams, GreedyRoute};
-use crate::labeling::{exact_labeling_with_deadline, os_scaling, top_k_os_scaling};
+use crate::greedy::{greedy_with_cache, GreedyParams, GreedyRoute};
+use crate::labeling::{
+    exact_labeling_with_cache, os_scaling_with_cache, top_k_os_scaling_with_cache,
+};
 use crate::params::{BucketBoundParams, OsScalingParams};
 use crate::query::KorQuery;
 use crate::result::{SearchResult, TopKResult};
 
-/// One-stop query engine: owns the inverted index and the forward-tree
-/// cache used by the greedy algorithm, mirroring the paper's setup where
-/// the index and pre-processing are built once per dataset.
+/// One-stop query engine: owns the inverted index, the forward-tree
+/// cache used by the greedy algorithm, and the shared
+/// [`PreprocessCache`] of to-target `τ`/`σ` trees and Opt-2 bounds,
+/// mirroring the paper's setup where the index and pre-processing are
+/// built once per dataset.
+///
+/// Every query method runs on the warm path automatically: repeat
+/// queries against a cached target skip all backward Dijkstras, and the
+/// per-search [`crate::SearchStats`] report the cache hits/misses and
+/// trees built. Results are byte-identical to the cache-free functions.
 ///
 /// # Sharing across threads
 ///
@@ -37,6 +47,7 @@ pub struct KorEngine<G> {
     graph: G,
     index: InvertedIndex,
     pairs: CachedPairCosts<G>,
+    prep: PreprocessCache,
 }
 
 // The whole point of the engine is warm reuse across worker threads;
@@ -50,16 +61,25 @@ const _: () = {
 };
 
 impl<G: AsRef<Graph> + Clone> KorEngine<G> {
-    /// Builds the engine (indexes the graph's keywords). Only
-    /// construction needs `Clone` — the handle is duplicated into the
-    /// pair-cost cache; querying is bound-free beyond `AsRef<Graph>`.
+    /// Builds the engine (indexes the graph's keywords) with the default
+    /// pre-processing cache capacity. Only construction needs `Clone` —
+    /// the handle is duplicated into the pair-cost cache; querying is
+    /// bound-free beyond `AsRef<Graph>`.
     pub fn new(graph: G) -> Self {
+        Self::with_cache_capacity(graph, PreprocessCache::DEFAULT_CAPACITY)
+    }
+
+    /// [`Self::new`] with an explicit pre-processing cache capacity (the
+    /// number of warm targets / Opt-2 pairs kept; each entry holds two
+    /// `O(|V|)` trees). Must be ≥ 1.
+    pub fn with_cache_capacity(graph: G, cache_capacity: usize) -> Self {
         let index = InvertedIndex::build(graph.as_ref());
         let pairs = CachedPairCosts::new(graph.clone());
         Self {
             graph,
             index,
             pairs,
+            prep: PreprocessCache::with_capacity(cache_capacity),
         }
     }
 }
@@ -81,13 +101,25 @@ impl<G: AsRef<Graph>> KorEngine<G> {
         self.pairs.cached_tree_count()
     }
 
+    /// The shared pre-processing cache (to-target contexts and Opt-2
+    /// bound trees) this engine's queries run against.
+    pub fn preprocess_cache(&self) -> &PreprocessCache {
+        &self.prep
+    }
+
+    /// Snapshot of the pre-processing cache counters (hits, misses,
+    /// evictions, trees built).
+    pub fn preprocess_stats(&self) -> CacheStats {
+        self.prep.stats()
+    }
+
     /// `OSScaling` (Algorithm 1).
     pub fn os_scaling(
         &self,
         query: &KorQuery,
         params: &OsScalingParams,
     ) -> Result<SearchResult, KorError> {
-        os_scaling(self.graph(), &self.index, query, params)
+        os_scaling_with_cache(self.graph(), &self.index, query, params, Some(&self.prep))
     }
 
     /// `BucketBound` (Algorithm 2).
@@ -96,7 +128,7 @@ impl<G: AsRef<Graph>> KorEngine<G> {
         query: &KorQuery,
         params: &BucketBoundParams,
     ) -> Result<SearchResult, KorError> {
-        bucket_bound(self.graph(), &self.index, query, params)
+        bucket_bound_with_cache(self.graph(), &self.index, query, params, Some(&self.prep))
     }
 
     /// The greedy heuristic (Algorithm 3).
@@ -105,12 +137,19 @@ impl<G: AsRef<Graph>> KorEngine<G> {
         query: &KorQuery,
         params: &GreedyParams,
     ) -> Result<Option<GreedyRoute>, KorError> {
-        greedy(self.graph(), &self.index, &self.pairs, query, params)
+        greedy_with_cache(
+            self.graph(),
+            &self.index,
+            &self.pairs,
+            query,
+            params,
+            Some(&self.prep),
+        )
     }
 
     /// Exact optimum via unscaled label dominance (ground truth).
     pub fn exact(&self, query: &KorQuery) -> Result<SearchResult, KorError> {
-        exact_labeling_with_deadline(self.graph(), &self.index, query, None)
+        self.exact_with_deadline(query, None)
     }
 
     /// [`Self::exact`] with a deadline: aborts with
@@ -120,7 +159,7 @@ impl<G: AsRef<Graph>> KorEngine<G> {
         query: &KorQuery,
         deadline: Option<Instant>,
     ) -> Result<SearchResult, KorError> {
-        exact_labeling_with_deadline(self.graph(), &self.index, query, deadline)
+        exact_labeling_with_cache(self.graph(), &self.index, query, deadline, Some(&self.prep))
     }
 
     /// The exhaustive §3.2 baseline (tiny graphs only).
@@ -139,7 +178,14 @@ impl<G: AsRef<Graph>> KorEngine<G> {
         params: &OsScalingParams,
         k: usize,
     ) -> Result<TopKResult, KorError> {
-        top_k_os_scaling(self.graph(), &self.index, query, params, k)
+        top_k_os_scaling_with_cache(
+            self.graph(),
+            &self.index,
+            query,
+            params,
+            k,
+            Some(&self.prep),
+        )
     }
 
     /// KkR top-k via `BucketBound` (§3.5).
@@ -149,7 +195,14 @@ impl<G: AsRef<Graph>> KorEngine<G> {
         params: &BucketBoundParams,
         k: usize,
     ) -> Result<TopKResult, KorError> {
-        top_k_bucket_bound(self.graph(), &self.index, query, params, k)
+        top_k_bucket_bound_with_cache(
+            self.graph(),
+            &self.index,
+            query,
+            params,
+            k,
+            Some(&self.prep),
+        )
     }
 }
 

@@ -19,6 +19,7 @@ use kor_apsp::{PairCosts, QueryContext};
 use kor_graph::{Graph, NodeId, Route};
 use kor_index::InvertedIndex;
 
+use crate::cache::PreprocessCache;
 use crate::error::KorError;
 use crate::query::KorQuery;
 
@@ -123,10 +124,27 @@ pub fn greedy(
     query: &KorQuery,
     params: &GreedyParams,
 ) -> Result<Option<GreedyRoute>, KorError> {
+    greedy_with_cache(graph, index, pairs, query, params, None)
+}
+
+/// [`greedy`] reusing a shared [`PreprocessCache`] for the to-target
+/// backward tree pair.
+pub fn greedy_with_cache(
+    graph: &Graph,
+    index: &InvertedIndex,
+    pairs: &impl PairCosts,
+    query: &KorQuery,
+    params: &GreedyParams,
+    cache: Option<&PreprocessCache>,
+) -> Result<Option<GreedyRoute>, KorError> {
     params.validate()?;
     // All "to target" τ costs come from one backward tree; `pairs` only
-    // answers the source-repeating "from the current node" legs.
-    let ctx = QueryContext::new(graph, query.target);
+    // answers the source-repeating "from the current node" legs. A
+    // supplied cache makes repeat targets skip the two Dijkstras.
+    let ctx = match cache {
+        Some(cache) => cache.context(graph, query.target).0,
+        None => std::sync::Arc::new(QueryContext::new(graph, query.target)),
+    };
     if !ctx.reaches_target(query.source) {
         return Ok(None);
     }
@@ -176,7 +194,7 @@ fn explore(
     graph: &Graph,
     index: &InvertedIndex,
     pairs: &impl PairCosts,
-    ctx: &QueryContext<'_>,
+    ctx: &QueryContext,
     query: &KorQuery,
     params: &GreedyParams,
     state: State,
@@ -232,7 +250,7 @@ fn explore(
 /// completion that overruns `Δ` is dropped too — that mode's contract is
 /// to never exceed the budget.
 fn finalize(
-    ctx: &QueryContext<'_>,
+    ctx: &QueryContext,
     query: &KorQuery,
     params: &GreedyParams,
     mut state: State,
@@ -256,7 +274,7 @@ fn finalize(
 fn materialize(
     graph: &Graph,
     pairs: &impl PairCosts,
-    ctx: &QueryContext<'_>,
+    ctx: &QueryContext,
     query: &KorQuery,
     state: &State,
 ) -> Option<GreedyRoute> {

@@ -10,12 +10,14 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
-use kor_apsp::{backward_tree, KeywordReach, Metric, QueryContext, Tree};
-use kor_graph::{Graph, NodeId, Route};
+use kor_apsp::{KeywordReach, QueryContext};
+use kor_graph::{Graph, NodeId, QueryKeywords, Route};
 use kor_index::InvertedIndex;
 
+use crate::cache::{build_opt2_trees, Opt2Trees, PreprocessCache};
 use crate::dominance::{DomMode, LabelStore};
 use crate::error::KorError;
 use crate::label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
@@ -25,12 +27,33 @@ use crate::result::{RouteResult, SearchResult, TopKResult};
 use crate::scale::Scaler;
 use crate::stats::SearchStats;
 
+/// How many queue pops pass between two deadline checks. Calling
+/// `Instant::now()` per pop costs a syscall-ish vDSO hit in the hottest
+/// loop of the engine; a stride this size keeps deadline latency well
+/// under a millisecond while making the check free in the aggregate.
+/// The first pop always checks, so an already-expired deadline aborts
+/// before any work happens.
+pub(crate) const DEADLINE_STRIDE: u64 = 1024;
+
 /// Runs `OSScaling` (Algorithm 1): the `1/(1−ε)`-approximation.
 pub fn os_scaling(
     graph: &Graph,
     index: &InvertedIndex,
     query: &KorQuery,
     params: &OsScalingParams,
+) -> Result<SearchResult, KorError> {
+    os_scaling_with_cache(graph, index, query, params, None)
+}
+
+/// [`os_scaling`] reusing a shared [`PreprocessCache`] for the to-target
+/// trees and Opt-2 bounds. Results are byte-identical to the cold path;
+/// only the setup cost changes. `None` builds everything per call.
+pub fn os_scaling_with_cache(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    params: &OsScalingParams,
+    cache: Option<&PreprocessCache>,
 ) -> Result<SearchResult, KorError> {
     params.validate()?;
     let cfg = EngineConfig {
@@ -42,7 +65,7 @@ pub fn os_scaling(
         collect_labels: params.collect_labels,
         deadline: params.deadline,
     };
-    let mut engine = Engine::new(graph, index, query, cfg);
+    let mut engine = Engine::new(graph, index, query, cfg, cache);
     let mut routes = engine.run()?;
     Ok(SearchResult {
         route: routes.pop(),
@@ -72,6 +95,17 @@ pub fn exact_labeling_with_deadline(
     query: &KorQuery,
     deadline: Option<Instant>,
 ) -> Result<SearchResult, KorError> {
+    exact_labeling_with_cache(graph, index, query, deadline, None)
+}
+
+/// [`exact_labeling_with_deadline`] reusing a shared [`PreprocessCache`].
+pub fn exact_labeling_with_cache(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    deadline: Option<Instant>,
+    cache: Option<&PreprocessCache>,
+) -> Result<SearchResult, KorError> {
     let cfg = EngineConfig {
         mode: ScoreMode::Exact,
         k: 1,
@@ -81,7 +115,7 @@ pub fn exact_labeling_with_deadline(
         collect_labels: false,
         deadline,
     };
-    let mut engine = Engine::new(graph, index, query, cfg);
+    let mut engine = Engine::new(graph, index, query, cfg, cache);
     let mut routes = engine.run()?;
     Ok(SearchResult {
         route: routes.pop(),
@@ -99,6 +133,18 @@ pub fn top_k_os_scaling(
     params: &OsScalingParams,
     k: usize,
 ) -> Result<TopKResult, KorError> {
+    top_k_os_scaling_with_cache(graph, index, query, params, k, None)
+}
+
+/// [`top_k_os_scaling`] reusing a shared [`PreprocessCache`].
+pub fn top_k_os_scaling_with_cache(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    params: &OsScalingParams,
+    k: usize,
+    cache: Option<&PreprocessCache>,
+) -> Result<TopKResult, KorError> {
     params.validate()?;
     if k == 0 {
         return Err(KorError::InvalidK);
@@ -112,12 +158,63 @@ pub fn top_k_os_scaling(
         collect_labels: params.collect_labels,
         deadline: params.deadline,
     };
-    let mut engine = Engine::new(graph, index, query, cfg);
+    let mut engine = Engine::new(graph, index, query, cfg, cache);
     let routes = engine.run()?;
     Ok(TopKResult {
         routes,
         stats: engine.stats,
     })
+}
+
+/// Acquires the to-target [`QueryContext`] for `query`, from the cache
+/// when one is supplied, recording hit/miss/build counters in `stats`.
+pub(crate) fn acquire_context(
+    graph: &Graph,
+    target: NodeId,
+    cache: Option<&PreprocessCache>,
+    stats: &mut SearchStats,
+) -> Arc<QueryContext> {
+    match cache {
+        Some(cache) => {
+            let (ctx, hit) = cache.context(graph, target);
+            if hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+                stats.trees_built += 2;
+            }
+            ctx
+        }
+        None => {
+            stats.trees_built += 2;
+            Arc::new(QueryContext::new(graph, target))
+        }
+    }
+}
+
+/// The query-keyword coverage mask for every node, as one flat table.
+///
+/// The hot loop previously called `keywords.mask_of(graph.keywords(v))`
+/// once per child label — a sorted-slice intersection per label. The
+/// table is built once per query from the inverted index's postings, so
+/// only nodes actually holding a query keyword are touched (plus one
+/// zeroed allocation); lookups become a single indexed load. Empty for
+/// keyword-less queries, where every mask is zero.
+pub(crate) fn query_mask_table(
+    node_count: usize,
+    keywords: &QueryKeywords,
+    index: &InvertedIndex,
+) -> Vec<u32> {
+    if keywords.is_empty() {
+        return Vec::new();
+    }
+    let mut masks = vec![0u32; node_count];
+    for (bit, &kw) in keywords.ids().iter().enumerate() {
+        for &node in index.postings(kw) {
+            masks[node.index()] |= 1 << bit;
+        }
+    }
+    masks
 }
 
 /// Objective representation used for dominance and ordering.
@@ -243,18 +340,20 @@ impl TopSet {
 }
 
 /// Optimization Strategy 2 state: the infrequent query keyword bit plus
-/// the two "through an infrequent-keyword node" lower-bound trees.
+/// the two "through an infrequent-keyword node" lower-bound trees
+/// (shared with the pre-processing cache when one is in use).
 pub(crate) struct Opt2 {
     pub(crate) bit_mask: u32,
-    pub(crate) obj_bound: Tree,
-    pub(crate) bud_bound: Tree,
+    pub(crate) trees: Arc<Opt2Trees>,
 }
 
 struct Engine<'a> {
     graph: &'a Graph,
     query: &'a KorQuery,
     cfg: EngineConfig,
-    ctx: QueryContext<'a>,
+    ctx: Arc<QueryContext>,
+    /// Per-node query-keyword masks (empty ⇒ all zero).
+    masks: Vec<u32>,
     reach: Option<KeywordReach>,
     opt2: Option<Opt2>,
     arena: LabelArena,
@@ -271,8 +370,11 @@ impl<'a> Engine<'a> {
         index: &'a InvertedIndex,
         query: &'a KorQuery,
         cfg: EngineConfig,
+        cache: Option<&PreprocessCache>,
     ) -> Self {
-        let ctx = QueryContext::new(graph, query.target);
+        let mut stats = SearchStats::default();
+        let ctx = acquire_context(graph, query.target, cache, &mut stats);
+        let masks = query_mask_table(graph.node_count(), &query.keywords, index);
         let reach = (cfg.use_opt1 && !query.keywords.is_empty()).then(|| {
             KeywordReach::new(
                 graph,
@@ -280,30 +382,45 @@ impl<'a> Engine<'a> {
                 &index.query_postings(&query.keywords),
             )
         });
-        let opt2 = cfg
-            .use_opt2
-            .then(|| build_opt2(graph, index, query, &ctx, cfg.infrequent_threshold))
-            .flatten();
-        let store = LabelStore::new(
-            cfg.mode.dom_mode(),
-            graph.node_count(),
-            query.keywords.full_mask(),
-            cfg.k,
-        );
+        let opt2 = if cfg.use_opt2 {
+            build_opt2(
+                graph,
+                index,
+                query,
+                &ctx,
+                cfg.infrequent_threshold,
+                cache,
+                &mut stats,
+            )
+        } else {
+            None
+        };
+        let store = LabelStore::new(cfg.mode.dom_mode(), query.keywords.full_mask(), cfg.k);
         let k = cfg.k;
         Self {
             graph,
             query,
             cfg,
             ctx,
+            masks,
             reach,
             opt2,
             arena: LabelArena::new(),
             store,
             heap: BinaryHeap::new(),
             top: TopSet::new(k),
-            stats: SearchStats::default(),
+            stats,
             snapshots: Vec::new(),
+        }
+    }
+
+    /// The query-keyword mask of `node` (one indexed load).
+    #[inline]
+    fn node_mask(&self, node: NodeId) -> u32 {
+        if self.masks.is_empty() {
+            0
+        } else {
+            self.masks[node.index()]
         }
     }
 
@@ -320,7 +437,7 @@ impl<'a> Engine<'a> {
         // Initial label (Algorithm 1 lines 2–4).
         let init = Label {
             node: source,
-            mask: self.query.keywords.mask_of(self.graph.keywords(source)),
+            mask: self.node_mask(source),
             scaled: 0,
             objective: 0.0,
             budget: 0.0,
@@ -336,12 +453,20 @@ impl<'a> Engine<'a> {
         self.try_complete(init_id);
         self.push_queue(init_id);
 
+        let mut pops: u64 = 0;
         while let Some(item) = self.heap.pop() {
-            if let Some(deadline) = self.cfg.deadline {
-                if Instant::now() >= deadline {
-                    return Err(KorError::DeadlineExceeded);
+            // Stride-based deadline check: `Instant::now()` per pop is
+            // measurable in this loop; checking every DEADLINE_STRIDE
+            // pops (including the very first) bounds both the overhead
+            // and the firing latency.
+            if pops % DEADLINE_STRIDE == 0 {
+                if let Some(deadline) = self.cfg.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(KorError::DeadlineExceeded);
+                    }
                 }
             }
+            pops += 1;
             let label = *self.arena.get(item.id);
             if !label.alive {
                 self.stats.labels_skipped += 1;
@@ -371,13 +496,13 @@ impl<'a> Engine<'a> {
     /// Optimization-Strategy-1 jump.
     fn expand(&mut self, id: u32) {
         let label = *self.arena.get(id);
-        let out: Vec<(NodeId, f64, f64)> = self
-            .graph
-            .out_edges(label.node)
-            .map(|e| (e.node, e.objective, e.budget))
-            .collect();
-        for (node, eo, eb) in out {
-            self.make_child(id, node, eo, eb);
+        // `self.graph` is a plain `&'a Graph`, so copying the reference
+        // out lets the adjacency iterator borrow the graph — not `self` —
+        // and the CSR slices are walked in place with no per-expansion
+        // `Vec` allocation.
+        let graph = self.graph;
+        for e in graph.out_edges(label.node) {
+            self.make_child(id, e.node, e.objective, e.budget);
         }
         if self.reach.is_some() && !self.query.keywords.is_covering(label.mask) {
             self.opt1_jump(id);
@@ -398,7 +523,7 @@ impl<'a> Engine<'a> {
         let budget = parent.budget + edge_bud;
         let child = Label {
             node,
-            mask: parent.mask | self.query.keywords.mask_of(self.graph.keywords(node)),
+            mask: parent.mask | self.node_mask(node),
             scaled: self.cfg.mode.child_key(&parent, edge_obj, objective),
             objective,
             budget,
@@ -431,8 +556,8 @@ impl<'a> Engine<'a> {
         // Optimization Strategy 2.
         if let Some(opt2) = &self.opt2 {
             if child.mask & opt2.bit_mask == 0 {
-                let through_obj = opt2.obj_bound.objective(child.node);
-                let through_bud = opt2.bud_bound.budget(child.node);
+                let through_obj = opt2.trees.obj_bound.objective(child.node);
+                let through_bud = opt2.trees.bud_bound.budget(child.node);
                 if child.objective + through_obj > self.top.bound()
                     || child.budget + through_bud > self.query.budget
                 {
@@ -512,7 +637,7 @@ impl<'a> Engine<'a> {
                 let objective = parent.objective + e.objective;
                 let child = Label {
                     node: to,
-                    mask: parent.mask | self.query.keywords.mask_of(self.graph.keywords(to)),
+                    mask: parent.mask | self.node_mask(to),
                     scaled: self.cfg.mode.child_key(&parent, e.objective, objective),
                     objective,
                     budget: parent.budget + e.budget,
@@ -592,35 +717,44 @@ impl<'a> Engine<'a> {
 }
 
 /// Builds Optimization-Strategy-2 state when the least frequent query
-/// keyword is rare enough.
+/// keyword is rare enough. The bound trees are pulled from the
+/// pre-processing cache when one is supplied (keyed by `(target, kw)` —
+/// the bit position is query-local and recomputed per call); the rarity
+/// gate itself is a cheap index lookup and always runs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_opt2(
     graph: &Graph,
     index: &InvertedIndex,
     query: &KorQuery,
-    ctx: &QueryContext<'_>,
+    ctx: &QueryContext,
     threshold: f64,
+    cache: Option<&PreprocessCache>,
+    stats: &mut SearchStats,
 ) -> Option<Opt2> {
     let (kw, df) = index.least_frequent(query.keywords.ids())?;
     if graph.node_count() == 0 || df as f64 / graph.node_count() as f64 >= threshold {
         return None;
     }
     let bit = query.keywords.bit(kw)?;
-    // Seeds carry the to-target completion as initial potential, so each
-    // tree bounds "go through an infrequent-keyword node, then finish".
-    let mut obj_seeds = Vec::new();
-    let mut bud_seeds = Vec::new();
-    for &l in index.postings(kw) {
-        if let Some(tau) = ctx.tau_to_target(l) {
-            obj_seeds.push((l, tau.objective, tau.budget));
+    let trees = match cache {
+        Some(cache) => {
+            let (trees, hit) = cache.opt2_trees(graph, index, ctx, kw);
+            if hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+                stats.trees_built += 2;
+            }
+            trees
         }
-        if let Some(sigma) = ctx.sigma_to_target(l) {
-            bud_seeds.push((l, sigma.objective, sigma.budget));
+        None => {
+            stats.trees_built += 2;
+            Arc::new(build_opt2_trees(graph, index, ctx, kw))
         }
-    }
+    };
     Some(Opt2 {
         bit_mask: 1 << bit,
-        obj_bound: backward_tree(graph, Metric::Objective, &obj_seeds),
-        bud_bound: backward_tree(graph, Metric::Budget, &bud_seeds),
+        trees,
     })
 }
 

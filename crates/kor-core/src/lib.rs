@@ -42,6 +42,7 @@
 
 mod brute;
 mod bucket;
+mod cache;
 mod dominance;
 mod engine;
 mod error;
@@ -55,13 +56,19 @@ mod scale;
 mod stats;
 
 pub use brute::{brute_force, BruteForceParams};
-pub use bucket::{bucket_bound, top_k_bucket_bound};
+pub use bucket::{
+    bucket_bound, bucket_bound_with_cache, top_k_bucket_bound, top_k_bucket_bound_with_cache,
+};
+pub use cache::{CacheStats, Opt2Trees, PreprocessCache};
 pub use dominance::{DomMode, LabelStore};
 pub use engine::KorEngine;
 pub use error::KorError;
-pub use greedy::{greedy, GreedyMode, GreedyParams, GreedyRoute};
+pub use greedy::{greedy, greedy_with_cache, GreedyMode, GreedyParams, GreedyRoute};
 pub use label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
-pub use labeling::{exact_labeling, exact_labeling_with_deadline, os_scaling, top_k_os_scaling};
+pub use labeling::{
+    exact_labeling, exact_labeling_with_cache, exact_labeling_with_deadline, os_scaling,
+    os_scaling_with_cache, top_k_os_scaling, top_k_os_scaling_with_cache,
+};
 pub use params::{BucketBoundParams, OsScalingParams};
 pub use query::KorQuery;
 pub use result::{RouteResult, SearchResult, TopKResult};

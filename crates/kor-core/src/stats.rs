@@ -29,6 +29,15 @@ pub struct SearchStats {
     pub opt1_jumps: u64,
     /// Buckets created (`BucketBound` only).
     pub buckets_created: u64,
+    /// Pre-processing cache hits while setting up this search (query
+    /// context and Opt-2 trees; `0` when no cache was supplied).
+    pub cache_hits: u64,
+    /// Pre-processing cache misses while setting up this search.
+    pub cache_misses: u64,
+    /// Backward Dijkstra trees built for this search (0 when every
+    /// lookup hit the cache; 2 for a cold context, +2 when Optimization
+    /// Strategy 2 built its bound trees).
+    pub trees_built: u64,
 }
 
 impl SearchStats {
@@ -43,7 +52,8 @@ impl fmt::Display for SearchStats {
         write!(
             f,
             "created {} | expanded {} | dominated {} | pruned {} | evicted {} | \
-             skipped {} | pushes {} | bound-updates {} | opt1 {} | opt2 {} | buckets {}",
+             skipped {} | pushes {} | bound-updates {} | opt1 {} | opt2 {} | buckets {} | \
+             cache {}/{} | trees {}",
             self.labels_created,
             self.labels_expanded,
             self.labels_dominated,
@@ -55,6 +65,9 @@ impl fmt::Display for SearchStats {
             self.opt1_jumps,
             self.opt2_discards,
             self.buckets_created,
+            self.cache_hits,
+            self.cache_misses,
+            self.trees_built,
         )
     }
 }

@@ -1,0 +1,491 @@
+//! `kor bench` — the tracked warm-vs-cold performance baseline.
+//!
+//! Runs a **repeated-target** workload (the serve-traffic shape: many
+//! queries share popular targets while keywords and budgets vary) through
+//! every label-search algorithm twice:
+//!
+//! * **cold** — the plain entry points, rebuilding the `τ`/`σ`
+//!   pre-processing per query (what every caller paid before the
+//!   [`kor_core::PreprocessCache`] existed);
+//! * **warm** — the same queries through one shared cache, so repeat
+//!   targets skip their backward Dijkstras.
+//!
+//! Both passes must agree **byte for byte** (route node ids and the IEEE
+//! bit patterns of the scores); the emitted `BENCH_kor.json` records
+//! per-algorithm median/mean latencies, the speedup, label counters, and
+//! the cache hit/miss/build counters proving the warm path was
+//! exercised. CI runs the `--smoke` profile and archives the JSON so the
+//! perf trajectory of the repo is tracked per commit.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use kor_core::{
+    bucket_bound_with_cache, exact_labeling_with_cache, os_scaling_with_cache,
+    top_k_bucket_bound_with_cache, top_k_os_scaling_with_cache, BucketBoundParams, KorQuery,
+    OsScalingParams, PreprocessCache, RouteResult, SearchStats,
+};
+use kor_data::{generate_roadnet, generate_workload, RoadNetConfig, WorkloadConfig};
+use kor_graph::Graph;
+use kor_index::InvertedIndex;
+
+use crate::json::JsonValue;
+
+/// The algorithms the benchmark tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchAlgo {
+    /// `OSScaling` (Algorithm 1), paper defaults.
+    OsScaling,
+    /// `BucketBound` (Algorithm 2), paper defaults.
+    BucketBound,
+    /// Exact labeling (ground truth).
+    Exact,
+    /// KkR top-k via `OSScaling`.
+    TopKOsScaling(usize),
+    /// KkR top-k via `BucketBound`.
+    TopKBucketBound(usize),
+}
+
+impl BenchAlgo {
+    /// Stable name used in the JSON report.
+    pub fn name(&self) -> String {
+        match self {
+            BenchAlgo::OsScaling => "os-scaling".into(),
+            BenchAlgo::BucketBound => "bucket-bound".into(),
+            BenchAlgo::Exact => "exact".into(),
+            BenchAlgo::TopKOsScaling(k) => format!("top-k-os-scaling-k{k}"),
+            BenchAlgo::TopKBucketBound(k) => format!("top-k-bucket-bound-k{k}"),
+        }
+    }
+
+    /// The default tracked set.
+    pub fn defaults() -> Vec<BenchAlgo> {
+        vec![
+            BenchAlgo::OsScaling,
+            BenchAlgo::BucketBound,
+            BenchAlgo::Exact,
+            BenchAlgo::TopKOsScaling(3),
+            BenchAlgo::TopKBucketBound(3),
+        ]
+    }
+}
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Road-network size when no graph file is supplied.
+    pub nodes: usize,
+    /// Distinct targets in the workload.
+    pub targets: usize,
+    /// Queries per target (keywords and budget vary per repeat).
+    pub per_target: usize,
+    /// Base budget `Δ`; repeats scale it by `1.0 + 0.25·(j mod 4)`.
+    pub budget: f64,
+    /// Workload/graph seed.
+    pub seed: u64,
+    /// Algorithms to measure.
+    pub algos: Vec<BenchAlgo>,
+    /// Where to write the JSON report.
+    pub out: PathBuf,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4000,
+            targets: 8,
+            per_target: 12,
+            budget: 25.0,
+            seed: 2012,
+            algos: BenchAlgo::defaults(),
+            out: PathBuf::from("BENCH_kor.json"),
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The fast profile CI runs: small graph, few queries, all algos.
+    pub fn smoke() -> Self {
+        Self {
+            nodes: 500,
+            targets: 4,
+            per_target: 6,
+            ..Self::default()
+        }
+    }
+}
+
+/// One query of the repeated-target workload.
+struct BenchQuery {
+    query: KorQuery,
+}
+
+/// A comparable fingerprint of one query's result: route node ids plus
+/// the exact bit patterns of both scores.
+type Fingerprint = Vec<(Vec<u32>, u64, u64)>;
+
+fn fingerprint(routes: &[RouteResult]) -> Fingerprint {
+    routes
+        .iter()
+        .map(|r| {
+            (
+                r.route.nodes().iter().map(|n| n.0).collect(),
+                r.objective.to_bits(),
+                r.budget.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Builds the repeated-target workload: `targets` (source, target,
+/// keyword-pool) specs, each instantiated `per_target` times with rotated
+/// keyword subsets and scaled budgets.
+fn build_workload(graph: &Graph, index: &InvertedIndex, cfg: &BenchConfig) -> Vec<BenchQuery> {
+    let sets = generate_workload(
+        graph,
+        index,
+        &WorkloadConfig {
+            keyword_counts: vec![3],
+            queries_per_set: cfg.targets,
+            frequency_weighted: true,
+            max_euclidean_km: None,
+            min_doc_fraction: 0.0,
+            seed: cfg.seed,
+        },
+    );
+    let mut queries = Vec::new();
+    for set in &sets {
+        for spec in &set.queries {
+            let m = spec.keywords.len().max(1);
+            for j in 0..cfg.per_target {
+                // Rotated subset of the spec's keyword pool: size cycles
+                // 1..=m, starting offset walks around the pool.
+                let take = 1 + (j % m);
+                let kws: Vec<_> = (0..take).map(|i| spec.keywords[(j + i) % m]).collect();
+                let delta = cfg.budget * (1.0 + 0.25 * (j % 4) as f64);
+                if let Ok(query) = KorQuery::new(graph, spec.source, spec.target, kws, delta) {
+                    queries.push(BenchQuery { query });
+                }
+            }
+        }
+    }
+    queries
+}
+
+/// Latency aggregate over one pass.
+#[derive(Debug, Clone, Copy)]
+struct PassLatency {
+    median_us: f64,
+    mean_us: f64,
+    p95_us: f64,
+}
+
+fn latency_of(mut us: Vec<f64>) -> PassLatency {
+    assert!(!us.is_empty(), "benchmark pass produced no samples");
+    us.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| us[((p * (us.len() - 1) as f64).round() as usize).min(us.len() - 1)];
+    PassLatency {
+        median_us: pct(0.50),
+        mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        p95_us: pct(0.95),
+    }
+}
+
+/// Outcome of one (algorithm, pass) run.
+struct PassResult {
+    latency: PassLatency,
+    stats: SearchStats,
+    fingerprints: Vec<Fingerprint>,
+}
+
+/// Runs every query through `algo`, with or without the shared cache.
+fn run_pass(
+    graph: &Graph,
+    index: &InvertedIndex,
+    queries: &[BenchQuery],
+    algo: BenchAlgo,
+    cache: Option<&PreprocessCache>,
+) -> PassResult {
+    let os_params = OsScalingParams::default();
+    let bb_params = BucketBoundParams::default();
+    let mut lat = Vec::with_capacity(queries.len());
+    let mut stats = SearchStats::default();
+    let mut fingerprints = Vec::with_capacity(queries.len());
+    for q in queries {
+        let t0 = Instant::now();
+        let (routes, s) = match algo {
+            BenchAlgo::OsScaling => {
+                let r = os_scaling_with_cache(graph, index, &q.query, &os_params, cache)
+                    .expect("valid params");
+                (r.route.into_iter().collect::<Vec<_>>(), r.stats)
+            }
+            BenchAlgo::BucketBound => {
+                let r = bucket_bound_with_cache(graph, index, &q.query, &bb_params, cache)
+                    .expect("valid params");
+                (r.route.into_iter().collect(), r.stats)
+            }
+            BenchAlgo::Exact => {
+                let r = exact_labeling_with_cache(graph, index, &q.query, None, cache)
+                    .expect("no deadline");
+                (r.route.into_iter().collect(), r.stats)
+            }
+            BenchAlgo::TopKOsScaling(k) => {
+                let r = top_k_os_scaling_with_cache(graph, index, &q.query, &os_params, k, cache)
+                    .expect("valid params");
+                (r.routes, r.stats)
+            }
+            BenchAlgo::TopKBucketBound(k) => {
+                let r = top_k_bucket_bound_with_cache(graph, index, &q.query, &bb_params, k, cache)
+                    .expect("valid params");
+                (r.routes, r.stats)
+            }
+        };
+        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+        fingerprints.push(fingerprint(&routes));
+        // Sum the per-search counters across the pass.
+        stats.labels_created += s.labels_created;
+        stats.labels_pruned += s.labels_pruned;
+        stats.labels_dominated += s.labels_dominated;
+        stats.labels_expanded += s.labels_expanded;
+        stats.cache_hits += s.cache_hits;
+        stats.cache_misses += s.cache_misses;
+        stats.trees_built += s.trees_built;
+    }
+    PassResult {
+        latency: latency_of(lat),
+        stats,
+        fingerprints,
+    }
+}
+
+/// Everything one algorithm produced, cold and warm.
+struct AlgoReport {
+    algo: String,
+    queries: usize,
+    cold: PassLatency,
+    warm: PassLatency,
+    speedup_median: f64,
+    identical: bool,
+    labels_created: u64,
+    labels_pruned: u64,
+    cold_trees_built: u64,
+    warm_trees_built: u64,
+    warm_cache_hits: u64,
+    warm_cache_misses: u64,
+    warm_hit_rate: f64,
+}
+
+fn latency_json(l: &PassLatency) -> JsonValue {
+    JsonValue::obj([
+        ("median_us", l.median_us.into()),
+        ("mean_us", l.mean_us.into()),
+        ("p95_us", l.p95_us.into()),
+    ])
+}
+
+/// Runs the benchmark and returns the JSON report (also written to
+/// `cfg.out` by [`run_bench_to_file`]).
+pub fn run_bench(graph: &Graph, cfg: &BenchConfig) -> JsonValue {
+    let index = InvertedIndex::build(graph);
+    let queries = build_workload(graph, &index, cfg);
+    assert!(!queries.is_empty(), "benchmark workload is empty");
+    let mut reports = Vec::new();
+    for &algo in &cfg.algos {
+        // Cold: no cache, per-query rebuild — measured after one untimed
+        // warm-up query so allocator/page effects do not skew the first
+        // sample.
+        let _ = run_pass(graph, &index, &queries[..1], algo, None);
+        let cold = run_pass(graph, &index, &queries, algo, None);
+        // Warm: one shared cache across the pass; the first query per
+        // target misses, every repeat hits.
+        let cache = PreprocessCache::new();
+        let warm = run_pass(graph, &index, &queries, algo, Some(&cache));
+        let identical = cold.fingerprints == warm.fingerprints;
+        let cache_stats = cache.stats();
+        eprintln!(
+            "[bench] {:<24} cold p50 {:>9.1}us | warm p50 {:>9.1}us | ×{:.2} | hits {} misses {} | identical: {identical}",
+            algo.name(),
+            cold.latency.median_us,
+            warm.latency.median_us,
+            cold.latency.median_us / warm.latency.median_us.max(f64::MIN_POSITIVE),
+            warm.stats.cache_hits,
+            warm.stats.cache_misses,
+        );
+        reports.push(AlgoReport {
+            algo: algo.name(),
+            queries: queries.len(),
+            cold: cold.latency,
+            warm: warm.latency,
+            speedup_median: cold.latency.median_us / warm.latency.median_us.max(f64::MIN_POSITIVE),
+            identical,
+            labels_created: warm.stats.labels_created,
+            labels_pruned: warm.stats.labels_pruned,
+            cold_trees_built: cold.stats.trees_built,
+            warm_trees_built: warm.stats.trees_built,
+            warm_cache_hits: warm.stats.cache_hits,
+            warm_cache_misses: warm.stats.cache_misses,
+            warm_hit_rate: cache_stats.hit_rate(),
+        });
+    }
+
+    let min_speedup = reports
+        .iter()
+        .map(|r| r.speedup_median)
+        .fold(f64::INFINITY, f64::min);
+    let all_identical = reports.iter().all(|r| r.identical);
+    let algos_json: Vec<JsonValue> = reports
+        .iter()
+        .map(|r| {
+            JsonValue::obj([
+                ("algo", r.algo.as_str().into()),
+                ("queries", r.queries.into()),
+                ("cold", latency_json(&r.cold)),
+                ("warm", latency_json(&r.warm)),
+                ("speedup_median", r.speedup_median.into()),
+                ("identical", r.identical.into()),
+                ("labels_created", r.labels_created.into()),
+                ("labels_pruned", r.labels_pruned.into()),
+                (
+                    "cache",
+                    JsonValue::obj([
+                        ("hits", r.warm_cache_hits.into()),
+                        ("misses", r.warm_cache_misses.into()),
+                        ("hit_rate", r.warm_hit_rate.into()),
+                        ("trees_built_cold", r.cold_trees_built.into()),
+                        ("trees_built_warm", r.warm_trees_built.into()),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::obj([
+        (
+            "config",
+            JsonValue::obj([
+                ("nodes", graph.node_count().into()),
+                ("edges", graph.edge_count().into()),
+                ("targets", cfg.targets.into()),
+                ("per_target", cfg.per_target.into()),
+                ("budget", cfg.budget.into()),
+                ("seed", cfg.seed.into()),
+            ]),
+        ),
+        ("algos", JsonValue::Arr(algos_json)),
+        (
+            "overall",
+            JsonValue::obj([
+                ("min_speedup_median", min_speedup.into()),
+                ("all_identical", all_identical.into()),
+            ]),
+        ),
+    ])
+}
+
+/// Runs the benchmark on `graph` (or a generated road network when
+/// `None`) and writes the JSON report to `cfg.out`.
+pub fn run_bench_to_file(graph: Option<Graph>, cfg: &BenchConfig) -> Result<JsonValue, String> {
+    let graph = match graph {
+        Some(g) => g,
+        None => {
+            let mut road = RoadNetConfig::with_nodes(cfg.nodes);
+            road.seed = cfg.seed;
+            let g = generate_roadnet(&road);
+            eprintln!(
+                "[bench] road network: {} nodes, {} edges",
+                g.node_count(),
+                g.edge_count()
+            );
+            g
+        }
+    };
+    let report = run_bench(&graph, cfg);
+    std::fs::write(&cfg.out, report.render())
+        .map_err(|e| format!("writing {}: {e}", cfg.out.display()))?;
+    eprintln!("[bench] wrote {}", cfg.out.display());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Graph, BenchConfig) {
+        let g = generate_roadnet(&RoadNetConfig::small());
+        let cfg = BenchConfig {
+            nodes: 0, // unused: graph is supplied
+            targets: 3,
+            per_target: 4,
+            budget: 40.0,
+            seed: 7,
+            algos: vec![BenchAlgo::OsScaling, BenchAlgo::BucketBound],
+            out: PathBuf::from("unused.json"),
+        };
+        (g, cfg)
+    }
+
+    #[test]
+    fn report_shape_and_identity() {
+        let (g, cfg) = tiny();
+        let report = run_bench(&g, &cfg);
+        let parsed = JsonValue::parse(&report.render()).expect("report parses");
+        let algos = parsed.get("algos").unwrap().as_arr().unwrap();
+        assert_eq!(algos.len(), 2);
+        for a in algos {
+            assert_eq!(a.get("identical").and_then(JsonValue::as_bool), Some(true));
+            assert!(a.get("cold").unwrap().get("median_us").is_some());
+            let cache = a.get("cache").unwrap();
+            // Warm pass must actually hit: 3 targets × 4 repeats ⇒ ≥ 9
+            // context hits.
+            assert!(cache.get("hits").and_then(JsonValue::as_u64) >= Some(9));
+            assert!(
+                cache
+                    .get("trees_built_warm")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap()
+                    < cache
+                        .get("trees_built_cold")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap()
+            );
+        }
+        assert_eq!(
+            parsed
+                .get("overall")
+                .unwrap()
+                .get("all_identical")
+                .and_then(JsonValue::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn workload_repeats_targets() {
+        let (g, cfg) = tiny();
+        let index = InvertedIndex::build(&g);
+        let queries = build_workload(&g, &index, &cfg);
+        assert_eq!(queries.len(), 3 * 4);
+        // Each target appears per_target times per spec (two specs may
+        // share a target, so counts are multiples of per_target).
+        use std::collections::HashMap;
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for q in &queries {
+            *counts.entry(q.query.target.0).or_default() += 1;
+        }
+        for (_, c) in counts {
+            assert_eq!(c % 4, 0);
+            assert!(c >= 4);
+        }
+    }
+
+    #[test]
+    fn bench_to_file_writes_json() {
+        let (g, mut cfg) = tiny();
+        let dir = std::env::temp_dir().join(format!("kor-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        cfg.out = dir.join("BENCH_kor.json");
+        run_bench_to_file(Some(g), &cfg).unwrap();
+        let text = std::fs::read_to_string(&cfg.out).unwrap();
+        assert!(JsonValue::parse(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -37,6 +37,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use kor::batch::{run_batch, BatchAlgo, BatchConfig};
+use kor::bench::{run_bench_to_file, BenchAlgo, BenchConfig};
 use kor::prelude::*;
 use kor::serve::registry::Dataset;
 use kor::serve::{ServeConfig, Server};
@@ -60,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("index") => index(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("batch") => batch(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
@@ -72,7 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Every subcommand, for the usage screen and error messages.
-const SUBCOMMANDS: &str = "generate, stats, index, query, batch, serve, help";
+const SUBCOMMANDS: &str = "generate, stats, index, query, batch, bench, serve, help";
 
 fn usage() -> &'static str {
     "kor — keyword-aware optimal route search (Cao et al., VLDB 2012)\n\
@@ -89,6 +91,9 @@ fn usage() -> &'static str {
      \x20           [--algo os-scaling|bucket-bound|greedy] [--threads N]\n\
      \x20           [--seed N] [--epsilon E] [--beta B] [--alpha A] [--beam N]\n\
      \x20           [--json-out FILE] [--quiet]\n\
+     \x20 kor bench [FILE] [--out BENCH_kor.json] [--nodes N] [--targets T]\n\
+     \x20           [--per-target Q] [--budget X] [--seed N]\n\
+     \x20           [--algos a,b,c] [--smoke]\n\
      \x20 kor serve [--addr HOST:PORT] [--threads N]\n\
      \x20           [--dataset [NAME=]FILE]... [--deadline-ms N]\n\
      \x20           [--max-request-bytes N]\n\
@@ -108,7 +113,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            if name == "small" || name == "quiet" {
+            if name == "small" || name == "quiet" || name == "smoke" {
                 // boolean flags
                 flags.push((name.to_string(), "true".to_string()));
                 continue;
@@ -438,6 +443,69 @@ fn batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `kor bench`: run the warm-vs-cold repeated-target benchmark and
+/// write `BENCH_kor.json`.
+fn bench(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let mut cfg = if flag(&flags, "smoke").is_some() {
+        BenchConfig::smoke()
+    } else {
+        BenchConfig::default()
+    };
+    cfg.nodes = parse_num(&flags, "nodes", cfg.nodes)?;
+    cfg.targets = parse_num(&flags, "targets", cfg.targets)?;
+    cfg.per_target = parse_num(&flags, "per-target", cfg.per_target)?;
+    cfg.budget = parse_num(&flags, "budget", cfg.budget)?;
+    cfg.seed = parse_num(&flags, "seed", cfg.seed)?;
+    if cfg.targets == 0 || cfg.per_target == 0 {
+        return Err("--targets and --per-target must be ≥ 1".into());
+    }
+    if let Some(out) = flag(&flags, "out") {
+        cfg.out = PathBuf::from(out);
+    }
+    if let Some(list) = flag(&flags, "algos") {
+        cfg.algos = list
+            .split(',')
+            .filter(|a| !a.is_empty())
+            .map(|a| match a {
+                "os-scaling" => Ok(BenchAlgo::OsScaling),
+                "bucket-bound" => Ok(BenchAlgo::BucketBound),
+                "exact" => Ok(BenchAlgo::Exact),
+                "top-k-os-scaling" => Ok(BenchAlgo::TopKOsScaling(3)),
+                "top-k-bucket-bound" => Ok(BenchAlgo::TopKBucketBound(3)),
+                other => Err(format!("unknown bench algo {other:?}")),
+            })
+            .collect::<Result<_, _>>()?;
+        if cfg.algos.is_empty() {
+            return Err("--algos needs at least one algorithm".into());
+        }
+    }
+    let graph = positional.first().map(|p| load(p)).transpose()?;
+    let report = run_bench_to_file(graph, &cfg)?;
+    let overall = report.get("overall").expect("report has overall");
+    let identical = overall
+        .get("all_identical")
+        .and_then(kor::json::JsonValue::as_bool)
+        .unwrap_or(false);
+    eprintln!(
+        "bench: min median speedup ×{:.2}, identical: {identical}",
+        overall
+            .get("min_speedup_median")
+            .and_then(kor::json::JsonValue::as_f64)
+            .unwrap_or(f64::NAN),
+    );
+    // Identity is deterministic (unlike the timing-based speedup): a
+    // warm/cold divergence is a cache correctness bug and must fail the
+    // run, so the CI bench-smoke step actually guards against it.
+    if !identical {
+        return Err(
+            "warm results diverged from cold (see the report's per-algo \"identical\" flags)"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
 /// `kor serve`: run the TCP query service until a `shutdown` request.
 fn serve(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
@@ -526,7 +594,9 @@ mod tests {
     fn unknown_subcommand_is_error_listing_alternatives() {
         let err = run(&s(&["frobnicate"])).unwrap_err();
         assert!(err.contains("frobnicate"), "{err}");
-        for sub in ["generate", "stats", "index", "query", "batch", "serve"] {
+        for sub in [
+            "generate", "stats", "index", "query", "batch", "bench", "serve",
+        ] {
             assert!(err.contains(sub), "error must mention {sub}: {err}");
         }
     }
@@ -540,6 +610,7 @@ mod tests {
             "kor index",
             "kor query",
             "kor batch",
+            "kor bench",
             "kor serve",
             "kor help",
         ] {

@@ -25,6 +25,8 @@
 //! * [`batch`] — a parallel front end that answers a whole query
 //!   workload over one shared engine and reports per-query latencies
 //!   plus an aggregate JSON summary (`kor batch` on the CLI);
+//! * [`mod@bench`] — the tracked warm-vs-cold performance baseline
+//!   (`kor bench` on the CLI, emitting `BENCH_kor.json`);
 //! * [`serve`] — a TCP query service with a fixed worker pool, warm
 //!   per-dataset engines, and a newline-delimited JSON protocol
 //!   (`kor serve` on the CLI; wire contract in `docs/PROTOCOL.md`);
@@ -68,6 +70,7 @@ pub use kor_graph as graph;
 pub use kor_index as index;
 
 pub mod batch;
+pub mod bench;
 pub mod json;
 pub mod serve;
 
@@ -78,9 +81,9 @@ pub mod prelude {
     };
     pub use kor_core::{
         brute_force, bucket_bound, exact_labeling, greedy, os_scaling, top_k_bucket_bound,
-        top_k_os_scaling, BruteForceParams, BucketBoundParams, GreedyMode, GreedyParams,
-        GreedyRoute, KorEngine, KorError, KorQuery, OsScalingParams, RouteResult, SearchResult,
-        TopKResult,
+        top_k_os_scaling, BruteForceParams, BucketBoundParams, CacheStats, GreedyMode,
+        GreedyParams, GreedyRoute, KorEngine, KorError, KorQuery, OsScalingParams, PreprocessCache,
+        RouteResult, SearchResult, SearchStats, TopKResult,
     };
     pub use kor_data::{
         generate_flickr, generate_roadnet, generate_workload, FlickrConfig, RoadNetConfig,

@@ -104,6 +104,7 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
         .iter()
         .map(|d| {
             let g = d.engine().graph();
+            let prep = d.engine().preprocess_stats();
             JsonValue::obj([
                 ("name", d.name().into()),
                 ("nodes", g.node_count().into()),
@@ -111,6 +112,23 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
                 ("keywords", g.vocab().len().into()),
                 ("queries_served", d.queries_served().into()),
                 ("cached_trees", d.engine().cached_tree_count().into()),
+                (
+                    "prep_cache",
+                    JsonValue::obj([
+                        (
+                            "contexts",
+                            d.engine().preprocess_cache().context_entries().into(),
+                        ),
+                        ("opt2", d.engine().preprocess_cache().opt2_entries().into()),
+                        ("ctx_hits", prep.ctx_hits.into()),
+                        ("ctx_misses", prep.ctx_misses.into()),
+                        ("opt2_hits", prep.opt2_hits.into()),
+                        ("opt2_misses", prep.opt2_misses.into()),
+                        ("evictions", prep.evictions.into()),
+                        ("trees_built", prep.trees_built.into()),
+                        ("hit_rate", prep.hit_rate().into()),
+                    ]),
+                ),
             ])
         })
         .collect();
@@ -738,6 +756,25 @@ mod tests {
         // The named-dataset filter returns the same entry.
         let one = run(&ctx, r#"{"method":"stats","params":{"dataset":"fig1"}}"#).unwrap();
         assert_eq!(one.get("datasets").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stats_reports_preprocess_cache_counters() {
+        let ctx = ctx_with_figure1();
+        let query =
+            r#"{"method":"query","params":{"from":0,"to":7,"keywords":["t1","t2"],"budget":10}}"#;
+        run(&ctx, query).unwrap();
+        run(&ctx, query).unwrap();
+        let r = run(&ctx, r#"{"method":"stats"}"#).unwrap();
+        let prep = r.get("datasets").unwrap().as_arr().unwrap()[0]
+            .get("prep_cache")
+            .expect("prep_cache object");
+        // First query misses and builds the v7 context; the repeat hits.
+        assert_eq!(prep.get("ctx_misses").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(prep.get("ctx_hits").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(prep.get("contexts").and_then(JsonValue::as_u64), Some(1));
+        assert!(prep.get("trees_built").and_then(JsonValue::as_u64) >= Some(2));
+        assert!(prep.get("hit_rate").and_then(JsonValue::as_f64) > Some(0.0));
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Pre-processing cache contract tests.
+//!
+//! The cache must be **invisible** in results: every algorithm answers
+//! byte-identically (route node ids and the IEEE-754 bit patterns of
+//! both scores) whether the `τ`/`σ` pre-processing was rebuilt cold or
+//! pulled from a shared warm cache, whether the cache was shared across
+//! threads, and whether entries were LRU-evicted in between. Also pins
+//! the stride-based deadline check: deadlines still fire promptly.
+
+use std::time::{Duration, Instant};
+
+use kor::prelude::*;
+use kor_core::{
+    bucket_bound_with_cache, exact_labeling_with_cache, os_scaling_with_cache,
+    top_k_bucket_bound_with_cache, top_k_os_scaling_with_cache, PreprocessCache,
+};
+
+/// A deterministic repeated-target workload over a small road network.
+fn setup() -> (Graph, InvertedIndex, Vec<KorQuery>) {
+    let mut cfg = RoadNetConfig::small();
+    cfg.seed = 17;
+    let graph = generate_roadnet(&cfg);
+    let index = InvertedIndex::build(&graph);
+    let sets = generate_workload(
+        &graph,
+        &index,
+        &WorkloadConfig {
+            keyword_counts: vec![1, 2, 3],
+            queries_per_set: 4,
+            frequency_weighted: true,
+            max_euclidean_km: None,
+            min_doc_fraction: 0.0,
+            seed: 99,
+        },
+    );
+    let mut queries = Vec::new();
+    for set in &sets {
+        for spec in &set.queries {
+            // Repeat each (source, target) with varied budgets so the
+            // warm pass hits the cached context.
+            for delta in [30.0, 45.0, 60.0] {
+                queries.push(
+                    KorQuery::new(
+                        &graph,
+                        spec.source,
+                        spec.target,
+                        spec.keywords.clone(),
+                        delta,
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+    }
+    (graph, index, queries)
+}
+
+/// Byte-exact fingerprint of a result set.
+fn fp(routes: &[RouteResult]) -> Vec<(Vec<u32>, u64, u64)> {
+    routes
+        .iter()
+        .map(|r| {
+            (
+                r.route.nodes().iter().map(|n| n.0).collect(),
+                r.objective.to_bits(),
+                r.budget.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Runs one named algorithm with an optional cache.
+fn run_algo(
+    graph: &Graph,
+    index: &InvertedIndex,
+    q: &KorQuery,
+    algo: &str,
+    cache: Option<&PreprocessCache>,
+) -> Vec<RouteResult> {
+    let os = OsScalingParams::default();
+    let bb = BucketBoundParams::default();
+    match algo {
+        "os-scaling" => os_scaling_with_cache(graph, index, q, &os, cache)
+            .unwrap()
+            .route
+            .into_iter()
+            .collect(),
+        "bucket-bound" => bucket_bound_with_cache(graph, index, q, &bb, cache)
+            .unwrap()
+            .route
+            .into_iter()
+            .collect(),
+        "exact" => exact_labeling_with_cache(graph, index, q, None, cache)
+            .unwrap()
+            .route
+            .into_iter()
+            .collect(),
+        "top-k-os-scaling" => {
+            top_k_os_scaling_with_cache(graph, index, q, &os, 3, cache)
+                .unwrap()
+                .routes
+        }
+        "top-k-bucket-bound" => {
+            top_k_bucket_bound_with_cache(graph, index, q, &bb, 3, cache)
+                .unwrap()
+                .routes
+        }
+        other => panic!("unknown algo {other}"),
+    }
+}
+
+const ALGOS: [&str; 5] = [
+    "os-scaling",
+    "bucket-bound",
+    "exact",
+    "top-k-os-scaling",
+    "top-k-bucket-bound",
+];
+
+#[test]
+fn cached_results_byte_identical_across_all_algorithms() {
+    let (graph, index, queries) = setup();
+    for algo in ALGOS {
+        let cache = PreprocessCache::new();
+        for q in &queries {
+            let cold = run_algo(&graph, &index, q, algo, None);
+            let warm = run_algo(&graph, &index, q, algo, Some(&cache));
+            assert_eq!(
+                fp(&cold),
+                fp(&warm),
+                "{algo}: warm result diverged from cold"
+            );
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.ctx_hits > 0,
+            "{algo}: repeated targets never hit the cache"
+        );
+        assert!(stats.ctx_misses > 0 && stats.trees_built >= 2);
+    }
+}
+
+#[test]
+fn engine_and_free_functions_agree() {
+    // The KorEngine methods run on the warm path; the free functions run
+    // cold. Both must agree for every algorithm, including after the
+    // engine's cache is fully warm (second sweep).
+    let (graph, index, queries) = setup();
+    let engine = KorEngine::new(&graph);
+    for sweep in 0..2 {
+        for q in &queries {
+            let os = OsScalingParams::default();
+            let bb = BucketBoundParams::default();
+            let warm = engine.os_scaling(q, &os).unwrap();
+            let cold = os_scaling(&graph, &index, q, &os).unwrap();
+            assert_eq!(
+                fp(&warm.route.into_iter().collect::<Vec<_>>()),
+                fp(&cold.route.into_iter().collect::<Vec<_>>()),
+                "sweep {sweep}"
+            );
+            let warm = engine.top_k_bucket_bound(q, &bb, 2).unwrap();
+            let cold = top_k_bucket_bound(&graph, &index, q, &bb, 2).unwrap();
+            assert_eq!(fp(&warm.routes), fp(&cold.routes), "sweep {sweep}");
+        }
+    }
+    let stats = engine.preprocess_stats();
+    assert!(stats.ctx_hits > 0, "second sweep must hit the warm cache");
+}
+
+#[test]
+fn search_stats_report_cache_hits() {
+    let (graph, _, queries) = setup();
+    let engine = KorEngine::new(&graph);
+    let q = &queries[0];
+    let first = engine
+        .os_scaling(q, &OsScalingParams::default())
+        .unwrap()
+        .stats;
+    assert_eq!(first.cache_hits, 0);
+    assert!(first.cache_misses >= 1);
+    assert!(first.trees_built >= 2);
+    let second = engine
+        .os_scaling(q, &OsScalingParams::default())
+        .unwrap()
+        .stats;
+    assert!(second.cache_hits >= 1, "repeat query must hit");
+    assert_eq!(second.trees_built, 0, "warm search builds no trees");
+}
+
+#[test]
+fn concurrent_queries_share_one_cache() {
+    // Workers hammer the same engine (and therefore the same
+    // PreprocessCache) from std::thread::scope; every thread must see
+    // exactly the sequential answers, and the shared cache must have
+    // served hits.
+    let (graph, index, queries) = setup();
+    let engine = KorEngine::new(&graph);
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| fp(&run_algo(&graph, &index, q, "bucket-bound", None)))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let engine = &engine;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for (q, want) in queries.iter().zip(expected) {
+                    let got = engine
+                        .bucket_bound(q, &BucketBoundParams::default())
+                        .unwrap()
+                        .route
+                        .into_iter()
+                        .collect::<Vec<_>>();
+                    assert_eq!(&fp(&got), want);
+                }
+            });
+        }
+    });
+    let stats = engine.preprocess_stats();
+    assert!(
+        stats.ctx_hits > 0,
+        "4 threads × repeated targets must produce hits"
+    );
+    // Distinct targets in the workload bound the entry count no matter
+    // how many threads raced.
+    assert!(engine.preprocess_cache().context_entries() <= 12);
+}
+
+#[test]
+fn eviction_under_tiny_capacity_keeps_answers_exact() {
+    let (graph, index, queries) = setup();
+    // Capacity 2 with ≥ 3 distinct targets forces LRU evictions.
+    let engine = KorEngine::with_cache_capacity(&graph, 2);
+    for sweep in 0..2 {
+        for q in &queries {
+            let warm = engine.os_scaling(q, &OsScalingParams::default()).unwrap();
+            let cold = os_scaling(&graph, &index, q, &OsScalingParams::default()).unwrap();
+            assert_eq!(
+                fp(&warm.route.into_iter().collect::<Vec<_>>()),
+                fp(&cold.route.into_iter().collect::<Vec<_>>()),
+                "sweep {sweep}: eviction must not change answers"
+            );
+        }
+    }
+    assert!(engine.preprocess_cache().context_entries() <= 2);
+    let stats = engine.preprocess_stats();
+    assert!(
+        stats.evictions > 0,
+        "capacity 2 over many targets must evict"
+    );
+    // Budget-varied repeats of one target still hit before eviction.
+    assert!(stats.ctx_hits > 0);
+}
+
+#[test]
+fn deadline_fires_promptly_despite_strided_checks() {
+    // The deadline is now checked every 1024 pops instead of every pop.
+    // This search runs for tens of seconds unbounded (ε = 0.005, no
+    // optimization strategies, 8 keywords); with a 50 ms deadline it
+    // must abort quickly — pops are microsecond-scale, so 1024 of them
+    // keep the firing latency far under the assertion's slack.
+    let mut cfg = RoadNetConfig::with_nodes(3000);
+    cfg.seed = 3;
+    let graph = generate_roadnet(&cfg);
+    let index = InvertedIndex::build(&graph);
+    let kws: Vec<KeywordId> = index
+        .iter()
+        .filter(|(_, p)| p.len() >= 3 && p.len() <= 30)
+        .map(|(k, _)| k)
+        .take(8)
+        .collect();
+    let q = KorQuery::new(&graph, NodeId(0), NodeId(700), kws, 1e6).unwrap();
+    let params = OsScalingParams {
+        epsilon: 0.005,
+        use_opt1: false,
+        use_opt2: false,
+        deadline: Some(Instant::now() + Duration::from_millis(50)),
+        ..OsScalingParams::default()
+    };
+    let t0 = Instant::now();
+    let r = os_scaling(&graph, &index, &q, &params);
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(r, Err(KorError::DeadlineExceeded)),
+        "50 ms deadline must abort a ~30 s search"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "deadline fired too late: {elapsed:?}"
+    );
+}
+
+#[test]
+fn expired_deadline_aborts_before_any_pop() {
+    // The stride check must run on the very first pop: an
+    // already-expired deadline aborts with zero work in both engines.
+    let (graph, index, queries) = setup();
+    let q = &queries[0];
+    let past = Some(Instant::now() - Duration::from_secs(1));
+    let os = OsScalingParams {
+        deadline: past,
+        ..OsScalingParams::default()
+    };
+    let bb = BucketBoundParams {
+        deadline: past,
+        ..BucketBoundParams::default()
+    };
+    assert!(matches!(
+        os_scaling(&graph, &index, q, &os),
+        Err(KorError::DeadlineExceeded)
+    ));
+    assert!(matches!(
+        bucket_bound(&graph, &index, q, &bb),
+        Err(KorError::DeadlineExceeded)
+    ));
+}
