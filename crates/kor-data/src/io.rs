@@ -163,6 +163,32 @@ pub fn load_graph(path: &Path) -> Result<Graph, LoadError> {
     graph_from_str(&fs::read_to_string(path)?)
 }
 
+/// Loads a whole world from either supported on-disk format, sniffing
+/// the content: files starting with the [`crate::snapshot::MAGIC`]
+/// bytes are parsed as `.korbin` binary snapshots, anything else as the
+/// text format above (which carries no canned queries, so those worlds
+/// load with empty query sets).
+pub fn read_world_auto(path: &Path) -> Result<crate::snapshot::Snapshot, LoadError> {
+    let bytes = fs::read(path)?;
+    if bytes.starts_with(&crate::snapshot::MAGIC) {
+        return crate::snapshot::snapshot_from_bytes(&bytes).map_err(|e| match e {
+            crate::snapshot::SnapshotError::Io(e) => LoadError::Io(e),
+            other => LoadError::Parse(other.to_string()),
+        });
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| LoadError::Parse("graph file is neither .korbin nor UTF-8 text".into()))?;
+    graph_from_str(&text).map(crate::snapshot::Snapshot::graph_only)
+}
+
+/// [`read_world_auto`] keeping only the graph — what every front end
+/// (`kor query/batch/bench`, `kor serve`'s `load_dataset`) loads
+/// through, so one generated artifact feeds them all regardless of its
+/// file name.
+pub fn load_graph_auto(path: &Path) -> Result<Graph, LoadError> {
+    read_world_auto(path).map(|w| w.graph)
+}
+
 fn expect_count(line: Option<&str>, keyword: &str) -> Result<usize, LoadError> {
     let line = line.ok_or_else(|| LoadError::Parse(format!("missing {keyword} line")))?;
     let mut parts = line.split(' ');
@@ -256,6 +282,30 @@ mod tests {
         assert!(graph_from_str("not a graph").is_err());
         assert!(graph_from_str("kor-graph v1\nnodes 1\n").is_err());
         assert!(graph_from_str("kor-graph v1\nnodes 0\nedges 1\nedge 0 1 1 1\n").is_err());
+    }
+
+    #[test]
+    fn load_auto_sniffs_both_formats() {
+        let dir = std::env::temp_dir().join(format!("kor-io-auto-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = figure1();
+
+        // Text format, with a misleading extension.
+        let text_path = dir.join("fig1.korbin");
+        save_graph(&text_path, &g).unwrap();
+        assert_eq!(load_graph_auto(&text_path).unwrap().node_count(), 8);
+
+        // Binary snapshot.
+        let bin_path = dir.join("fig1.anything");
+        crate::snapshot::write_snapshot(&bin_path, &crate::snapshot::Snapshot::graph_only(g))
+            .unwrap();
+        assert_eq!(load_graph_auto(&bin_path).unwrap().node_count(), 8);
+
+        // Garbage is a parse error either way.
+        let junk = dir.join("junk");
+        std::fs::write(&junk, b"\xFF\xFE not a graph").unwrap();
+        assert!(matches!(load_graph_auto(&junk), Err(LoadError::Parse(_))));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

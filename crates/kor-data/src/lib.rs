@@ -12,20 +12,37 @@
 //!   graph with `o = ln(1/Pr)` popularity objectives;
 //! * [`roadnet`] — random geometric KNN graphs with Euclidean budgets and
 //!   uniform objectives;
-//! * [`tags`] — the Zipf keyword model shared by both;
+//! * [`gen`] — seeded scenario worlds (grid/ring topologies with
+//!   perturbed weights) plus canned query sets with controllable budget
+//!   tightness, for oracle cross-validation and stress testing;
+//! * [`tags`] — the Zipf keyword model shared by all generators;
 //! * [`queries`] — the 50-query workloads (keyword-count and Δ sweeps);
-//! * [`io`] — a plain-text graph interchange format.
+//! * [`io`] — a plain-text graph interchange format;
+//! * [`snapshot`] — the versioned `.korbin` binary snapshot format
+//!   (checksummed CSR graph + postings + canned queries) that ships a
+//!   whole generated world as one artifact (see `docs/DATASETS.md`).
 //!
 //! Every generator is deterministic under an explicit `u64` seed.
 
 pub mod flickr;
+pub mod gen;
 pub mod io;
 pub mod queries;
 pub mod roadnet;
+pub mod snapshot;
 pub mod tags;
 
 pub use flickr::{generate_flickr, FlickrConfig, FlickrStats};
-pub use io::{graph_from_str, graph_to_string, load_graph, save_graph, LoadError};
-pub use queries::{generate_workload, QuerySet, QuerySpec, WorkloadConfig};
+pub use gen::{generate_world, GenConfig, Topology};
+pub use io::{
+    graph_from_str, graph_to_string, load_graph, load_graph_auto, read_world_auto, save_graph,
+    LoadError,
+};
+pub use queries::{
+    generate_workload, CannedQuery, CannedQuerySet, QuerySet, QuerySpec, WorkloadConfig,
+};
 pub use roadnet::{generate_roadnet, RoadNetConfig};
+pub use snapshot::{
+    read_snapshot, snapshot_from_bytes, snapshot_to_bytes, write_snapshot, Snapshot, SnapshotError,
+};
 pub use tags::TagModel;

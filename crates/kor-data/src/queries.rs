@@ -35,6 +35,30 @@ pub struct QuerySet {
     pub queries: Vec<QuerySpec>,
 }
 
+/// A fully-specified KOR query — a [`QuerySpec`] plus its budget `Δ` —
+/// as stored ("canned") inside binary dataset snapshots so every front
+/// end replays the exact same workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CannedQuery {
+    /// Source location.
+    pub source: NodeId,
+    /// Target location.
+    pub target: NodeId,
+    /// Query keywords (sorted, deduplicated).
+    pub keywords: Vec<KeywordId>,
+    /// Budget limit `Δ`.
+    pub budget: f64,
+}
+
+/// A named set of canned queries sharing a keyword count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CannedQuerySet {
+    /// Number of keywords per query.
+    pub keyword_count: usize,
+    /// The queries.
+    pub queries: Vec<CannedQuery>,
+}
+
 /// Workload configuration.
 #[derive(Debug, Clone)]
 pub struct WorkloadConfig {

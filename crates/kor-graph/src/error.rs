@@ -36,6 +36,10 @@ pub enum GraphError {
     },
     /// More than `u32::MAX` nodes or edges.
     TooLarge,
+    /// CSR arrays handed to [`crate::Graph::from_csr_parts`] are
+    /// structurally inconsistent (offset shape, array lengths, or id
+    /// ranges); the message pinpoints the first violation.
+    InvalidCsr(String),
 }
 
 impl fmt::Display for GraphError {
@@ -56,6 +60,7 @@ impl fmt::Display for GraphError {
                 write!(f, "duplicate edge {from}->{to}")
             }
             GraphError::TooLarge => write!(f, "graph exceeds u32 id space"),
+            GraphError::InvalidCsr(msg) => write!(f, "inconsistent CSR data: {msg}"),
         }
     }
 }

@@ -21,6 +21,26 @@ pub struct EdgeRef {
     pub budget: f64,
 }
 
+/// Borrowed view of the forward CSR arrays — the serialization surface
+/// used by binary dataset snapshots (`kor-data`'s `.korbin` format).
+///
+/// Together with [`Graph::keywords`], [`Graph::positions`], and
+/// [`Graph::vocab`], these four parallel arrays fully determine a graph;
+/// [`Graph::from_csr_parts`] rebuilds one (re-deriving the backward CSR
+/// and weight extrema) after validating every invariant the
+/// [`crate::GraphBuilder`] enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrView<'a> {
+    /// `node_count + 1` offsets into the edge arrays.
+    pub out_offsets: &'a [u32],
+    /// Edge targets, grouped by source node.
+    pub out_targets: &'a [NodeId],
+    /// Objective value per edge, parallel to `out_targets`.
+    pub out_objective: &'a [f64],
+    /// Budget value per edge, parallel to `out_targets`.
+    pub out_budget: &'a [f64],
+}
+
 /// An immutable directed graph with per-node keyword sets and two positive
 /// weights per edge, stored as CSR adjacency in both directions.
 ///
@@ -229,6 +249,187 @@ impl Graph {
     pub fn rebuild_after_deserialize(&mut self) {
         self.vocab.rebuild_lookup();
     }
+
+    /// Borrowed view of the forward CSR arrays (see [`CsrView`]).
+    pub fn csr(&self) -> CsrView<'_> {
+        CsrView {
+            out_offsets: &self.out_offsets,
+            out_targets: &self.out_targets,
+            out_objective: &self.out_objective,
+            out_budget: &self.out_budget,
+        }
+    }
+
+    /// All planar positions, if the graph was built with them.
+    pub fn positions(&self) -> Option<&[(f64, f64)]> {
+        self.positions.as_deref()
+    }
+
+    /// Rebuilds a graph from forward CSR parts — the inverse of
+    /// [`Self::csr`] plus the node payloads.
+    ///
+    /// Every invariant the [`crate::GraphBuilder`] enforces is
+    /// re-validated (offset monotonicity, endpoint ranges, self-loops,
+    /// duplicate edges, positive finite weights, keyword ids within the
+    /// vocabulary), so a corrupt or hand-crafted snapshot can never
+    /// produce a graph other code paths could not have built. The
+    /// backward CSR and weight extrema are re-derived, which makes the
+    /// deserialized graph structurally identical to the original without
+    /// storing the redundant arrays.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::GraphError::InvalidCsr`] describes the first violated
+    /// invariant; [`crate::GraphError::SelfLoop`],
+    /// [`crate::GraphError::DuplicateEdge`], and
+    /// [`crate::GraphError::InvalidWeight`] are reused for the
+    /// per-edge checks.
+    pub fn from_csr_parts(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+        out_objective: Vec<f64>,
+        out_budget: Vec<f64>,
+        keywords: Vec<KeywordSet>,
+        positions: Option<Vec<(f64, f64)>>,
+        vocab: Vocab,
+    ) -> Result<Graph, crate::error::GraphError> {
+        use crate::error::GraphError;
+
+        let n = keywords.len();
+        let m = out_targets.len();
+        if out_offsets.len() != n + 1 {
+            return Err(GraphError::InvalidCsr(format!(
+                "offset array has {} entries, expected {}",
+                out_offsets.len(),
+                n + 1
+            )));
+        }
+        if out_offsets[0] != 0 || out_offsets[n] as usize != m {
+            return Err(GraphError::InvalidCsr(format!(
+                "offsets must span 0..{m}, got {}..{}",
+                out_offsets[0], out_offsets[n]
+            )));
+        }
+        if out_objective.len() != m || out_budget.len() != m {
+            return Err(GraphError::InvalidCsr(format!(
+                "weight arrays ({}, {}) do not match {m} edges",
+                out_objective.len(),
+                out_budget.len()
+            )));
+        }
+        if let Some(p) = &positions {
+            if p.len() != n {
+                return Err(GraphError::InvalidCsr(format!(
+                    "{} positions for {n} nodes",
+                    p.len()
+                )));
+            }
+        }
+        for w in out_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err(GraphError::InvalidCsr(format!(
+                    "offsets must be non-decreasing, got {} before {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        for set in &keywords {
+            for t in set.iter() {
+                if t.index() >= vocab.len() {
+                    return Err(GraphError::InvalidCsr(format!(
+                        "keyword id {} outside the {}-term vocabulary",
+                        t.0,
+                        vocab.len()
+                    )));
+                }
+            }
+        }
+        // Per-edge checks. `seen_from` is a stamp array giving O(V + E)
+        // duplicate detection without hashing: a slot holds the id of the
+        // last source that targeted it (u32::MAX = never).
+        let mut seen_from = vec![u32::MAX; n];
+        let mut o_min = f64::INFINITY;
+        let mut o_max = 0.0f64;
+        let mut b_min = f64::INFINITY;
+        let mut b_max = 0.0f64;
+        for v in 0..n {
+            let (lo, hi) = (out_offsets[v] as usize, out_offsets[v + 1] as usize);
+            let from = NodeId(v as u32);
+            for slot in lo..hi {
+                let to = out_targets[slot];
+                if to.index() >= n {
+                    return Err(GraphError::UnknownNode(to));
+                }
+                if to == from {
+                    return Err(GraphError::SelfLoop(from));
+                }
+                if seen_from[to.index()] == v as u32 {
+                    return Err(GraphError::DuplicateEdge { from, to });
+                }
+                seen_from[to.index()] = v as u32;
+                for (attribute, value) in [
+                    ("objective", out_objective[slot]),
+                    ("budget", out_budget[slot]),
+                ] {
+                    if !value.is_finite() || value <= 0.0 {
+                        return Err(GraphError::InvalidWeight {
+                            from,
+                            to,
+                            attribute,
+                            value,
+                        });
+                    }
+                }
+                o_min = o_min.min(out_objective[slot]);
+                o_max = o_max.max(out_objective[slot]);
+                b_min = b_min.min(out_budget[slot]);
+                b_max = b_max.max(out_budget[slot]);
+            }
+        }
+
+        // Backward CSR, remembering the forward edge id of each in-edge
+        // (the same derivation as GraphBuilder::build).
+        let mut in_offsets = vec![0u32; n + 1];
+        for t in &out_targets {
+            in_offsets[t.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![NodeId(0); m];
+        let mut in_objective = vec![0.0f64; m];
+        let mut in_budget = vec![0.0f64; m];
+        let mut in_edge_ids = vec![EdgeId(0); m];
+        for v in 0..n {
+            let (lo, hi) = (out_offsets[v] as usize, out_offsets[v + 1] as usize);
+            for slot in lo..hi {
+                let t = out_targets[slot];
+                let dst = cursor[t.index()] as usize;
+                cursor[t.index()] += 1;
+                in_sources[dst] = NodeId(v as u32);
+                in_objective[dst] = out_objective[slot];
+                in_budget[dst] = out_budget[slot];
+                in_edge_ids[dst] = EdgeId(slot as u32);
+            }
+        }
+
+        Ok(Graph::from_parts(
+            out_offsets,
+            out_targets,
+            out_objective,
+            out_budget,
+            in_offsets,
+            in_sources,
+            in_objective,
+            in_budget,
+            in_edge_ids,
+            keywords,
+            positions,
+            vocab,
+            [o_min, o_max, b_min, b_max],
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +508,163 @@ mod tests {
         let s = g.vocab().get("s").unwrap();
         assert!(g.node_has_keyword(NodeId(0), s));
         assert!(!g.node_has_keyword(NodeId(1), s));
+    }
+
+    /// Decomposes a graph via the serialization accessors and rebuilds it.
+    fn csr_round_trip(g: &Graph) -> Result<Graph, crate::error::GraphError> {
+        let csr = g.csr();
+        Graph::from_csr_parts(
+            csr.out_offsets.to_vec(),
+            csr.out_targets.to_vec(),
+            csr.out_objective.to_vec(),
+            csr.out_budget.to_vec(),
+            g.nodes().map(|v| g.keywords(v).clone()).collect(),
+            g.positions().map(<[_]>::to_vec),
+            g.vocab().clone(),
+        )
+    }
+
+    #[test]
+    fn from_csr_parts_round_trips() {
+        let g = diamond();
+        let g2 = csr_round_trip(&g).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(
+                g2.out_edges(v).collect::<Vec<_>>(),
+                g.out_edges(v).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                g2.in_edges(v).collect::<Vec<_>>(),
+                g.in_edges(v).collect::<Vec<_>>()
+            );
+            assert_eq!(g2.keywords(v), g.keywords(v));
+        }
+        assert_eq!(g2.o_min(), g.o_min());
+        assert_eq!(g2.o_max(), g.o_max());
+        assert_eq!(g2.b_min(), g.b_min());
+        assert_eq!(g2.b_max(), g.b_max());
+        assert_eq!(g2.vocab().get("s"), g.vocab().get("s"));
+        // An empty graph survives too.
+        let empty = crate::builder::GraphBuilder::new().build().unwrap();
+        let empty2 = csr_round_trip(&empty).unwrap();
+        assert_eq!(empty2.node_count(), 0);
+        assert_eq!(empty2.edge_count(), 0);
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_corruption() {
+        use crate::error::GraphError;
+        let g = diamond();
+        let csr = g.csr();
+        let kw = || -> Vec<KeywordSet> { g.nodes().map(|v| g.keywords(v).clone()).collect() };
+
+        // Wrong offset shape.
+        let err = Graph::from_csr_parts(
+            vec![0, 1],
+            csr.out_targets.to_vec(),
+            csr.out_objective.to_vec(),
+            csr.out_budget.to_vec(),
+            kw(),
+            None,
+            g.vocab().clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidCsr(_)), "{err}");
+
+        // Target outside the node range.
+        let mut targets = csr.out_targets.to_vec();
+        targets[0] = NodeId(99);
+        let err = Graph::from_csr_parts(
+            csr.out_offsets.to_vec(),
+            targets,
+            csr.out_objective.to_vec(),
+            csr.out_budget.to_vec(),
+            kw(),
+            None,
+            g.vocab().clone(),
+        )
+        .unwrap_err();
+        assert_eq!(err, GraphError::UnknownNode(NodeId(99)));
+
+        // Self loop.
+        let mut targets = csr.out_targets.to_vec();
+        targets[0] = NodeId(0);
+        assert!(matches!(
+            Graph::from_csr_parts(
+                csr.out_offsets.to_vec(),
+                targets,
+                csr.out_objective.to_vec(),
+                csr.out_budget.to_vec(),
+                kw(),
+                None,
+                g.vocab().clone(),
+            ),
+            Err(GraphError::SelfLoop(NodeId(0)))
+        ));
+
+        // Duplicate edge (v0 -> v1 twice).
+        let mut targets = csr.out_targets.to_vec();
+        targets[1] = targets[0];
+        assert!(matches!(
+            Graph::from_csr_parts(
+                csr.out_offsets.to_vec(),
+                targets,
+                csr.out_objective.to_vec(),
+                csr.out_budget.to_vec(),
+                kw(),
+                None,
+                g.vocab().clone(),
+            ),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+
+        // Non-positive weight.
+        let mut objective = csr.out_objective.to_vec();
+        objective[2] = -1.0;
+        assert!(matches!(
+            Graph::from_csr_parts(
+                csr.out_offsets.to_vec(),
+                csr.out_targets.to_vec(),
+                objective,
+                csr.out_budget.to_vec(),
+                kw(),
+                None,
+                g.vocab().clone(),
+            ),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+
+        // Keyword id outside the vocabulary.
+        let mut bad_kw = kw();
+        bad_kw[0] = KeywordSet::new(vec![crate::ids::KeywordId(1000)]);
+        assert!(matches!(
+            Graph::from_csr_parts(
+                csr.out_offsets.to_vec(),
+                csr.out_targets.to_vec(),
+                csr.out_objective.to_vec(),
+                csr.out_budget.to_vec(),
+                bad_kw,
+                None,
+                g.vocab().clone(),
+            ),
+            Err(GraphError::InvalidCsr(_))
+        ));
+
+        // Position count mismatch.
+        assert!(matches!(
+            Graph::from_csr_parts(
+                csr.out_offsets.to_vec(),
+                csr.out_targets.to_vec(),
+                csr.out_objective.to_vec(),
+                csr.out_budget.to_vec(),
+                kw(),
+                Some(vec![(0.0, 0.0)]),
+                g.vocab().clone(),
+            ),
+            Err(GraphError::InvalidCsr(_))
+        ));
     }
 
     #[cfg(feature = "serde")]

@@ -45,7 +45,7 @@ pub mod fixtures;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use graph::{EdgeRef, Graph};
+pub use graph::{CsrView, EdgeRef, Graph};
 pub use ids::{EdgeId, KeywordId, NodeId};
 pub use keyword::{KeywordSet, Vocab};
 pub use query::{

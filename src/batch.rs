@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use kor_core::{BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams};
-use kor_data::{generate_workload, WorkloadConfig};
+use kor_data::{generate_workload, CannedQuery, CannedQuerySet, WorkloadConfig};
 use kor_graph::Graph;
 
 use crate::json::JsonValue;
@@ -71,10 +71,16 @@ impl BatchAlgo {
 /// Full configuration of a batch run.
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
-    /// The query workload to generate over the dataset.
+    /// The query workload to generate over the dataset. Ignored when
+    /// `canned` is set.
     pub workload: WorkloadConfig,
-    /// Budget limit `Δ` applied to every query.
+    /// Budget limit `Δ` applied to every generated query. Canned queries
+    /// carry their own per-query budgets instead.
     pub delta: f64,
+    /// Replay these canned query sets (e.g. from a `.korbin` snapshot)
+    /// instead of generating a workload — the exact same queries every
+    /// run, with per-query budgets from the snapshot.
+    pub canned: Option<Vec<CannedQuerySet>>,
     /// Algorithm (and its parameters) to run.
     pub algo: BatchAlgo,
     /// Worker thread count; `0` means one per available core.
@@ -86,6 +92,7 @@ impl Default for BatchConfig {
         Self {
             workload: WorkloadConfig::default(),
             delta: 25.0,
+            canned: None,
             algo: BatchAlgo::BucketBound {
                 epsilon: 0.5,
                 beta: 1.2,
@@ -282,23 +289,39 @@ struct WorkItem {
 /// cursor, so long-running stragglers never idle the other threads.
 pub fn run_batch(graph: &Graph, config: &BatchConfig) -> BatchReport {
     let engine = KorEngine::new(graph);
-    let sets = generate_workload(graph, engine.index(), &config.workload);
+    // Either replay the canned sets verbatim or generate a workload;
+    // either way
+    // downstream sees one shape: the generated workload is canned with
+    // the shared `delta` as every query's budget.
+    let sets: Vec<CannedQuerySet> = match &config.canned {
+        Some(canned) => canned.clone(),
+        None => generate_workload(graph, engine.index(), &config.workload)
+            .into_iter()
+            .map(|set| CannedQuerySet {
+                keyword_count: set.keyword_count,
+                queries: set
+                    .queries
+                    .into_iter()
+                    .map(|spec| CannedQuery {
+                        source: spec.source,
+                        target: spec.target,
+                        keywords: spec.keywords,
+                        budget: config.delta,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    };
 
     let mut items: Vec<WorkItem> = Vec::new();
     for (set_index, set) in sets.iter().enumerate() {
-        for spec in &set.queries {
+        for q in &set.queries {
             items.push(WorkItem {
                 id: items.len(),
                 set_index,
                 keyword_count: set.keyword_count,
-                query: KorQuery::new(
-                    graph,
-                    spec.source,
-                    spec.target,
-                    spec.keywords.clone(),
-                    config.delta,
-                )
-                .map_err(|e| e.to_string()),
+                query: KorQuery::new(graph, q.source, q.target, q.keywords.clone(), q.budget)
+                    .map_err(|e| e.to_string()),
             });
         }
     }
@@ -441,6 +464,7 @@ mod tests {
                 seed: 11,
             },
             delta: 40.0,
+            canned: None,
             algo: BatchAlgo::BucketBound {
                 epsilon: 0.5,
                 beta: 1.2,
@@ -518,6 +542,34 @@ mod tests {
             assert_eq!(s.keyword_count, 2);
             assert_eq!(s.queries, 8);
         }
+    }
+
+    #[test]
+    fn canned_sets_replay_with_their_own_budgets() {
+        use kor_data::{generate_world, GenConfig};
+        let world = generate_world(&GenConfig::grid(6, 5, 3));
+        let cfg = BatchConfig {
+            canned: Some(world.query_sets.clone()),
+            threads: 2,
+            ..BatchConfig::default()
+        };
+        let report = run_batch(&world.graph, &cfg);
+        assert_eq!(report.outcomes.len(), world.query_count());
+        assert_eq!(report.per_set.len(), world.query_sets.len());
+        for (summary, set) in report.per_set.iter().zip(&world.query_sets) {
+            assert_eq!(summary.keyword_count, set.keyword_count);
+            assert_eq!(summary.queries, set.queries.len());
+        }
+        assert_eq!(report.errors(), 0, "canned queries are pre-validated");
+        // Replaying is deterministic: same outcomes, bit for bit.
+        let again = run_batch(&world.graph, &cfg);
+        let objs = |r: &BatchReport| -> Vec<Option<u64>> {
+            r.outcomes
+                .iter()
+                .map(|o| o.objective.map(f64::to_bits))
+                .collect()
+        };
+        assert_eq!(objs(&report), objs(&again));
     }
 
     #[test]

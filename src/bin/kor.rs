@@ -13,6 +13,16 @@
 //!
 //! * `generate flickr|road` — build a synthetic dataset and save it in
 //!   the text interchange format of `kor_data::io`;
+//! * `gen` — build a seeded scenario world (grid/ring topology, Zipf
+//!   keywords, canned query sets) and save it as a binary `.korbin`
+//!   snapshot (byte-reproducible per seed; see `docs/DATASETS.md`):
+//!
+//! ```bash
+//! kor gen --topology grid --width 12 --height 10 --seed 42 --out world.korbin
+//! ```
+//!
+//! * `ingest` — convert between the text `.korg` and binary `.korbin`
+//!   formats (optionally canning a query workload along the way);
 //! * `stats` — print graph statistics;
 //! * `index` — build the disk-resident B+-tree inverted file;
 //! * `query` — answer a KOR/KkR query with any of the paper's
@@ -38,6 +48,8 @@ use std::process::ExitCode;
 
 use kor::batch::{run_batch, BatchAlgo, BatchConfig};
 use kor::bench::{run_bench_to_file, BenchAlgo, BenchConfig};
+use kor::data::gen::{generate_world, GenConfig, Topology};
+use kor::data::snapshot::{read_snapshot, write_snapshot};
 use kor::prelude::*;
 use kor::serve::registry::Dataset;
 use kor::serve::{ServeConfig, Server};
@@ -57,6 +69,8 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("generate") => generate(&args[1..]),
+        Some("gen") => gen(&args[1..]),
+        Some("ingest") => ingest(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("index") => index(&args[1..]),
         Some("query") => query(&args[1..]),
@@ -74,7 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Every subcommand, for the usage screen and error messages.
-const SUBCOMMANDS: &str = "generate, stats, index, query, batch, bench, serve, help";
+const SUBCOMMANDS: &str = "generate, gen, ingest, stats, index, query, batch, bench, serve, help";
 
 fn usage() -> &'static str {
     "kor — keyword-aware optimal route search (Cao et al., VLDB 2012)\n\
@@ -82,15 +96,21 @@ fn usage() -> &'static str {
      usage:\n\
      \x20 kor generate flickr [--out FILE] [--seed N] [--small]\n\
      \x20 kor generate road [--nodes N] [--out FILE] [--seed N]\n\
+     \x20 kor gen [--topology grid|ring] [--width W --height H | --nodes N]\n\
+     \x20         [--chords C] [--seed N] [--vocab V] [--zipf S] [--max-tags T]\n\
+     \x20         [--jitter J] [--keywords 2,3] [--per-set N] [--tightness X]\n\
+     \x20         [--out world.korbin]\n\
+     \x20 kor ingest FILE [--out FILE] [--per-set N] [--keywords 2,4]\n\
+     \x20         [--budget X] [--seed N]\n\
      \x20 kor stats FILE\n\
      \x20 kor index FILE [--out FILE.idx]\n\
      \x20 kor query FILE --from ID --to ID --keywords a,b,c --budget X\n\
      \x20           [--algo os-scaling|bucket-bound|greedy|exact] [--k N]\n\
      \x20           [--epsilon E] [--beta B] [--alpha A] [--beam N]\n\
-     \x20 kor batch FILE --budget X [--keywords 2,4,6,8,10] [--per-set N]\n\
-     \x20           [--algo os-scaling|bucket-bound|greedy] [--threads N]\n\
-     \x20           [--seed N] [--epsilon E] [--beta B] [--alpha A] [--beam N]\n\
-     \x20           [--json-out FILE] [--quiet]\n\
+     \x20 kor batch FILE (--budget X | --canned) [--keywords 2,4,6,8,10]\n\
+     \x20           [--per-set N] [--algo os-scaling|bucket-bound|greedy]\n\
+     \x20           [--threads N] [--seed N] [--epsilon E] [--beta B]\n\
+     \x20           [--alpha A] [--beam N] [--json-out FILE] [--quiet]\n\
      \x20 kor bench [FILE] [--out BENCH_kor.json] [--nodes N] [--targets T]\n\
      \x20           [--per-target Q] [--budget X] [--seed N]\n\
      \x20           [--algos a,b,c] [--smoke]\n\
@@ -98,6 +118,14 @@ fn usage() -> &'static str {
      \x20           [--dataset [NAME=]FILE]... [--deadline-ms N]\n\
      \x20           [--max-request-bytes N]\n\
      \x20 kor help\n\
+     \n\
+     Graph FILE arguments accept both the text .korg format and binary\n\
+     .korbin snapshots (sniffed by content, not extension).\n\
+     \n\
+     Seed contract: `kor gen` output is a pure function of its flags —\n\
+     the same knobs and --seed always produce a byte-identical .korbin\n\
+     snapshot; changing any knob (not just the seed) may change every\n\
+     sampled value. Layout and knobs are documented in docs/DATASETS.md.\n\
      \n\
      `kor serve` speaks newline-delimited JSON over TCP; the wire\n\
      protocol is documented in docs/PROTOCOL.md.\n"
@@ -113,7 +141,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            if name == "small" || name == "quiet" || name == "smoke" {
+            if name == "small" || name == "quiet" || name == "smoke" || name == "canned" {
                 // boolean flags
                 flags.push((name.to_string(), "true".to_string()));
                 continue;
@@ -201,7 +229,176 @@ fn generate(args: &[String]) -> Result<(), String> {
 }
 
 fn load(path: &str) -> Result<Graph, String> {
-    kor::data::load_graph(Path::new(path)).map_err(|e| e.to_string())
+    kor::data::load_graph_auto(Path::new(path)).map_err(|e| e.to_string())
+}
+
+/// Parses a `--keywords 2,4,6` list of per-set keyword counts.
+fn parse_keyword_counts(
+    flags: &[(String, String)],
+    default: Vec<usize>,
+) -> Result<Vec<usize>, String> {
+    let counts = match flag(flags, "keywords") {
+        None => default,
+        Some(s) => s
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| format!("--keywords: bad count {t:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if counts.is_empty() {
+        return Err("--keywords needs at least one count".into());
+    }
+    Ok(counts)
+}
+
+/// `kor gen`: build a seeded scenario world and save it as a `.korbin`
+/// binary snapshot.
+///
+/// Seed contract: the output is a pure function of every flag below —
+/// identical flags (including `--seed`) produce a byte-identical file.
+fn gen(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if let Some(stray) = positional.first() {
+        return Err(format!("gen takes no positional arguments (saw {stray:?})"));
+    }
+    let seed: u64 = parse_num(&flags, "seed", 2012)?;
+    let topology = match flag(&flags, "topology").unwrap_or("grid") {
+        "grid" => Topology::Grid {
+            width: parse_num(&flags, "width", 12)?,
+            height: parse_num(&flags, "height", 10)?,
+        },
+        "ring" => {
+            let nodes: usize = parse_num(&flags, "nodes", 100)?;
+            Topology::Ring {
+                nodes,
+                chords: parse_num(&flags, "chords", nodes / 10)?,
+            }
+        }
+        other => return Err(format!("unknown --topology {other:?} (grid or ring)")),
+    };
+    let base = GenConfig::grid(2, 2, seed);
+    let config = GenConfig {
+        topology,
+        seed,
+        vocab_size: parse_num(&flags, "vocab", base.vocab_size)?,
+        tag_exponent: parse_num(&flags, "zipf", base.tag_exponent)?,
+        max_tags_per_node: parse_num(&flags, "max-tags", base.max_tags_per_node)?,
+        weight_jitter: parse_num(&flags, "jitter", base.weight_jitter)?,
+        keyword_counts: parse_keyword_counts(&flags, base.keyword_counts)?,
+        queries_per_set: parse_num(&flags, "per-set", base.queries_per_set)?,
+        budget_tightness: parse_num(&flags, "tightness", base.budget_tightness)?,
+    };
+    config.validate()?;
+    let out = PathBuf::from(flag(&flags, "out").unwrap_or("world.korbin"));
+    let world = generate_world(&config);
+    write_snapshot(&out, &world).map_err(|e| e.to_string())?;
+    println!(
+        "generated {} world: {} nodes, {} edges, {} keywords, {} canned queries (seed {seed})",
+        config.topology.name(),
+        world.graph.node_count(),
+        world.graph.edge_count(),
+        world.graph.vocab().len(),
+        world.query_count(),
+    );
+    println!("saved to {}", out.display());
+    Ok(())
+}
+
+/// `kor ingest`: convert a dataset between the text `.korg` format and
+/// binary `.korbin` snapshots. Output format follows the `--out`
+/// extension (`.korg` → text, anything else → snapshot). For text
+/// output, canned queries are dropped (the text format carries only the
+/// graph); for snapshot output from a text graph, `--per-set N` cans a
+/// generated workload (`--keywords`, `--budget`, `--seed`) so the
+/// artifact replays identically everywhere.
+fn ingest(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let input = positional.first().ok_or("ingest needs an input file")?;
+    let default_out = {
+        let p = Path::new(input);
+        let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("dataset");
+        p.with_file_name(format!("{stem}.korbin"))
+    };
+    let out = flag(&flags, "out")
+        .map(PathBuf::from)
+        .unwrap_or(default_out);
+    // Canonicalize before comparing so spelling aliases (`./x` vs `x`,
+    // symlinks) cannot slip past the guard and clobber the input.
+    // Canonicalization needs the file to exist; a nonexistent --out
+    // trivially isn't the input, and a nonexistent input fails on read
+    // below with its own error.
+    let same_file = match (std::fs::canonicalize(input), std::fs::canonicalize(&out)) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => out.as_path() == Path::new(input),
+    };
+    if same_file {
+        return Err(format!(
+            "refusing to overwrite the input ({}); pass a different --out",
+            out.display()
+        ));
+    }
+
+    // Read (content-sniffed): snapshots keep their canned queries, text
+    // graphs start bare.
+    let mut world =
+        kor::data::read_world_auto(Path::new(input)).map_err(|e| format!("{input}: {e}"))?;
+
+    // Optional workload canning on the way in.
+    let per_set: usize = parse_num(&flags, "per-set", 0)?;
+    if per_set > 0 {
+        let budget: f64 = match flag(&flags, "budget") {
+            Some(v) => v.parse().map_err(|_| "--budget: not a number")?,
+            None => return Err("--per-set needs --budget for the canned queries".into()),
+        };
+        let workload = WorkloadConfig {
+            keyword_counts: parse_keyword_counts(&flags, vec![2, 4])?,
+            queries_per_set: per_set,
+            seed: parse_num(&flags, "seed", 42)?,
+            ..WorkloadConfig::default()
+        };
+        let index = InvertedIndex::build(&world.graph);
+        world.query_sets = kor::data::generate_workload(&world.graph, &index, &workload)
+            .into_iter()
+            .map(|set| kor::data::CannedQuerySet {
+                keyword_count: set.keyword_count,
+                queries: set
+                    .queries
+                    .into_iter()
+                    .map(|q| kor::data::CannedQuery {
+                        source: q.source,
+                        target: q.target,
+                        keywords: q.keywords,
+                        budget,
+                    })
+                    .collect(),
+            })
+            .collect();
+    }
+
+    let is_text_out = out.extension().is_some_and(|e| e == "korg");
+    if is_text_out {
+        if world.query_count() > 0 {
+            eprintln!(
+                "note: dropping {} canned queries (the text format carries only the graph)",
+                world.query_count()
+            );
+        }
+        kor::data::save_graph(&out, &world.graph).map_err(|e| e.to_string())?;
+    } else {
+        write_snapshot(&out, &world).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "ingested {}: {} nodes, {} edges, {} canned queries -> {}",
+        input,
+        world.graph.node_count(),
+        world.graph.edge_count(),
+        if is_text_out { 0 } else { world.query_count() },
+        out.display()
+    );
+    Ok(())
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
@@ -355,26 +552,30 @@ fn query(args: &[String]) -> Result<(), String> {
 fn batch(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
     let path = positional.first().ok_or("batch needs a graph file")?;
-    let graph = load(path)?;
 
-    let budget: f64 = match flag(&flags, "budget") {
-        Some(v) => v.parse().map_err(|_| "--budget: not a number")?,
-        None => return Err("--budget is required".into()),
+    // `--canned` replays the query sets stored in a `.korbin` snapshot
+    // (each with its own budget) instead of generating a workload. The
+    // graph comes from the same parse, so the queries can never run
+    // against a different file state than they were validated with.
+    let (graph, canned) = if flag(&flags, "canned").is_some() {
+        let world = read_snapshot(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        if world.query_count() == 0 {
+            return Err(format!(
+                "--canned: {path} holds no canned queries (generate with `kor gen` \
+                 or can a workload with `kor ingest --per-set`)"
+            ));
+        }
+        (world.graph, Some(world.query_sets))
+    } else {
+        (load(path)?, None)
     };
-    let keyword_counts: Vec<usize> = match flag(&flags, "keywords") {
-        None => vec![2, 4, 6, 8, 10],
-        Some(s) => s
-            .split(',')
-            .filter(|t| !t.is_empty())
-            .map(|t| {
-                t.parse()
-                    .map_err(|_| format!("--keywords: bad count {t:?}"))
-            })
-            .collect::<Result<_, _>>()?,
+
+    let budget: f64 = match (flag(&flags, "budget"), &canned) {
+        (Some(v), _) => v.parse().map_err(|_| "--budget: not a number")?,
+        (None, Some(_)) => 0.0, // unused: canned queries carry budgets
+        (None, None) => return Err("--budget is required (or pass --canned)".into()),
     };
-    if keyword_counts.is_empty() {
-        return Err("--keywords needs at least one count".into());
-    }
+    let keyword_counts = parse_keyword_counts(&flags, vec![2, 4, 6, 8, 10])?;
     let per_set: usize = parse_num(&flags, "per-set", 50)?;
     let threads: usize = parse_num(&flags, "threads", 0)?;
     let seed: u64 = parse_num(&flags, "seed", 42)?;
@@ -404,6 +605,7 @@ fn batch(args: &[String]) -> Result<(), String> {
             seed,
         },
         delta: budget,
+        canned,
         algo,
         threads,
     };
@@ -595,7 +797,7 @@ mod tests {
         let err = run(&s(&["frobnicate"])).unwrap_err();
         assert!(err.contains("frobnicate"), "{err}");
         for sub in [
-            "generate", "stats", "index", "query", "batch", "bench", "serve",
+            "generate", "gen", "ingest", "stats", "index", "query", "batch", "bench", "serve",
         ] {
             assert!(err.contains(sub), "error must mention {sub}: {err}");
         }
@@ -606,6 +808,8 @@ mod tests {
         assert!(run(&s(&["help"])).is_ok());
         for sub in [
             "kor generate",
+            "kor gen ",
+            "kor ingest",
             "kor stats",
             "kor index",
             "kor query",
@@ -616,6 +820,8 @@ mod tests {
         ] {
             assert!(usage().contains(sub), "usage must mention {sub:?}");
         }
+        // The seed contract is part of the CLI contract.
+        assert!(usage().contains("byte-identical"));
     }
 
     #[test]
@@ -695,6 +901,85 @@ mod tests {
             "2",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn gen_ingest_batch_round_trip() {
+        let dir = std::env::temp_dir().join(format!("kor-cli-gen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("world.korbin");
+        let bin_str = bin.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen",
+            "--topology",
+            "grid",
+            "--width",
+            "5",
+            "--height",
+            "4",
+            "--seed",
+            "9",
+            "--out",
+            &bin_str,
+        ]))
+        .unwrap();
+        // The snapshot loads everywhere a graph file is accepted.
+        run(&s(&["stats", &bin_str])).unwrap();
+        let world = read_snapshot(&bin).unwrap();
+        assert_eq!(world.graph.node_count(), 20);
+        assert!(world.query_count() > 0);
+
+        // korbin -> korg -> korbin; the text leg drops queries, the
+        // second leg cans a fresh workload.
+        let text = dir.join("world.korg");
+        let text_str = text.to_str().unwrap().to_string();
+        run(&s(&["ingest", &bin_str, "--out", &text_str])).unwrap();
+        let back = dir.join("back.korbin");
+        let back_str = back.to_str().unwrap().to_string();
+        run(&s(&[
+            "ingest",
+            &text_str,
+            "--out",
+            &back_str,
+            "--per-set",
+            "3",
+            "--keywords",
+            "2",
+            "--budget",
+            "12",
+        ]))
+        .unwrap();
+        let back_world = read_snapshot(&back).unwrap();
+        assert_eq!(back_world.graph.node_count(), 20);
+        assert_eq!(back_world.query_count(), 3);
+
+        // Canned replay through the batch front end.
+        run(&s(&["batch", &bin_str, "--canned", "--quiet"])).unwrap();
+        // --canned on a query-less snapshot is a clear error.
+        let empty = dir.join("empty.korbin");
+        run(&s(&[
+            "gen",
+            "--width",
+            "3",
+            "--height",
+            "3",
+            "--per-set",
+            "0",
+            "--out",
+            empty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&s(&[
+            "batch",
+            empty.to_str().unwrap(),
+            "--canned",
+            "--quiet",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no canned queries"), "{err}");
+        // Refuses to clobber its input.
+        assert!(run(&s(&["ingest", &bin_str, "--out", &bin_str])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -86,8 +86,9 @@ pub mod prelude {
         RouteResult, SearchResult, SearchStats, TopKResult,
     };
     pub use kor_data::{
-        generate_flickr, generate_roadnet, generate_workload, FlickrConfig, RoadNetConfig,
-        TagModel, WorkloadConfig,
+        generate_flickr, generate_roadnet, generate_workload, generate_world, read_snapshot,
+        write_snapshot, CannedQuery, CannedQuerySet, FlickrConfig, GenConfig, RoadNetConfig,
+        Snapshot, SnapshotError, TagModel, Topology, WorkloadConfig,
     };
     pub use kor_graph::{
         Graph, GraphBuilder, GraphError, KeywordId, NodeId, QueryKeywords, Route, Vocab,

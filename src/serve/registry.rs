@@ -32,9 +32,11 @@ impl std::fmt::Debug for Dataset {
 }
 
 impl Dataset {
-    /// Loads a `.korg` graph file and builds the engine.
+    /// Loads a graph file — text `.korg` or binary `.korbin` snapshot,
+    /// sniffed by content — and builds the engine.
     pub fn load(name: &str, path: &Path) -> Result<Dataset, String> {
-        let graph = kor_data::load_graph(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let graph =
+            kor_data::load_graph_auto(path).map_err(|e| format!("{}: {e}", path.display()))?;
         Ok(Dataset::from_graph(name, graph))
     }
 
@@ -177,6 +179,17 @@ mod tests {
         assert_eq!(old.queries_served(), 1);
         // …while lookups see the fresh one.
         assert_eq!(r.get("a").unwrap().queries_served(), 0);
+    }
+
+    #[test]
+    fn load_accepts_binary_snapshots() {
+        let dir = std::env::temp_dir().join(format!("kor-registry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.korbin");
+        kor_data::write_snapshot(&path, &kor_data::Snapshot::graph_only(figure1())).unwrap();
+        let d = Dataset::load("fig1", &path).unwrap();
+        assert_eq!(d.engine().graph().node_count(), 8);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -364,6 +364,118 @@ fn serve_end_to_end() {
 }
 
 #[test]
+fn serve_loads_generated_korbin_snapshots() {
+    let dir = std::env::temp_dir().join(format!("kor-serve-korbin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let world_path = dir.join("world.korbin");
+    let gen = kor(&[
+        "gen",
+        "--topology",
+        "grid",
+        "--width",
+        "7",
+        "--height",
+        "6",
+        "--seed",
+        "21",
+        "--out",
+        world_path.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success(), "gen failed");
+    let world = kor::data::read_snapshot(&world_path).expect("snapshot reads");
+
+    let server = spawn_server(&["serve", "--addr", "127.0.0.1:0", "--threads", "2"]);
+    let addr = server.addr.clone();
+
+    // Load the binary snapshot over the wire.
+    let load_line = format!(
+        r#"{{"id":1,"method":"load_dataset","params":{{"path":{}}}}}"#,
+        JsonValue::from(world_path.to_str().unwrap()).render()
+    );
+    let loaded = parse_ok(&roundtrip(&addr, &[&load_line])[0]);
+    assert_eq!(
+        loaded.get("name").and_then(JsonValue::as_str),
+        Some("world")
+    );
+    assert_eq!(loaded.get("nodes").and_then(JsonValue::as_u64), Some(42));
+
+    // Replay every canned query: ask twice over the wire — the repeat
+    // hits the warm pre-processing cache — and also against a fresh
+    // in-process engine built from the same snapshot. All three answers
+    // must agree byte for byte (the wire uses shortest-round-trip float
+    // formatting, so equal bit patterns render identically).
+    let engine = kor::core::KorEngine::new(&world.graph);
+    let mut checked = 0;
+    for set in &world.query_sets {
+        for canned in &set.queries {
+            let terms: Vec<JsonValue> = canned
+                .keywords
+                .iter()
+                .map(|k| JsonValue::from(world.graph.vocab().resolve(*k).unwrap()))
+                .collect();
+            let line = format!(
+                r#"{{"id":2,"method":"query","params":{{"from":{},"to":{},"keywords":{},"budget":{},"algo":"os-scaling"}}}}"#,
+                canned.source.0,
+                canned.target.0,
+                JsonValue::Arr(terms).render(),
+                JsonValue::from(canned.budget).render(),
+            );
+            let responses = roundtrip(&addr, &[&line, &line]);
+            assert_eq!(
+                responses[0], responses[1],
+                "cold and warm responses must be byte-identical"
+            );
+            let served = parse_ok(&responses[0]);
+
+            let query = kor::core::KorQuery::new(
+                &world.graph,
+                canned.source,
+                canned.target,
+                canned.keywords.clone(),
+                canned.budget,
+            )
+            .unwrap();
+            let fresh = engine
+                .os_scaling(&query, &kor::core::OsScalingParams::default())
+                .unwrap();
+            match fresh.route {
+                None => assert_eq!(
+                    served.get("feasible").and_then(JsonValue::as_bool),
+                    Some(false),
+                    "server disagrees on infeasibility"
+                ),
+                Some(expect) => {
+                    let (nodes, objective, budget) = first_route(&served);
+                    let expect_nodes: Vec<u64> = expect
+                        .route
+                        .nodes()
+                        .iter()
+                        .map(|n| u64::from(n.0))
+                        .collect();
+                    assert_eq!(nodes, expect_nodes, "route must match a fresh engine");
+                    assert_eq!(objective.to_bits(), expect.objective.to_bits());
+                    assert_eq!(budget.to_bits(), expect.budget.to_bits());
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "no feasible canned query exercised the check");
+
+    // The warm cache must actually have been hit by the repeats.
+    let stats = parse_ok(&roundtrip(&addr, &[r#"{"id":3,"method":"stats"}"#])[0]);
+    let prep = stats.get("datasets").unwrap().as_arr().unwrap()[0]
+        .get("prep_cache")
+        .expect("prep_cache present");
+    assert!(
+        prep.get("ctx_hits").and_then(JsonValue::as_u64) > Some(0),
+        "repeat queries must hit the pre-processing cache"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_reports_bind_failure() {
     // An unresolvable listen address must fail fast with a nonzero
     // exit, not hang.
