@@ -50,6 +50,7 @@ use kor::batch::{run_batch, BatchAlgo, BatchConfig};
 use kor::bench::{run_bench_to_file, BenchAlgo, BenchConfig};
 use kor::data::gen::{generate_world, GenConfig, Topology};
 use kor::data::snapshot::{read_snapshot, write_snapshot};
+use kor::loadtest::{run_loadtest_to_file, LoadtestConfig};
 use kor::prelude::*;
 use kor::serve::registry::Dataset;
 use kor::serve::{ServeConfig, Server};
@@ -77,6 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("batch") => batch(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("loadtest") => loadtest(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
             Ok(())
@@ -88,7 +90,8 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Every subcommand, for the usage screen and error messages.
-const SUBCOMMANDS: &str = "generate, gen, ingest, stats, index, query, batch, bench, serve, help";
+const SUBCOMMANDS: &str =
+    "generate, gen, ingest, stats, index, query, batch, bench, serve, loadtest, help";
 
 fn usage() -> &'static str {
     "kor — keyword-aware optimal route search (Cao et al., VLDB 2012)\n\
@@ -114,9 +117,12 @@ fn usage() -> &'static str {
      \x20 kor bench [FILE] [--out BENCH_kor.json] [--nodes N] [--targets T]\n\
      \x20           [--per-target Q] [--budget X] [--seed N]\n\
      \x20           [--algos a,b,c] [--smoke]\n\
-     \x20 kor serve [--addr HOST:PORT] [--threads N]\n\
-     \x20           [--dataset [NAME=]FILE]... [--deadline-ms N]\n\
+     \x20 kor serve [--addr HOST:PORT] [--threads N] [--io event|blocking]\n\
+     \x20           [--queue N] [--dataset [NAME=]FILE]... [--deadline-ms N]\n\
      \x20           [--max-request-bytes N]\n\
+     \x20 kor loadtest FILE.korbin [--out BENCH_serve.json] [--threads N]\n\
+     \x20           [--clients N] [--duration-ms N] [--warmup-ms N]\n\
+     \x20           [--think-ms N] [--mode event|blocking|both] [--smoke]\n\
      \x20 kor help\n\
      \n\
      Graph FILE arguments accept both the text .korg format and binary\n\
@@ -719,6 +725,8 @@ fn serve(args: &[String]) -> Result<(), String> {
     let config = ServeConfig {
         addr: flag(&flags, "addr").unwrap_or("127.0.0.1:7878").to_string(),
         threads: parse_num(&flags, "threads", 0)?,
+        io: flag(&flags, "io").unwrap_or("event").parse()?,
+        queue_capacity: parse_num(&flags, "queue", 0)?,
         default_deadline_ms: parse_num(&flags, "deadline-ms", 0)?,
         max_request_bytes: parse_num(&flags, "max-request-bytes", 1 << 20)?,
     };
@@ -752,6 +760,76 @@ fn serve(args: &[String]) -> Result<(), String> {
     std::io::stdout().flush().ok();
     server.run();
     eprintln!("kor serve: shut down");
+    Ok(())
+}
+
+/// `kor loadtest`: measure `kor serve` throughput per I/O mode against
+/// a snapshot's canned queries and write `BENCH_serve.json`.
+fn loadtest(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional
+        .first()
+        .ok_or("loadtest needs a .korbin snapshot with canned queries")?;
+    let mut cfg = if flag(&flags, "smoke").is_some() {
+        LoadtestConfig::smoke()
+    } else {
+        LoadtestConfig::default()
+    };
+    cfg.threads = parse_num(&flags, "threads", cfg.threads)?;
+    cfg.clients = parse_num(&flags, "clients", cfg.clients)?;
+    cfg.duration = std::time::Duration::from_millis(parse_num(
+        &flags,
+        "duration-ms",
+        cfg.duration.as_millis() as u64,
+    )?);
+    cfg.warmup = std::time::Duration::from_millis(parse_num(
+        &flags,
+        "warmup-ms",
+        cfg.warmup.as_millis() as u64,
+    )?);
+    cfg.think = std::time::Duration::from_millis(parse_num(
+        &flags,
+        "think-ms",
+        cfg.think.as_millis() as u64,
+    )?);
+    if cfg.threads == 0 || cfg.clients == 0 || cfg.duration.is_zero() {
+        return Err("--threads, --clients, and --duration-ms must be ≥ 1".into());
+    }
+    cfg.modes = match flag(&flags, "mode").unwrap_or("both") {
+        "both" => vec![kor::serve::IoMode::Event, kor::serve::IoMode::Blocking],
+        other => vec![other.parse()?],
+    };
+    if let Some(out) = flag(&flags, "out") {
+        cfg.out = PathBuf::from(out);
+    }
+    let report = run_loadtest_to_file(Path::new(path), &cfg)?;
+    for io in ["event", "blocking"] {
+        if let Some(mode) = report.get("modes").and_then(|m| m.get(io)) {
+            let qps = mode.get("qps").and_then(kor::json::JsonValue::as_f64);
+            let p50 = mode
+                .get("latency_ms")
+                .and_then(|l| l.get("p50"))
+                .and_then(kor::json::JsonValue::as_f64);
+            eprintln!(
+                "loadtest [{io}]: {:.0} qps, p50 {:.2} ms, {} overloaded, {} io errors",
+                qps.unwrap_or(f64::NAN),
+                p50.unwrap_or(f64::NAN),
+                mode.get("overloaded")
+                    .and_then(kor::json::JsonValue::as_u64)
+                    .unwrap_or(0),
+                mode.get("io_errors")
+                    .and_then(kor::json::JsonValue::as_u64)
+                    .unwrap_or(0),
+            );
+        }
+    }
+    if let Some(speedup) = report
+        .get("speedup_event_over_blocking")
+        .and_then(kor::json::JsonValue::as_f64)
+    {
+        eprintln!("loadtest: event is ×{speedup:.2} the blocking QPS");
+    }
+    eprintln!("wrote {}", cfg.out.display());
     Ok(())
 }
 
@@ -798,6 +876,7 @@ mod tests {
         assert!(err.contains("frobnicate"), "{err}");
         for sub in [
             "generate", "gen", "ingest", "stats", "index", "query", "batch", "bench", "serve",
+            "loadtest",
         ] {
             assert!(err.contains(sub), "error must mention {sub}: {err}");
         }
@@ -816,6 +895,7 @@ mod tests {
             "kor batch",
             "kor bench",
             "kor serve",
+            "kor loadtest",
             "kor help",
         ] {
             assert!(usage().contains(sub), "usage must mention {sub:?}");

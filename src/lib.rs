@@ -27,10 +27,15 @@
 //!   plus an aggregate JSON summary (`kor batch` on the CLI);
 //! * [`mod@bench`] — the tracked warm-vs-cold performance baseline
 //!   (`kor bench` on the CLI, emitting `BENCH_kor.json`);
-//! * [`serve`] — a TCP query service with a fixed worker pool, warm
-//!   per-dataset engines, and a newline-delimited JSON protocol
-//!   (`kor serve` on the CLI; wire contract in `docs/PROTOCOL.md`);
-//! * [`json`] — the strict, dependency-free JSON layer the two above
+//! * [`serve`] — a TCP query service with warm per-dataset engines, a
+//!   newline-delimited JSON protocol, and two selectable I/O layers: a
+//!   readiness-driven event reactor (default) and the blocking
+//!   one-worker-per-connection baseline (`kor serve` on the CLI; wire
+//!   contract in `docs/PROTOCOL.md`);
+//! * [`loadtest`] — a closed-loop client fleet that measures `serve`
+//!   throughput and latency per I/O mode (`kor loadtest` on the CLI,
+//!   emitting `BENCH_serve.json`);
+//! * [`json`] — the strict, dependency-free JSON layer the above
 //!   share.
 //!
 //! ## Quickstart
@@ -72,6 +77,7 @@ pub use kor_index as index;
 pub mod batch;
 pub mod bench;
 pub mod json;
+pub mod loadtest;
 pub mod serve;
 
 /// The most common imports in one place.

@@ -1,0 +1,506 @@
+//! `kor loadtest` — closed-loop throughput measurement of `kor serve`.
+//!
+//! Spawns an in-process server per [`crate::serve::IoMode`], loads it
+//! with a `.korbin` snapshot, and hammers it with the snapshot's canned
+//! queries from a fleet of closed-loop keep-alive clients: each client
+//! holds one connection, sends a request, waits for the response,
+//! thinks for a few milliseconds, repeats. The think time is what makes
+//! the comparison honest — it is exactly the regime the event rewrite
+//! targets: mostly-idle keep-alive connections pin a blocking worker
+//! for their whole lifetime, so the blocking layer serves at most
+//! `threads` clients no matter how many connect, while the event layer
+//! multiplexes all of them and keeps the workers busy with actual
+//! requests.
+//!
+//! The report is written to `BENCH_serve.json` (schema documented in
+//! `docs/ARCHITECTURE.md`): per-mode QPS, p50/p95/p99/max latency,
+//! error and `overloaded` counts, connection counts, and the server's
+//! own `stats.server` section, plus the event-over-blocking speedup.
+//! Any response that is neither `ok` nor an `overloaded` error fails
+//! the run — under a well-formed canned workload the server has no
+//! excuse for one, so CI treats it as a protocol regression.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kor_data::snapshot::Snapshot;
+
+use crate::json::JsonValue;
+use crate::serve::registry::Dataset;
+use crate::serve::{IoMode, ServeConfig, Server};
+
+/// Configuration for [`run_loadtest`].
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// I/O modes to measure, in order.
+    pub modes: Vec<IoMode>,
+    /// Server worker threads (identical across modes, so the comparison
+    /// is at equal worker count).
+    pub threads: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Measurement window per mode (after warmup).
+    pub duration: Duration,
+    /// Ramp-up excluded from the counts: connections settle and caches
+    /// warm.
+    pub warmup: Duration,
+    /// Per-client pause between a response and the next request.
+    pub think: Duration,
+    /// Report path.
+    pub out: PathBuf,
+}
+
+impl Default for LoadtestConfig {
+    /// Both modes, 2 server threads, 16 clients, 4 s measured after
+    /// 500 ms warmup, 5 ms think time, report to `BENCH_serve.json`.
+    fn default() -> Self {
+        Self {
+            modes: vec![IoMode::Event, IoMode::Blocking],
+            threads: 2,
+            clients: 16,
+            duration: Duration::from_secs(4),
+            warmup: Duration::from_millis(500),
+            think: Duration::from_millis(5),
+            out: PathBuf::from("BENCH_serve.json"),
+        }
+    }
+}
+
+impl LoadtestConfig {
+    /// CI-sized run: same shape as the default, shorter windows.
+    pub fn smoke() -> Self {
+        Self {
+            duration: Duration::from_millis(1500),
+            warmup: Duration::from_millis(300),
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-client outcome counters.
+#[derive(Debug, Default)]
+struct ClientTally {
+    /// Successful responses inside the measurement window.
+    ok: u64,
+    /// `overloaded` error responses (expected under saturation).
+    overloaded: u64,
+    /// Any other error response — a protocol regression under a canned
+    /// workload; fails the run.
+    other_errors: u64,
+    /// Connect failures, timeouts, resets; each costs a reconnect.
+    io_errors: u64,
+    /// Connections opened.
+    connections: u64,
+    /// Latencies of `ok` responses inside the window, in ms.
+    latencies_ms: Vec<f64>,
+    /// First non-`overloaded` error response seen, verbatim.
+    sample_error: Option<String>,
+}
+
+impl ClientTally {
+    fn merge(&mut self, other: ClientTally) {
+        self.ok += other.ok;
+        self.overloaded += other.overloaded;
+        self.other_errors += other.other_errors;
+        self.io_errors += other.io_errors;
+        self.connections += other.connections;
+        self.latencies_ms.extend(other.latencies_ms);
+        if self.sample_error.is_none() {
+            self.sample_error = other.sample_error;
+        }
+    }
+}
+
+/// One closed-loop client: keep-alive connection, one request in
+/// flight, think time between requests. Round-robins through the canned
+/// request lines starting at its own offset.
+fn client_loop(
+    addr: SocketAddr,
+    lines: &[String],
+    mut cursor: usize,
+    measure_from: Instant,
+    stop: &AtomicBool,
+    think: Duration,
+    read_timeout: Duration,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
+    while !stop.load(Ordering::Relaxed) {
+        if conn.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(read_timeout));
+                    match stream.try_clone() {
+                        Ok(clone) => {
+                            tally.connections += 1;
+                            conn = Some((stream, BufReader::new(clone)));
+                        }
+                        Err(_) => {
+                            tally.io_errors += 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    tally.io_errors += 1;
+                    std::thread::sleep(think.max(Duration::from_millis(1)));
+                    continue;
+                }
+            }
+        }
+        let Some((stream, reader)) = conn.as_mut() else {
+            continue;
+        };
+        let line = &lines[cursor % lines.len()];
+        cursor += 1;
+        let sent = Instant::now();
+        let outcome: Result<String, ()> = (|| {
+            stream.write_all(line.as_bytes()).map_err(|_| ())?;
+            stream.write_all(b"\n").map_err(|_| ())?;
+            let mut resp = String::new();
+            match reader.read_line(&mut resp) {
+                Ok(0) | Err(_) => Err(()),
+                Ok(_) => Ok(resp),
+            }
+        })();
+        match outcome {
+            Err(()) => {
+                // Timeout, reset, or orderly close (the blocking layer
+                // hangs up after answering `overloaded`): reconnect.
+                tally.io_errors += 1;
+                conn = None;
+            }
+            Ok(resp) => {
+                let done = Instant::now();
+                match classify(&resp) {
+                    Reply::Ok => {
+                        if done >= measure_from {
+                            tally.ok += 1;
+                            tally
+                                .latencies_ms
+                                .push(done.duration_since(sent).as_secs_f64() * 1e3);
+                        }
+                    }
+                    Reply::Overloaded => tally.overloaded += 1,
+                    Reply::Other => {
+                        tally.other_errors += 1;
+                        tally
+                            .sample_error
+                            .get_or_insert_with(|| resp.trim_end().to_string());
+                    }
+                }
+            }
+        }
+        std::thread::sleep(think);
+    }
+    tally
+}
+
+enum Reply {
+    Ok,
+    Overloaded,
+    Other,
+}
+
+fn classify(resp: &str) -> Reply {
+    match JsonValue::parse(resp.trim()) {
+        Ok(v) if v.get("ok").and_then(JsonValue::as_bool) == Some(true) => Reply::Ok,
+        Ok(v)
+            if v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(JsonValue::as_str)
+                == Some("overloaded") =>
+        {
+            Reply::Overloaded
+        }
+        _ => Reply::Other,
+    }
+}
+
+/// Renders the snapshot's canned queries as wire request lines
+/// (`method: query` against the dataset `name`, default algorithm).
+fn request_lines(world: &Snapshot, name: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    for set in &world.query_sets {
+        for q in &set.queries {
+            let keywords: Vec<JsonValue> = q
+                .keywords
+                .iter()
+                .filter_map(|&kw| world.graph.vocab().resolve(kw))
+                .map(JsonValue::from)
+                .collect();
+            let params = JsonValue::obj([
+                ("dataset", name.into()),
+                ("from", u64::from(q.source.0).into()),
+                ("to", u64::from(q.target.0).into()),
+                ("keywords", JsonValue::Arr(keywords)),
+                ("budget", q.budget.into()),
+            ]);
+            let req = JsonValue::obj([
+                ("id", (lines.len() as u64).into()),
+                ("method", "query".into()),
+                ("params", params),
+            ]);
+            lines.push(req.render());
+        }
+    }
+    lines
+}
+
+/// Sorted-percentile helper over the merged latency samples.
+fn latency_json(mut ms: Vec<f64>) -> JsonValue {
+    if ms.is_empty() {
+        return JsonValue::Null;
+    }
+    ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| ms[((p * (ms.len() - 1) as f64).round() as usize).min(ms.len() - 1)];
+    JsonValue::obj([
+        ("p50", pct(0.50).into()),
+        ("p95", pct(0.95).into()),
+        ("p99", pct(0.99).into()),
+        ("max", ms[ms.len() - 1].into()),
+    ])
+}
+
+/// Asks the (still running) server for its own view of the run.
+fn fetch_server_stats(addr: SocketAddr) -> Option<JsonValue> {
+    let mut conn = TcpStream::connect(addr).ok()?;
+    conn.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    conn.write_all(b"{\"id\":\"stats\",\"method\":\"stats\"}\n")
+        .ok()?;
+    let mut resp = String::new();
+    BufReader::new(conn).read_line(&mut resp).ok()?;
+    JsonValue::parse(resp.trim())
+        .ok()?
+        .get("result")
+        .and_then(|r| r.get("server"))
+        .cloned()
+}
+
+/// Measures one I/O mode: boots a server on an ephemeral port, runs the
+/// client fleet, returns (report, merged tally).
+fn run_mode(
+    world: &Snapshot,
+    cfg: &LoadtestConfig,
+    io: IoMode,
+) -> Result<(JsonValue, ClientTally), String> {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: cfg.threads,
+        io,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    server
+        .registry()
+        .insert(Dataset::from_graph("world", world.graph.clone()));
+    let addr = server.local_addr();
+    let handle = server.start();
+
+    let lines = Arc::new(request_lines(world, "world"));
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let measure_from = start + cfg.warmup;
+    // Generous enough that a queued blocking-mode connection times out
+    // and retries rather than hanging to the end of the run; short
+    // enough that several retries fit in the window.
+    let read_timeout = Duration::from_millis(750);
+    let mut clients = Vec::with_capacity(cfg.clients);
+    for c in 0..cfg.clients {
+        let lines = Arc::clone(&lines);
+        let stop = Arc::clone(&stop);
+        let think = cfg.think;
+        clients.push(std::thread::spawn(move || {
+            client_loop(
+                addr,
+                &lines,
+                c * 7, // spread clients across the canned set
+                measure_from,
+                &stop,
+                think,
+                read_timeout,
+            )
+        }));
+    }
+    std::thread::sleep(cfg.warmup + cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut tally = ClientTally::default();
+    for t in clients {
+        tally.merge(t.join().map_err(|_| "client thread panicked")?);
+    }
+    let server_stats = fetch_server_stats(addr).unwrap_or(JsonValue::Null);
+    handle.shutdown();
+
+    let qps = tally.ok as f64 / cfg.duration.as_secs_f64();
+    let report = JsonValue::obj([
+        ("io", io.as_str().into()),
+        ("qps", qps.into()),
+        ("requests_ok", tally.ok.into()),
+        ("overloaded", tally.overloaded.into()),
+        ("other_errors", tally.other_errors.into()),
+        ("io_errors", tally.io_errors.into()),
+        ("connections", tally.connections.into()),
+        ("latency_ms", latency_json(tally.latencies_ms.clone())),
+        ("server", server_stats),
+    ]);
+    Ok((report, tally))
+}
+
+/// Runs the full loadtest over an in-memory snapshot and returns the
+/// report (no file written) — the library entry point the CLI and the
+/// tests share.
+///
+/// Fails if the snapshot cans no queries, if any client saw a response
+/// that was neither `ok` nor `overloaded`, or if a measured mode
+/// completed zero requests.
+pub fn run_loadtest(world: &Snapshot, cfg: &LoadtestConfig) -> Result<JsonValue, String> {
+    if world.query_count() == 0 {
+        return Err(
+            "snapshot holds no canned queries (generate one with `kor gen`, or can a \
+             workload with `kor ingest --per-set`)"
+                .into(),
+        );
+    }
+    if cfg.modes.is_empty() {
+        return Err("no io modes selected".into());
+    }
+    let mut mode_reports: Vec<(&'static str, JsonValue)> = Vec::new();
+    let mut qps_by_mode: Vec<(IoMode, f64)> = Vec::new();
+    for &io in &cfg.modes {
+        let (report, tally) = run_mode(world, cfg, io)?;
+        if tally.other_errors > 0 {
+            return Err(format!(
+                "{} non-overloaded error responses in {} mode, e.g.: {}",
+                tally.other_errors,
+                io.as_str(),
+                tally.sample_error.as_deref().unwrap_or("<lost>")
+            ));
+        }
+        if tally.ok == 0 {
+            return Err(format!(
+                "no successful responses in {} mode ({} io errors)",
+                io.as_str(),
+                tally.io_errors
+            ));
+        }
+        let qps = report.get("qps").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        qps_by_mode.push((io, qps));
+        mode_reports.push((io.as_str(), report));
+    }
+
+    let mut fields: Vec<(&'static str, JsonValue)> = vec![
+        ("created_by", "kor loadtest".into()),
+        (
+            "dataset",
+            JsonValue::obj([
+                ("nodes", world.graph.node_count().into()),
+                ("edges", world.graph.edge_count().into()),
+                ("keywords", world.graph.vocab().len().into()),
+                ("canned_queries", world.query_count().into()),
+            ]),
+        ),
+        (
+            "config",
+            JsonValue::obj([
+                ("threads", cfg.threads.into()),
+                ("clients", cfg.clients.into()),
+                ("duration_ms", (cfg.duration.as_millis() as u64).into()),
+                ("warmup_ms", (cfg.warmup.as_millis() as u64).into()),
+                ("think_ms", (cfg.think.as_millis() as u64).into()),
+            ]),
+        ),
+        ("modes", JsonValue::obj(mode_reports)),
+    ];
+    let event = qps_by_mode
+        .iter()
+        .find(|(io, _)| *io == IoMode::Event)
+        .map(|&(_, q)| q);
+    let blocking = qps_by_mode
+        .iter()
+        .find(|(io, _)| *io == IoMode::Blocking)
+        .map(|&(_, q)| q);
+    if let (Some(e), Some(b)) = (event, blocking) {
+        if b > 0.0 {
+            fields.push(("speedup_event_over_blocking", (e / b).into()));
+        }
+    }
+    Ok(JsonValue::obj(fields))
+}
+
+/// CLI entry point: loads the snapshot from `path`, runs the loadtest,
+/// writes the report to `cfg.out`, and returns the report.
+pub fn run_loadtest_to_file(path: &Path, cfg: &LoadtestConfig) -> Result<JsonValue, String> {
+    let world = kor_data::read_world_auto(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let report = run_loadtest(&world, cfg)?;
+    std::fs::write(&cfg.out, report.render() + "\n")
+        .map_err(|e| format!("{}: {e}", cfg.out.display()))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::gen::{generate_world, GenConfig};
+
+    fn tiny_world() -> Snapshot {
+        generate_world(&GenConfig::grid(5, 4, 11))
+    }
+
+    #[test]
+    fn request_lines_cover_every_canned_query() {
+        let world = tiny_world();
+        let lines = request_lines(&world, "world");
+        assert_eq!(lines.len(), world.query_count());
+        for line in &lines {
+            let v = JsonValue::parse(line).unwrap();
+            assert_eq!(v.get("method").and_then(JsonValue::as_str), Some("query"));
+            let params = v.get("params").unwrap();
+            assert_eq!(
+                params.get("dataset").and_then(JsonValue::as_str),
+                Some("world")
+            );
+            assert!(params.get("budget").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let v = latency_json((1..=100).map(f64::from).collect());
+        let p50 = v.get("p50").and_then(JsonValue::as_f64).unwrap();
+        let p95 = v.get("p95").and_then(JsonValue::as_f64).unwrap();
+        let p99 = v.get("p99").and_then(JsonValue::as_f64).unwrap();
+        let max = v.get("max").and_then(JsonValue::as_f64).unwrap();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
+        assert_eq!(max, 100.0);
+        assert!(matches!(latency_json(Vec::new()), JsonValue::Null));
+    }
+
+    #[test]
+    fn quick_event_run_produces_a_report() {
+        let world = tiny_world();
+        let cfg = LoadtestConfig {
+            modes: vec![IoMode::Event],
+            threads: 1,
+            clients: 4,
+            duration: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+            think: Duration::from_millis(2),
+            ..LoadtestConfig::default()
+        };
+        let report = run_loadtest(&world, &cfg).unwrap();
+        let event = report.get("modes").unwrap().get("event").unwrap();
+        assert!(event.get("qps").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            event.get("other_errors").and_then(JsonValue::as_u64),
+            Some(0)
+        );
+        let lat = event.get("latency_ms").unwrap();
+        assert!(lat.get("p50").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        // Single-mode runs have no speedup field.
+        assert!(report.get("speedup_event_over_blocking").is_none());
+    }
+}

@@ -15,6 +15,7 @@ use kor_core::{BucketBoundParams, GreedyParams, KorError, KorQuery, OsScalingPar
 use crate::json::JsonValue;
 use crate::serve::protocol::{ErrorCode, Request, WireError};
 use crate::serve::registry::{Dataset, Registry, ResolveError};
+use crate::serve::IoMode;
 
 use std::sync::Arc;
 
@@ -27,6 +28,11 @@ pub struct ServerContext {
     pub started: Instant,
     /// Worker pool size (reported by `stats`).
     pub threads: usize,
+    /// Which I/O layer is serving (reported by `stats`).
+    pub io: IoMode,
+    /// Resolved backpressure-queue capacity: waiting request lines
+    /// (event mode) or waiting connections (blocking mode).
+    pub queue_capacity: usize,
     /// Deadline applied to queries that do not carry their own
     /// `deadline_ms`; `0` means unlimited.
     pub default_deadline_ms: u64,
@@ -34,8 +40,16 @@ pub struct ServerContext {
     pub max_request_bytes: usize,
     /// Total connections accepted.
     pub connections: AtomicU64,
+    /// Connections currently open (accepted, not yet closed).
+    pub open_connections: AtomicU64,
     /// Total request lines processed (including failures).
     pub requests: AtomicU64,
+    /// Requests (event mode) or connections (blocking mode) sitting in
+    /// the backpressure queue right now, not yet picked up by a worker.
+    pub queued_requests: AtomicU64,
+    /// Total requests/connections answered `overloaded` because that
+    /// queue was full.
+    pub overloaded: AtomicU64,
     /// Set by the `shutdown` method (and by [`crate::serve::ServerHandle`]);
     /// the listener stops accepting once it observes this.
     pub shutdown: AtomicBool,
@@ -48,10 +62,15 @@ impl ServerContext {
             registry: Registry::new(),
             started: Instant::now(),
             threads,
+            io: IoMode::Event,
+            queue_capacity: 0,
             default_deadline_ms,
             max_request_bytes: 1 << 20,
             connections: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            queued_requests: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -140,6 +159,22 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
             ctx.connections.load(Ordering::Relaxed).into(),
         ),
         ("requests", ctx.requests.load(Ordering::Relaxed).into()),
+        (
+            "server",
+            JsonValue::obj([
+                ("io", ctx.io.as_str().into()),
+                (
+                    "open_connections",
+                    ctx.open_connections.load(Ordering::Relaxed).into(),
+                ),
+                (
+                    "queued_requests",
+                    ctx.queued_requests.load(Ordering::Relaxed).into(),
+                ),
+                ("queue_capacity", ctx.queue_capacity.into()),
+                ("overloaded", ctx.overloaded.load(Ordering::Relaxed).into()),
+            ]),
+        ),
         ("datasets", JsonValue::Arr(per_dataset)),
     ]))
 }

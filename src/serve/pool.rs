@@ -107,12 +107,14 @@ impl ConnQueue {
 /// One worker: serve connections until the queue closes.
 pub(crate) fn worker_loop(queue: &ConnQueue, ctx: &ServerContext) {
     while let Some(stream) = queue.pop() {
+        ctx.queued_requests.fetch_sub(1, Ordering::Relaxed);
         // IO errors AND panics are per-connection: drop the socket,
         // keep serving. Without the unwind guard, one panicking request
         // would permanently shrink the fixed-size pool.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             serve_connection(stream, ctx)
         }));
+        ctx.open_connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

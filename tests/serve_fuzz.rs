@@ -1,0 +1,310 @@
+//! Seeded protocol fuzzer for `kor serve`, run against both I/O
+//! layers: deterministic per seed, it throws split/merged frames,
+//! mid-line disconnects, oversized lines, interleaved blank lines, and
+//! binary garbage at a live server and asserts the server never dies,
+//! every well-formed request line gets exactly one well-formed JSON
+//! reply (with its id echoed), and malformed input yields `parse_error`
+//! — not silence, not a dropped connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kor::graph::fixtures::figure1;
+use kor::json::JsonValue;
+use kor::serve::registry::Dataset;
+use kor::serve::{IoMode, ServeConfig, Server, ServerHandle};
+
+fn fixture_server(io: IoMode) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        io,
+        // Deep queue: this suite pins framing/parsing behavior, so no
+        // fuzzed line may be answered `overloaded` (that would change
+        // the expected reply).
+        queue_capacity: 4096,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    server
+        .registry()
+        .insert(Dataset::from_graph("fig1", figure1()));
+    let addr = server.local_addr();
+    (addr, server.start())
+}
+
+/// What one fuzzed line must produce.
+enum Expect {
+    /// A well-formed JSON reply echoing this numeric id.
+    Reply(u64),
+    /// A `parse_error` reply (with a null id — the line never parsed).
+    ParseError,
+    /// Nothing: blank lines are skipped.
+    Silence,
+}
+
+/// One fuzzed line (newline NOT included) plus its expectation.
+struct FuzzLine {
+    bytes: Vec<u8>,
+    expect: Expect,
+}
+
+fn gen_line(rng: &mut StdRng, next_id: &mut u64) -> FuzzLine {
+    match rng.gen_range(0..6u32) {
+        // Valid query with randomized endpoints/keywords/budget; any
+        // outcome (ok or structured error) is a well-formed reply.
+        0 | 1 => {
+            let id = *next_id;
+            *next_id += 1;
+            let from = rng.gen_range(0..8u32);
+            let to = rng.gen_range(0..8u32);
+            let n_kw = rng.gen_range(0..3usize);
+            let kws: Vec<String> = (0..n_kw)
+                .map(|_| format!("\"t{}\"", rng.gen_range(1..6u32)))
+                .collect();
+            let budget = rng.gen_range(3..15u32);
+            let line = format!(
+                r#"{{"id":{id},"method":"query","params":{{"from":{from},"to":{to},"keywords":[{}],"budget":{budget}}}}}"#,
+                kws.join(",")
+            );
+            FuzzLine {
+                bytes: line.into_bytes(),
+                expect: Expect::Reply(id),
+            }
+        }
+        // Valid health request.
+        2 => {
+            let id = *next_id;
+            *next_id += 1;
+            FuzzLine {
+                bytes: format!(r#"{{"id":{id},"method":"health"}}"#).into_bytes(),
+                expect: Expect::Reply(id),
+            }
+        }
+        // Printable garbage (never valid JSON: starts with a letter).
+        3 => {
+            let len = rng.gen_range(1..60usize);
+            let mut s = String::from("g");
+            for _ in 0..len {
+                s.push((b' ' + (rng.gen_range(0..95u32) as u8)) as char);
+            }
+            FuzzLine {
+                bytes: s.into_bytes(),
+                expect: Expect::ParseError,
+            }
+        }
+        // Binary garbage: arbitrary non-newline bytes, at least one of
+        // them clearly non-whitespace and non-JSON.
+        4 => {
+            let len = rng.gen_range(1..80usize);
+            let mut bytes = vec![0xFFu8];
+            for _ in 0..len {
+                let b = loop {
+                    let b = rng.gen_range(0..256u32) as u8;
+                    if b != b'\n' {
+                        break b;
+                    }
+                };
+                bytes.push(b);
+            }
+            FuzzLine {
+                bytes,
+                expect: Expect::ParseError,
+            }
+        }
+        // Blank line: empty or whitespace-only.
+        _ => {
+            let pad = rng.gen_range(0..4usize);
+            FuzzLine {
+                bytes: vec![b' '; pad],
+                expect: Expect::Silence,
+            }
+        }
+    }
+}
+
+/// Writes `payload` in randomly-sized chunks with occasional pauses, so
+/// the server sees split and merged frames in every combination.
+fn write_chunked(rng: &mut StdRng, conn: &mut TcpStream, payload: &[u8]) {
+    let mut at = 0;
+    while at < payload.len() {
+        let n = rng.gen_range(1..64usize).min(payload.len() - at);
+        conn.write_all(&payload[at..at + n]).expect("chunk write");
+        at += n;
+        if rng.gen_bool(0.15) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// One fuzzed connection: a random script of lines, a random framing,
+/// and (sometimes) a trailing partial line followed by a disconnect.
+/// Returns how many well-formed replies were checked.
+fn fuzz_connection(rng: &mut StdRng, addr: SocketAddr, next_id: &mut u64) -> usize {
+    let n_lines = rng.gen_range(1..10usize);
+    let lines: Vec<FuzzLine> = (0..n_lines).map(|_| gen_line(rng, next_id)).collect();
+    let mut payload = Vec::new();
+    for line in &lines {
+        payload.extend_from_slice(&line.bytes);
+        payload.push(b'\n');
+    }
+    // Mid-line disconnect: a committed-looking prefix with no newline.
+    // The server must not answer it and must not die.
+    let partial = rng.gen_bool(0.3);
+    if partial {
+        payload.extend_from_slice(br#"{"id":999999,"method":"hea"#);
+    }
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    write_chunked(rng, &mut conn, &payload);
+
+    let mut checked = 0;
+    for line in &lines {
+        match line.expect {
+            Expect::Silence => continue,
+            Expect::Reply(id) => {
+                let mut resp = String::new();
+                reader.read_line(&mut resp).expect("reply for valid line");
+                let v = JsonValue::parse(resp.trim()).unwrap_or_else(|e| {
+                    panic!("malformed reply {resp:?}: {e:?}");
+                });
+                assert_eq!(
+                    v.get("id").and_then(JsonValue::as_u64),
+                    Some(id),
+                    "id must echo in {resp}"
+                );
+                assert!(v.get("ok").and_then(JsonValue::as_bool).is_some());
+                checked += 1;
+            }
+            Expect::ParseError => {
+                let mut resp = String::new();
+                reader.read_line(&mut resp).expect("reply for garbage line");
+                let v = JsonValue::parse(resp.trim())
+                    .unwrap_or_else(|e| panic!("malformed reply {resp:?}: {e:?}"));
+                assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(false));
+                assert_eq!(
+                    v.get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(JsonValue::as_str),
+                    Some("parse_error"),
+                    "garbage must yield parse_error, got {resp}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    // Drop with the partial line unanswered (if any): an uncommitted
+    // request must simply vanish.
+    drop(conn);
+    checked
+}
+
+fn run_fuzz(io: IoMode, seed: u64, connections: usize) {
+    let (addr, handle) = fixture_server(io);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_id = 0u64;
+    let mut checked = 0;
+    for _ in 0..connections {
+        checked += fuzz_connection(&mut rng, addr, &mut next_id);
+    }
+    assert!(checked > connections, "fuzz exercised too few replies");
+
+    // The server survived everything above: a fresh connection gets
+    // normal service.
+    let mut conn = TcpStream::connect(addr).expect("server still accepts");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    conn.write_all(b"{\"id\":424242,\"method\":\"health\"}\n")
+        .unwrap();
+    let mut resp = String::new();
+    BufReader::new(conn).read_line(&mut resp).unwrap();
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("424242"), "{resp}");
+    handle.shutdown();
+}
+
+#[test]
+fn fuzz_event_io() {
+    run_fuzz(IoMode::Event, 0x6b07, 30);
+}
+
+#[test]
+fn fuzz_event_io_alternate_seed() {
+    run_fuzz(IoMode::Event, 20120807, 30);
+}
+
+#[test]
+fn fuzz_blocking_io() {
+    run_fuzz(IoMode::Blocking, 7, 20);
+}
+
+/// Oversized lines are their own terminal case: the server must answer
+/// `request_too_large` and close — even when the oversized line never
+/// ends (no newline arrives before the cap trips).
+#[test]
+fn oversized_lines_are_rejected_not_buffered() {
+    for io in [IoMode::Event, IoMode::Blocking] {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            io,
+            max_request_bytes: 256,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        server
+            .registry()
+            .insert(Dataset::from_graph("fig1", figure1()));
+        let addr = server.local_addr();
+        let handle = server.start();
+
+        // Terminated oversized line.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        conn.write_all(&vec![b'x'; 600]).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(
+            resp.contains("request_too_large"),
+            "[{}] {resp}",
+            io.as_str()
+        );
+        let mut next = String::new();
+        assert_eq!(reader.read_line(&mut next).unwrap(), 0, "then hangs up");
+
+        // Unterminated oversized line: the cap must trip on buffered
+        // bytes alone, not wait forever for a newline.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        conn.write_all(&vec![b'y'; 2048]).unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(
+            resp.contains("request_too_large"),
+            "[{}] {resp}",
+            io.as_str()
+        );
+
+        // The server is unharmed.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        conn.write_all(b"{\"method\":\"health\"}\n").unwrap();
+        let mut resp = String::new();
+        BufReader::new(conn).read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        handle.shutdown();
+    }
+}
