@@ -30,6 +30,6 @@ mod tree;
 pub use dense::DenseApsp;
 pub use keyword_reach::KeywordReach;
 pub use pair::{CachedPairCosts, PairCosts, PathCost};
-pub use partition::{PartitionConfig, PartitionedApsp};
+pub use partition::{partition, PartitionConfig, PartitionedApsp};
 pub use query::QueryContext;
 pub use tree::{backward_tree, forward_tree, Metric, SptNode, Tree, NO_NODE};

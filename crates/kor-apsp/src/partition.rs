@@ -254,8 +254,23 @@ impl PartitionedApsp {
     }
 }
 
-/// Spatial-grid partition when positions exist, BFS chunks otherwise.
-fn partition(graph: &Graph, clusters: usize) -> Vec<u32> {
+/// Splits `graph` into at most `clusters` node groups and returns the
+/// per-node assignment (`assignment[v] = cluster id`, ids dense in
+/// `0..k` with every id non-empty).
+///
+/// When the graph carries positions (the generator's grid/ring worlds
+/// do) the cut is geometric: a `⌈√clusters⌉ × ⌈√clusters⌉` spatial grid
+/// over the bounding box, empty cells compacted away. Otherwise nodes
+/// are grouped into BFS chunks of roughly `|V| / clusters` over the
+/// undirected structure, so chunks stay connected where the topology
+/// allows.
+///
+/// This is the same assignment [`PartitionedApsp::build`] uses
+/// internally; it is exported so front ends (the shard splitter, the
+/// scatter-gather router) can partition a dataset without paying for
+/// the border-overlay tables.
+pub fn partition(graph: &Graph, clusters: usize) -> Vec<u32> {
+    let clusters = clusters.max(1);
     let n = graph.node_count();
     if n == 0 {
         return Vec::new();

@@ -23,12 +23,12 @@ use crate::dominance::LabelStore;
 use crate::error::KorError;
 use crate::label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
 use crate::labeling::{
-    acquire_context, build_opt2, query_mask_table, Opt2, QItem, ScoreMode, DEADLINE_STRIDE,
+    acquire_context, build_opt2, query_mask_table, scaler_for, Opt2, QItem, ScoreMode,
+    DEADLINE_STRIDE,
 };
 use crate::params::BucketBoundParams;
 use crate::query::KorQuery;
 use crate::result::{RouteResult, SearchResult, TopKResult};
-use crate::scale::Scaler;
 use crate::stats::SearchStats;
 
 /// Runs `BucketBound` (Algorithm 2): the `β/(1−ε)`-approximation.
@@ -203,16 +203,26 @@ impl<'a> BucketEngine<'a> {
         } else {
             None
         };
-        let mode = ScoreMode::Scaled(Scaler::new(graph, params.epsilon, query.budget));
+        let mode = ScoreMode::Scaled(scaler_for(
+            graph,
+            params.anchor,
+            params.epsilon,
+            query.budget,
+        ));
         let store = LabelStore::new(mode.dom_mode(), query.keywords.full_mask(), k);
         // Bucket base: OS(τ_{s,t}); when source == target that is 0, so
         // fall back to the smallest edge objective (any covering cycle
-        // costs at least that), keeping the intervals well-defined.
+        // costs at least that), keeping the intervals well-defined. Like
+        // θ above, the fallback honours a pinned anchor so shard-local
+        // bucket layouts match the fused engine's.
         let tau_st = ctx.os_tau(query.source);
         let base = if tau_st > 0.0 && tau_st.is_finite() {
             tau_st
         } else {
-            graph.o_min().max(f64::MIN_POSITIVE)
+            params
+                .anchor
+                .map_or_else(|| graph.o_min(), |a| a.o_min)
+                .max(f64::MIN_POSITIVE)
         };
         Self {
             graph,

@@ -21,7 +21,7 @@ use crate::cache::{build_opt2_trees, Opt2Trees, PreprocessCache};
 use crate::dominance::{DomMode, LabelStore};
 use crate::error::KorError;
 use crate::label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
-use crate::params::OsScalingParams;
+use crate::params::{OsScalingParams, ScaleAnchor};
 use crate::query::KorQuery;
 use crate::result::{RouteResult, SearchResult, TopKResult};
 use crate::scale::Scaler;
@@ -34,6 +34,20 @@ use crate::stats::SearchStats;
 /// The first pop always checks, so an already-expired deadline aborts
 /// before any work happens.
 pub(crate) const DEADLINE_STRIDE: u64 = 1024;
+
+/// The scaler for a search: anchored to pinned reference extrema when
+/// the params carry a [`ScaleAnchor`], otherwise read from `graph`.
+pub(crate) fn scaler_for(
+    graph: &Graph,
+    anchor: Option<ScaleAnchor>,
+    epsilon: f64,
+    delta: f64,
+) -> Scaler {
+    match anchor {
+        Some(a) => Scaler::from_extrema(a.o_min, a.b_min, epsilon, delta),
+        None => Scaler::new(graph, epsilon, delta),
+    }
+}
 
 /// Runs `OSScaling` (Algorithm 1): the `1/(1−ε)`-approximation.
 pub fn os_scaling(
@@ -57,7 +71,12 @@ pub fn os_scaling_with_cache(
 ) -> Result<SearchResult, KorError> {
     params.validate()?;
     let cfg = EngineConfig {
-        mode: ScoreMode::Scaled(Scaler::new(graph, params.epsilon, query.budget)),
+        mode: ScoreMode::Scaled(scaler_for(
+            graph,
+            params.anchor,
+            params.epsilon,
+            query.budget,
+        )),
         k: 1,
         use_opt1: params.use_opt1,
         use_opt2: params.use_opt2,
@@ -150,7 +169,12 @@ pub fn top_k_os_scaling_with_cache(
         return Err(KorError::InvalidK);
     }
     let cfg = EngineConfig {
-        mode: ScoreMode::Scaled(Scaler::new(graph, params.epsilon, query.budget)),
+        mode: ScoreMode::Scaled(scaler_for(
+            graph,
+            params.anchor,
+            params.epsilon,
+            query.budget,
+        )),
         k,
         use_opt1: params.use_opt1,
         use_opt2: params.use_opt2,

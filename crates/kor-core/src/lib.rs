@@ -69,7 +69,7 @@ pub use labeling::{
     exact_labeling, exact_labeling_with_cache, exact_labeling_with_deadline, os_scaling,
     os_scaling_with_cache, top_k_os_scaling, top_k_os_scaling_with_cache,
 };
-pub use params::{BucketBoundParams, OsScalingParams};
+pub use params::{BucketBoundParams, OsScalingParams, ScaleAnchor};
 pub use query::KorQuery;
 pub use result::{RouteResult, SearchResult, TopKResult};
 pub use scale::Scaler;

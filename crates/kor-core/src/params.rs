@@ -2,7 +2,39 @@
 
 use std::time::Instant;
 
+use kor_graph::Graph;
+
 use crate::error::KorError;
+
+/// Edge-weight extrema pinned from a *reference* graph, overriding the
+/// search graph's own extrema in every place a scaled search consults
+/// them (the scaling factor `θ = ε·o_min·b_min/Δ` and the bucket base
+/// fallback).
+///
+/// This is the shard-scoped search entry point: a shard subgraph holds
+/// only its own edges, so its extrema can differ from the full
+/// dataset's, which would silently change `θ` and with it every scaled
+/// label key. A router answering a query on one shard anchors the
+/// search to the fused graph's extrema so the shard-local result is
+/// bit-compatible with what the single fused engine computes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleAnchor {
+    /// The reference graph's smallest edge objective.
+    pub o_min: f64,
+    /// The reference graph's smallest edge budget.
+    pub b_min: f64,
+}
+
+impl ScaleAnchor {
+    /// Captures the extrema of `graph` (typically the fused full
+    /// dataset, not the shard subgraph the search will run on).
+    pub fn of(graph: &Graph) -> Self {
+        Self {
+            o_min: graph.o_min(),
+            b_min: graph.b_min(),
+        }
+    }
+}
 
 /// Parameters for `OSScaling` (Algorithm 1).
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +58,10 @@ pub struct OsScalingParams {
     /// this instant passes (checked at every queue pop). `None` runs to
     /// exhaustion — online services set this from per-request deadlines.
     pub deadline: Option<Instant>,
+    /// Pin the scaling extrema to a reference graph's instead of the
+    /// search graph's (see [`ScaleAnchor`]). `None` — the default —
+    /// reads them from the graph being searched.
+    pub anchor: Option<ScaleAnchor>,
 }
 
 impl Default for OsScalingParams {
@@ -39,6 +75,7 @@ impl Default for OsScalingParams {
             infrequent_threshold: 0.01,
             collect_labels: false,
             deadline: None,
+            anchor: None,
         }
     }
 }
@@ -102,6 +139,9 @@ pub struct BucketBoundParams {
     /// Abort the label search with [`KorError::DeadlineExceeded`] once
     /// this instant passes (see [`OsScalingParams::deadline`]).
     pub deadline: Option<Instant>,
+    /// Pin the scaling extrema to a reference graph's (see
+    /// [`ScaleAnchor`] and [`OsScalingParams::anchor`]).
+    pub anchor: Option<ScaleAnchor>,
 }
 
 impl Default for BucketBoundParams {
@@ -115,6 +155,7 @@ impl Default for BucketBoundParams {
             infrequent_threshold: 0.01,
             collect_labels: false,
             deadline: None,
+            anchor: None,
         }
     }
 }

@@ -19,7 +19,16 @@ impl Scaler {
     /// which simply floors objectives; such queries are answered before
     /// any label is scaled, so the choice never matters.
     pub fn new(graph: &Graph, epsilon: f64, delta: f64) -> Self {
-        let theta = epsilon * graph.o_min() * graph.b_min() / delta;
+        Self::from_extrema(graph.o_min(), graph.b_min(), epsilon, delta)
+    }
+
+    /// [`Self::new`] from explicit edge-weight extrema instead of a
+    /// graph. Shard-scoped searches use this: a shard subgraph may not
+    /// contain the globally smallest edge, so the router pins the fused
+    /// graph's `o_min`/`b_min` here to reproduce the exact `θ` the
+    /// single-engine search would use (same degenerate fallback).
+    pub fn from_extrema(o_min: f64, b_min: f64, epsilon: f64, delta: f64) -> Self {
+        let theta = epsilon * o_min * b_min / delta;
         if theta.is_finite() && theta > 0.0 {
             Self { theta }
         } else {

@@ -222,7 +222,11 @@ pub fn generate_world(config: &GenConfig) -> Snapshot {
     add_topology_edges(&mut builder, &positions, config, &mut rng);
     let graph = builder.build().expect("generated world is valid");
     let query_sets = synthesize_queries(&graph, config, &mut rng);
-    Snapshot { graph, query_sets }
+    Snapshot {
+        graph,
+        query_sets,
+        sharding: None,
+    }
 }
 
 /// Planar positions per topology, in node-id order.

@@ -20,7 +20,11 @@
 //! * [`io`] — a plain-text graph interchange format;
 //! * [`snapshot`] — the versioned `.korbin` binary snapshot format
 //!   (checksummed CSR graph + postings + canned queries) that ships a
-//!   whole generated world as one artifact (see `docs/DATASETS.md`).
+//!   whole generated world as one artifact (see `docs/DATASETS.md`);
+//! * [`shard`] — dataset sharding: deterministic node assignment, cut
+//!   edges, and the escape/enter boundary summary a scatter-gather
+//!   router uses to prove query confinement (stored in the snapshot's
+//!   optional `SHRD`/`BNDR` sections).
 //!
 //! Every generator is deterministic under an explicit `u64` seed.
 
@@ -29,6 +33,7 @@ pub mod gen;
 pub mod io;
 pub mod queries;
 pub mod roadnet;
+pub mod shard;
 pub mod snapshot;
 pub mod tags;
 
@@ -42,6 +47,10 @@ pub use queries::{
     generate_workload, CannedQuery, CannedQuerySet, QuerySet, QuerySpec, WorkloadConfig,
 };
 pub use roadnet::{generate_roadnet, RoadNetConfig};
+pub use shard::{
+    boundary_budgets, compute_sharding, cut_edges, shard_assignment, shard_subgraph,
+    sharding_from_assignment, validate_sharding, CutEdge, ShardingInfo,
+};
 pub use snapshot::{
     read_snapshot, snapshot_from_bytes, snapshot_to_bytes, write_snapshot, Snapshot, SnapshotError,
 };

@@ -25,11 +25,21 @@
 //! | `VOCB` | `term_count u32 · (len u32 · UTF-8 bytes) × terms` (id order) |
 //! | `POST` | `node_count u32 · (count u32 · keyword_id u32 × count) × nodes` |
 //! | `QRYS` | `set_count u32 · (keyword_count u32 · n u32 · (source u32 · target u32 · budget f64 · k u32 · keyword_id u32 × k) × n) × sets` |
+//! | `SHRD` | `shard_count u32 · node_count u32 · assignment n×u32` — only in sharded snapshots |
+//! | `BNDR` | `cut_count u32 · (source u32 · target u32 · objective f64 · budget f64) × cuts · escape n×f64 · enter n×f64` — only with `SHRD` |
+//!
+//! `SHRD` and `BNDR` appear together or not at all: the boundary summary
+//! is meaningless without the assignment and vice versa. On read, both
+//! are re-validated against the graph (dense non-empty shard ids, the
+//! cut-edge list and escape/enter tables recomputed and compared
+//! bit-for-bit), so a tampered summary can never weaken the router's
+//! confinement proof.
 //!
 //! Each section checksum is IEEE CRC-32 of its payload. Writing the same
 //! in-memory [`Snapshot`] always produces the same bytes (fixed section
 //! and iteration order, IEEE-754 bit patterns), which is what makes
-//! `kor gen --seed N` byte-reproducible.
+//! `kor gen --seed N` byte-reproducible and `kor shard` shard layouts
+//! byte-reproducible with it.
 
 use std::fmt;
 use std::fs;
@@ -39,6 +49,7 @@ use std::path::Path;
 use kor_graph::{Graph, GraphError, KeywordId, KeywordSet, NodeId, Vocab};
 
 use crate::queries::{CannedQuery, CannedQuerySet};
+use crate::shard::{validate_sharding, CutEdge, ShardingInfo};
 
 /// File magic: `KORBIN` plus a CRLF that breaks if the file ever passes
 /// through newline translation.
@@ -51,8 +62,11 @@ const TAG_GRAPH: [u8; 4] = *b"GRPH";
 const TAG_VOCAB: [u8; 4] = *b"VOCB";
 const TAG_POSTINGS: [u8; 4] = *b"POST";
 const TAG_QUERIES: [u8; 4] = *b"QRYS";
+const TAG_SHARDS: [u8; 4] = *b"SHRD";
+const TAG_BOUNDARY: [u8; 4] = *b"BNDR";
 
-/// A world: the graph plus the canned query sets generated with it.
+/// A world: the graph plus the canned query sets generated with it, and
+/// optionally a shard layout produced by `kor shard`.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// The road-network graph.
@@ -60,6 +74,11 @@ pub struct Snapshot {
     /// Canned query sets (possibly empty) replayed by the batch front
     /// end and the oracle cross-validation tests.
     pub query_sets: Vec<CannedQuerySet>,
+    /// The shard layout (`SHRD` + `BNDR` sections), present only in
+    /// sharded snapshots. The graph and query sections are byte-wise
+    /// unchanged by sharding, so a sharded snapshot feeds non-sharded
+    /// front ends identically.
+    pub sharding: Option<ShardingInfo>,
 }
 
 impl Snapshot {
@@ -68,6 +87,7 @@ impl Snapshot {
         Snapshot {
             graph,
             query_sets: Vec::new(),
+            sharding: None,
         }
     }
 
@@ -252,14 +272,46 @@ fn queries_section(sets: &[CannedQuerySet]) -> Vec<u8> {
     w.out
 }
 
+fn shards_section(info: &ShardingInfo) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.u32(info.shard_count);
+    w.u32(info.assignment.len() as u32);
+    for &s in &info.assignment {
+        w.u32(s);
+    }
+    w.out
+}
+
+fn boundary_section(info: &ShardingInfo) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.u32(info.cut_edges.len() as u32);
+    for cut in &info.cut_edges {
+        w.u32(cut.source.0);
+        w.u32(cut.target.0);
+        w.f64(cut.objective);
+        w.f64(cut.budget);
+    }
+    for &d in &info.escape {
+        w.f64(d);
+    }
+    for &d in &info.enter {
+        w.f64(d);
+    }
+    w.out
+}
+
 /// Serializes a snapshot to its canonical byte form.
 pub fn snapshot_to_bytes(snapshot: &Snapshot) -> Vec<u8> {
-    let sections: [([u8; 4], Vec<u8>); 4] = [
+    let mut sections: Vec<([u8; 4], Vec<u8>)> = vec![
         (TAG_GRAPH, graph_section(&snapshot.graph)),
         (TAG_VOCAB, vocab_section(snapshot.graph.vocab())),
         (TAG_POSTINGS, postings_section(&snapshot.graph)),
         (TAG_QUERIES, queries_section(&snapshot.query_sets)),
     ];
+    if let Some(info) = &snapshot.sharding {
+        sections.push((TAG_SHARDS, shards_section(info)));
+        sections.push((TAG_BOUNDARY, boundary_section(info)));
+    }
     let mut out = Vec::with_capacity(
         MAGIC.len() + 8 + sections.iter().map(|(_, p)| p.len() + 16).sum::<usize>(),
     );
@@ -498,6 +550,69 @@ fn parse_queries_section(payload: &[u8]) -> Result<Vec<CannedQuerySet>, Snapshot
     Ok(out)
 }
 
+fn parse_shards_section(payload: &[u8]) -> Result<(u32, Vec<u32>), SnapshotError> {
+    let mut c = Cursor::new(payload);
+    let shard_count = c.u32("shard count")?;
+    let n = c.count(4, "shard assignment length")?;
+    let mut assignment = Vec::with_capacity(n);
+    for _ in 0..n {
+        assignment.push(c.u32("shard assignment")?);
+    }
+    if c.remaining() != 0 {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes in shard section",
+            c.remaining()
+        )));
+    }
+    Ok((shard_count, assignment))
+}
+
+/// Parsed `BNDR` payload: the cut-edge list plus the escape/enter tables.
+type BoundaryParts = (Vec<CutEdge>, Vec<f64>, Vec<f64>);
+
+fn parse_boundary_section(
+    payload: &[u8],
+    node_count: usize,
+) -> Result<BoundaryParts, SnapshotError> {
+    let mut c = Cursor::new(payload);
+    let cuts = c.count(24, "cut edge count")?;
+    let mut cut_edges = Vec::with_capacity(cuts);
+    for _ in 0..cuts {
+        let source = NodeId(c.u32("cut edge source")?);
+        let target = NodeId(c.u32("cut edge target")?);
+        let objective = c.f64("cut edge objective")?;
+        let budget = c.f64("cut edge budget")?;
+        cut_edges.push(CutEdge {
+            source,
+            target,
+            objective,
+            budget,
+        });
+    }
+    let mut read_table = |what: &str| -> Result<Vec<f64>, SnapshotError> {
+        let mut table = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let d = c.f64(what)?;
+            if d.is_nan() || d < 0.0 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{what} must be non-negative, got {d}"
+                )));
+            }
+            table.push(d);
+        }
+        Ok(table)
+    };
+    let escape = read_table("escape distance")?;
+    let enter = read_table("enter distance")?;
+    if c.remaining() != 0 {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes in boundary section",
+            c.remaining()
+        )));
+    }
+    Ok((cut_edges, escape, enter))
+}
+
 /// Parses a snapshot from its byte form.
 pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     let mut c = Cursor::new(bytes);
@@ -514,6 +629,8 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     let mut vocab_payload: Option<&[u8]> = None;
     let mut postings_payload: Option<&[u8]> = None;
     let mut queries_payload: Option<&[u8]> = None;
+    let mut shards_payload: Option<&[u8]> = None;
+    let mut boundary_payload: Option<&[u8]> = None;
     for _ in 0..section_count {
         let tag: [u8; 4] = c.take(4, "section tag")?.try_into().unwrap();
         let len = c.u64("section length")? as usize;
@@ -529,6 +646,8 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
             TAG_VOCAB => &mut vocab_payload,
             TAG_POSTINGS => &mut postings_payload,
             TAG_QUERIES => &mut queries_payload,
+            TAG_SHARDS => &mut shards_payload,
+            TAG_BOUNDARY => &mut boundary_payload,
             other => {
                 return Err(SnapshotError::Corrupt(format!(
                     "unknown section tag {:?}",
@@ -581,7 +700,41 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
             }
         }
     }
-    Ok(Snapshot { graph, query_sets })
+    let sharding = match (shards_payload, boundary_payload) {
+        (None, None) => None,
+        (Some(_), None) => {
+            return Err(SnapshotError::Corrupt(
+                "section \"SHRD\" present without \"BNDR\"".into(),
+            ))
+        }
+        (None, Some(_)) => {
+            return Err(SnapshotError::Corrupt(
+                "section \"BNDR\" present without \"SHRD\"".into(),
+            ))
+        }
+        (Some(shards), Some(boundary)) => {
+            let (shard_count, assignment) = parse_shards_section(shards)?;
+            let (cut_edges, escape, enter) = parse_boundary_section(boundary, graph.node_count())?;
+            let info = ShardingInfo {
+                shard_count,
+                assignment,
+                cut_edges,
+                escape,
+                enter,
+            };
+            // The summary feeds the router's confinement proof, so it
+            // must be *exactly* what the assignment implies — recomputed
+            // and compared bit-for-bit, like every other invariant here.
+            validate_sharding(&graph, &info)
+                .map_err(|msg| SnapshotError::Corrupt(format!("shard layout: {msg}")))?;
+            Some(info)
+        }
+    };
+    Ok(Snapshot {
+        graph,
+        query_sets,
+        sharding,
+    })
 }
 
 /// Reads a `.korbin` snapshot from `path`.
@@ -722,6 +875,96 @@ mod tests {
             snapshot_from_bytes(&bytes),
             Err(SnapshotError::Corrupt(_))
         ));
+    }
+
+    fn sharded_world() -> Snapshot {
+        let mut snap = world();
+        snap.sharding = Some(crate::shard::compute_sharding(&snap.graph, 2));
+        snap
+    }
+
+    #[test]
+    fn sharded_write_read_write_is_byte_identical() {
+        let snap = sharded_world();
+        let bytes = snapshot_to_bytes(&snap);
+        let read = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(bytes, snapshot_to_bytes(&read));
+        let info = read.sharding.expect("shard layout survives");
+        assert_eq!(Some(&info), snap.sharding.as_ref());
+        assert_eq!(info.assignment.len(), snap.graph.node_count());
+    }
+
+    #[test]
+    fn sharding_does_not_change_the_unsharded_sections() {
+        // `kor shard` appends sections; the graph/vocab/postings/queries
+        // bytes must be untouched so the fused engine rebuilt from a
+        // sharded snapshot is bit-identical to the unsharded one.
+        let plain = snapshot_to_bytes(&world());
+        let sharded = snapshot_to_bytes(&sharded_world());
+        // The prefix differs only in the section count field.
+        assert_eq!(plain[..12], sharded[..12]);
+        let mut expected = plain.clone();
+        expected[12..16].copy_from_slice(&6u32.to_le_bytes());
+        assert_eq!(sharded[..plain.len()], expected[..]);
+    }
+
+    #[test]
+    fn sharded_truncation_anywhere_is_typed() {
+        let bytes = snapshot_to_bytes(&sharded_world());
+        for cut in 0..bytes.len() {
+            let err = snapshot_from_bytes(&bytes[..cut]).expect_err("prefix must fail");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::BadMagic
+                        | SnapshotError::Truncated(_)
+                        | SnapshotError::Corrupt(_)
+                        | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_section_without_boundary_is_rejected() {
+        // Write a sharded snapshot, then drop the last section (BNDR)
+        // by rewriting the section count and truncating.
+        let snap = sharded_world();
+        let with = snapshot_to_bytes(&snap);
+        let without_info = snapshot_to_bytes(&world());
+        // BNDR is the final section; SHRD ends where we can compute:
+        // everything except the BNDR section's bytes.
+        let info = snap.sharding.as_ref().unwrap();
+        let bndr_payload = 4 + info.cut_edges.len() * 24 + info.escape.len() * 16;
+        let bndr_total = 4 + 8 + bndr_payload + 4;
+        let mut bytes = with[..with.len() - bndr_total].to_vec();
+        bytes[12..16].copy_from_slice(&5u32.to_le_bytes());
+        match snapshot_from_bytes(&bytes) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("SHRD"), "{msg}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        drop(without_info);
+    }
+
+    #[test]
+    fn tampered_boundary_summary_is_rejected() {
+        // Flip the shard of one node inside the SHRD payload (keeping
+        // the CRC consistent by recomputing it): validation must catch
+        // the now-inconsistent cut-edge list.
+        let snap = sharded_world();
+        let info = snap.sharding.clone().unwrap();
+        let mut tampered = snap.clone();
+        let mut bad = info;
+        bad.assignment[0] = (bad.assignment[0] + 1) % bad.shard_count;
+        tampered.sharding = Some(bad);
+        let bytes = snapshot_to_bytes(&tampered);
+        match snapshot_from_bytes(&bytes) {
+            Err(SnapshotError::Corrupt(msg)) => {
+                assert!(msg.contains("shard layout"), "{msg}")
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -27,11 +27,15 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use kor_core::{BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams};
+use kor_core::{
+    BucketBoundParams, GreedyParams, KorEngine, KorQuery, OsScalingParams, RouteResult, ScaleAnchor,
+};
+use kor_data::shard::ShardingInfo;
 use kor_data::{generate_workload, CannedQuery, CannedQuerySet, WorkloadConfig};
 use kor_graph::Graph;
 
 use crate::json::JsonValue;
+use crate::shard::{ShardPlan, ShardRouter};
 
 /// Which algorithm the batch runs for every query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +85,13 @@ pub struct BatchConfig {
     /// instead of generating a workload — the exact same queries every
     /// run, with per-query budgets from the snapshot.
     pub canned: Option<Vec<CannedQuerySet>>,
+    /// Route queries through a [`ShardRouter`] built from this shard
+    /// layout (e.g. a sharded snapshot's `SHRD`/`BNDR` sections):
+    /// confinement-proven queries run on their shard's engine, the rest
+    /// fan out to the fused engine. Results are byte-identical either
+    /// way — only the routing (and [`BatchReport::shard_routing`])
+    /// changes.
+    pub sharding: Option<ShardingInfo>,
     /// Algorithm (and its parameters) to run.
     pub algo: BatchAlgo,
     /// Worker thread count; `0` means one per available core.
@@ -93,6 +104,7 @@ impl Default for BatchConfig {
             workload: WorkloadConfig::default(),
             delta: 25.0,
             canned: None,
+            sharding: None,
             algo: BatchAlgo::BucketBound {
                 epsilon: 0.5,
                 beta: 1.2,
@@ -117,6 +129,11 @@ pub struct QueryOutcome {
     pub latency: Duration,
     /// Objective score of the returned route, if feasible.
     pub objective: Option<f64>,
+    /// Budget score of the returned route, if feasible.
+    pub budget: Option<f64>,
+    /// Node ids of the returned route, if feasible (the
+    /// [`BatchReport::result_digest`] input).
+    pub route: Option<Vec<u32>>,
     /// Error message if the engine rejected the query.
     pub error: Option<String>,
 }
@@ -194,6 +211,9 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Per-set aggregates.
     pub per_set: Vec<SetSummary>,
+    /// Shard routing totals when the batch replayed through a sharded
+    /// layout: `(confined shard-local answers, fused-engine fanouts)`.
+    pub shard_routing: Option<(u64, u64)>,
 }
 
 impl BatchReport {
@@ -226,6 +246,40 @@ impl BatchReport {
             return 0.0;
         }
         self.outcomes.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Deterministic digest of every query's *answer* — id, feasibility,
+    /// objective and budget bits, and route node ids folded FNV-1a style
+    /// in submission order. Timing and threading never enter, so two
+    /// runs of the same workload on the same dataset — sharded behind
+    /// the router or on the single fused engine — must produce equal
+    /// digests; the CI shard smoke step diffs exactly this field.
+    pub fn result_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: &mut u64, x: u64) {
+            for b in x.to_le_bytes() {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for o in &self.outcomes {
+            eat(&mut h, o.id as u64);
+            match (&o.error, o.objective) {
+                (Some(_), _) => eat(&mut h, 2),
+                (None, None) => eat(&mut h, 0),
+                (None, Some(objective)) => {
+                    eat(&mut h, 1);
+                    eat(&mut h, objective.to_bits());
+                    eat(&mut h, o.budget.unwrap_or(f64::NAN).to_bits());
+                    let route = o.route.as_deref().unwrap_or(&[]);
+                    eat(&mut h, route.len() as u64);
+                    for &node in route {
+                        eat(&mut h, u64::from(node));
+                    }
+                }
+            }
+        }
+        h
     }
 
     /// Render the summary as a JSON object (via [`crate::json`]; the
@@ -265,7 +319,17 @@ impl BatchReport {
             ("errors", self.errors().into()),
             ("wall_ms", (self.wall.as_secs_f64() * 1e3).into()),
             ("throughput_qps", self.throughput_qps().into()),
+            (
+                "result_digest",
+                format!("{:016x}", self.result_digest()).into(),
+            ),
         ];
+        if let Some((local, fanout)) = self.shard_routing {
+            fields.push((
+                "shards",
+                JsonValue::obj([("local", local.into()), ("fanout", fanout.into())]),
+            ));
+        }
         if let Some(l) = self.latency() {
             fields.push(("latency_us", latency_json(&l)));
         }
@@ -289,6 +353,13 @@ struct WorkItem {
 /// cursor, so long-running stragglers never idle the other threads.
 pub fn run_batch(graph: &Graph, config: &BatchConfig) -> BatchReport {
     let engine = KorEngine::new(graph);
+    // When the dataset ships a shard layout, every query routes through
+    // the scatter-gather router; the fused engine above stays the
+    // gather side for cross-shard queries.
+    let router = config
+        .sharding
+        .as_ref()
+        .map(|info| ShardRouter::new(graph, info.clone()));
     // Either replay the canned sets verbatim or generate a workload;
     // either way
     // downstream sees one shape: the generated workload is canned with
@@ -340,6 +411,7 @@ pub fn run_batch(graph: &Graph, config: &BatchConfig) -> BatchReport {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let engine = &engine;
+            let router = router.as_ref();
             let items = &items;
             let cursor = &cursor;
             handles.push(scope.spawn(move || {
@@ -347,7 +419,7 @@ pub fn run_batch(graph: &Graph, config: &BatchConfig) -> BatchReport {
                 loop {
                     let at = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(at) else { break };
-                    local.push(run_one(engine, item, config.algo));
+                    local.push(run_one(engine, router, item, config.algo));
                 }
                 local
             }));
@@ -389,17 +461,30 @@ pub fn run_batch(graph: &Graph, config: &BatchConfig) -> BatchReport {
         outcomes,
         wall,
         per_set,
+        shard_routing: router.map(|r| {
+            let local: u64 = r.shard_counters().iter().map(|c| c.local_hits).sum();
+            (local, r.fanouts())
+        }),
     }
 }
 
-/// Answer one work item, timing just the engine call.
-fn run_one(engine: &KorEngine<&Graph>, item: &WorkItem, algo: BatchAlgo) -> QueryOutcome {
+/// Answer one work item, timing just the engine call. With a router,
+/// the query first routes: confined queries run on their shard's engine
+/// (anchored), everything else on the fused engine.
+fn run_one(
+    engine: &KorEngine<&Graph>,
+    router: Option<&ShardRouter>,
+    item: &WorkItem,
+    algo: BatchAlgo,
+) -> QueryOutcome {
     let base = QueryOutcome {
         id: item.id,
         set_index: item.set_index,
         keyword_count: item.keyword_count,
         latency: Duration::ZERO,
         objective: None,
+        budget: None,
+        route: None,
         error: None,
     };
     let query = match &item.query {
@@ -411,15 +496,78 @@ fn run_one(engine: &KorEngine<&Graph>, item: &WorkItem, algo: BatchAlgo) -> Quer
             }
         }
     };
+    let plan = match router {
+        Some(r) => {
+            // Greedy never runs shard-locally: its pair-cost heuristics
+            // consult paths that may cross shards.
+            let local_capable = !matches!(algo, BatchAlgo::Greedy { .. });
+            match r.plan(query.source, query.target, query.budget, local_capable) {
+                Ok(p) => p,
+                Err(e) => {
+                    return QueryOutcome {
+                        error: Some(e.to_string()),
+                        ..base
+                    }
+                }
+            }
+        }
+        None => ShardPlan::Fanout,
+    };
     let t0 = Instant::now();
-    let answered = match algo {
+    let answered = match (plan, router) {
+        (ShardPlan::Local(s), Some(r)) => answer(r.engine(s), query, algo, Some(r.anchor())),
+        _ => answer(engine, query, algo, None),
+    };
+    let latency = t0.elapsed();
+    match answered {
+        Ok(Some((objective, budget, route))) => QueryOutcome {
+            latency,
+            objective: Some(objective),
+            budget: Some(budget),
+            route: Some(route),
+            ..base
+        },
+        Ok(None) => QueryOutcome { latency, ..base },
+        Err(e) => QueryOutcome {
+            latency,
+            error: Some(e),
+            ..base
+        },
+    }
+}
+
+/// Run `algo` on whichever engine the routing chose, reducing the
+/// answer to `(objective, budget, route node ids)`.
+fn answer<G: AsRef<Graph>>(
+    engine: &KorEngine<G>,
+    query: &KorQuery,
+    algo: BatchAlgo,
+    anchor: Option<ScaleAnchor>,
+) -> Result<Option<(f64, f64, Vec<u32>)>, String> {
+    fn parts(r: RouteResult) -> (f64, f64, Vec<u32>) {
+        let nodes = r.route.nodes().iter().map(|n| n.0).collect();
+        (r.objective, r.budget, nodes)
+    }
+    match algo {
         BatchAlgo::OsScaling { epsilon } => engine
-            .os_scaling(query, &OsScalingParams::with_epsilon(epsilon))
-            .map(|r| r.route.map(|route| route.objective))
+            .os_scaling(
+                query,
+                &OsScalingParams {
+                    anchor,
+                    ..OsScalingParams::with_epsilon(epsilon)
+                },
+            )
+            .map(|r| r.route.map(parts))
             .map_err(|e| e.to_string()),
         BatchAlgo::BucketBound { epsilon, beta } => engine
-            .bucket_bound(query, &BucketBoundParams::with(epsilon, beta))
-            .map(|r| r.route.map(|route| route.objective))
+            .bucket_bound(
+                query,
+                &BucketBoundParams {
+                    anchor,
+                    ..BucketBoundParams::with(epsilon, beta)
+                },
+            )
+            .map(|r| r.route.map(parts))
             .map_err(|e| e.to_string()),
         BatchAlgo::Greedy { alpha, beam } => engine
             .greedy(
@@ -430,21 +578,13 @@ fn run_one(engine: &KorEngine<&Graph>, item: &WorkItem, algo: BatchAlgo) -> Quer
                     ..GreedyParams::default()
                 },
             )
-            .map(|r| r.filter(|g| g.is_feasible()).map(|g| g.objective))
+            .map(|r| {
+                r.filter(|g| g.is_feasible()).map(|g| {
+                    let nodes = g.route.nodes().iter().map(|n| n.0).collect();
+                    (g.objective, g.budget, nodes)
+                })
+            })
             .map_err(|e| e.to_string()),
-    };
-    let latency = t0.elapsed();
-    match answered {
-        Ok(objective) => QueryOutcome {
-            latency,
-            objective,
-            ..base
-        },
-        Err(e) => QueryOutcome {
-            latency,
-            error: Some(e),
-            ..base
-        },
     }
 }
 
@@ -465,6 +605,7 @@ mod tests {
             },
             delta: 40.0,
             canned: None,
+            sharding: None,
             algo: BatchAlgo::BucketBound {
                 epsilon: 0.5,
                 beta: 1.2,
@@ -570,6 +711,56 @@ mod tests {
                 .collect()
         };
         assert_eq!(objs(&report), objs(&again));
+    }
+
+    #[test]
+    fn sharded_replay_matches_unsharded_digest() {
+        use kor_data::{compute_sharding, generate_world, GenConfig};
+        let world = generate_world(&GenConfig::grid(6, 5, 3));
+        for algo in [
+            BatchAlgo::OsScaling { epsilon: 0.5 },
+            BatchAlgo::BucketBound {
+                epsilon: 0.5,
+                beta: 1.2,
+            },
+            BatchAlgo::Greedy {
+                alpha: 0.5,
+                beam: 2,
+            },
+        ] {
+            let unsharded = run_batch(
+                &world.graph,
+                &BatchConfig {
+                    canned: Some(world.query_sets.clone()),
+                    algo,
+                    threads: 2,
+                    ..BatchConfig::default()
+                },
+            );
+            let sharded = run_batch(
+                &world.graph,
+                &BatchConfig {
+                    canned: Some(world.query_sets.clone()),
+                    sharding: Some(compute_sharding(&world.graph, 2)),
+                    algo,
+                    threads: 2,
+                    ..BatchConfig::default()
+                },
+            );
+            assert_eq!(unsharded.shard_routing, None);
+            let (local, fanout) = sharded.shard_routing.expect("routed");
+            assert_eq!(
+                (local + fanout) as usize,
+                world.query_count(),
+                "every query routed exactly once"
+            );
+            assert_eq!(
+                sharded.result_digest(),
+                unsharded.result_digest(),
+                "{}: router must be answer-invariant",
+                algo.name()
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //! * [`loadtest`] — a closed-loop client fleet that measures `serve`
 //!   throughput and latency per I/O mode (`kor loadtest` on the CLI,
 //!   emitting `BENCH_serve.json`);
+//! * [`shard`] — the scatter-gather router over partitioned datasets:
+//!   one warm engine per shard, confinement-proven local answers, and
+//!   fused-engine fanout for cross-shard queries (`kor shard` on the
+//!   CLI splits a snapshot; `serve`/`batch` route through it);
 //! * [`json`] — the strict, dependency-free JSON layer the above
 //!   share.
 //!
@@ -79,6 +83,7 @@ pub mod bench;
 pub mod json;
 pub mod loadtest;
 pub mod serve;
+pub mod shard;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -89,12 +94,12 @@ pub mod prelude {
         brute_force, bucket_bound, exact_labeling, greedy, os_scaling, top_k_bucket_bound,
         top_k_os_scaling, BruteForceParams, BucketBoundParams, CacheStats, GreedyMode,
         GreedyParams, GreedyRoute, KorEngine, KorError, KorQuery, OsScalingParams, PreprocessCache,
-        RouteResult, SearchResult, SearchStats, TopKResult,
+        RouteResult, ScaleAnchor, SearchResult, SearchStats, TopKResult,
     };
     pub use kor_data::{
-        generate_flickr, generate_roadnet, generate_workload, generate_world, read_snapshot,
-        write_snapshot, CannedQuery, CannedQuerySet, FlickrConfig, GenConfig, RoadNetConfig,
-        Snapshot, SnapshotError, TagModel, Topology, WorkloadConfig,
+        compute_sharding, generate_flickr, generate_roadnet, generate_workload, generate_world,
+        read_snapshot, write_snapshot, CannedQuery, CannedQuerySet, FlickrConfig, GenConfig,
+        RoadNetConfig, ShardingInfo, Snapshot, SnapshotError, TagModel, Topology, WorkloadConfig,
     };
     pub use kor_graph::{
         Graph, GraphBuilder, GraphError, KeywordId, NodeId, QueryKeywords, Route, Vocab,

@@ -16,6 +16,7 @@ use crate::json::JsonValue;
 use crate::serve::protocol::{ErrorCode, Request, WireError};
 use crate::serve::registry::{Dataset, Registry, ResolveError};
 use crate::serve::IoMode;
+use crate::shard::{ShardPlan, ShardRouter};
 
 use std::sync::Arc;
 
@@ -99,6 +100,8 @@ pub fn handle(
         "stats" => stats(ctx, req),
         "load_dataset" => load_dataset(ctx, req),
         "query" => query(ctx, req, received),
+        "poison_shard" => set_shard_poisoned(ctx, req, true),
+        "revive_shard" => set_shard_poisoned(ctx, req, false),
         "shutdown" => {
             check_keys(&req.params, &[])?;
             ctx.shutdown.store(true, Ordering::SeqCst);
@@ -107,7 +110,8 @@ pub fn handle(
         other => Err(WireError::new(
             ErrorCode::UnknownMethod,
             format!(
-                "unknown method {other:?} (expected query, load_dataset, stats, health, or shutdown)"
+                "unknown method {other:?} (expected query, load_dataset, poison_shard, \
+                 revive_shard, stats, health, or shutdown)"
             ),
         )),
     }
@@ -124,7 +128,7 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
         .map(|d| {
             let g = d.engine().graph();
             let prep = d.engine().preprocess_stats();
-            JsonValue::obj([
+            let mut fields: Vec<(&'static str, JsonValue)> = vec![
                 ("name", d.name().into()),
                 ("nodes", g.node_count().into()),
                 ("edges", g.edge_count().into()),
@@ -148,7 +152,11 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
                         ("hit_rate", prep.hit_rate().into()),
                     ]),
                 ),
-            ])
+            ];
+            if let Some(router) = d.router() {
+                fields.push(("shards", shards_json(router)));
+            }
+            JsonValue::obj(fields)
         })
         .collect();
     Ok(JsonValue::obj([
@@ -179,6 +187,71 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
     ]))
 }
 
+/// The `shards` stats section of one sharded dataset: routing totals
+/// plus per-shard ownership and health counters, in shard-id order.
+fn shards_json(router: &ShardRouter) -> JsonValue {
+    let per_shard: Vec<JsonValue> = router
+        .shard_counters()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            JsonValue::obj([
+                ("shard", (i as u64).into()),
+                ("nodes", c.nodes.into()),
+                ("queries", c.queries.into()),
+                ("local_hits", c.local_hits.into()),
+                ("poisoned", c.poisoned.into()),
+            ])
+        })
+        .collect();
+    JsonValue::obj([
+        ("count", u64::from(router.shard_count()).into()),
+        ("cut_edges", (router.info().cut_edges.len() as u64).into()),
+        ("fanouts", router.fanouts().into()),
+        ("rejected", router.rejected().into()),
+        ("per_shard", JsonValue::Arr(per_shard)),
+    ])
+}
+
+/// `poison_shard` / `revive_shard`: fault injection on a sharded
+/// dataset. Poisoning marks one shard unavailable — its queries fail
+/// with `shard_unavailable` while every other shard keeps answering.
+fn set_shard_poisoned(
+    ctx: &ServerContext,
+    req: &Request,
+    poisoned: bool,
+) -> Result<JsonValue, WireError> {
+    check_keys(&req.params, &["dataset", "shard"])?;
+    let dataset = resolve(&ctx.registry, opt_str(&req.params, "dataset")?)?;
+    let shard = req_u32(&req.params, "shard")?;
+    let router = dataset.router().ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadRequest,
+            format!("dataset {:?} is not sharded", dataset.name()),
+        )
+    })?;
+    let changed = if poisoned {
+        router.poison(shard)
+    } else {
+        router.revive(shard)
+    };
+    if !changed {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            format!(
+                "shard {shard} out of range (dataset {:?} has {} shards)",
+                dataset.name(),
+                router.shard_count()
+            ),
+        ));
+    }
+    Ok(JsonValue::obj([
+        ("dataset", dataset.name().into()),
+        ("shard", u64::from(shard).into()),
+        ("poisoned", poisoned.into()),
+    ]))
+}
+
 fn load_dataset(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
     check_keys(&req.params, &["path", "name"])?;
     let path = req_str(&req.params, "path")?;
@@ -203,12 +276,14 @@ fn load_dataset(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireErr
         let g = dataset.engine().graph();
         (g.node_count(), g.edge_count(), g.vocab().len())
     };
+    let shards = dataset.router().map_or(0, ShardRouter::shard_count);
     let replaced = ctx.registry.insert(dataset);
     Ok(JsonValue::obj([
         ("name", name.into()),
         ("nodes", nodes.into()),
         ("edges", edges.into()),
         ("keywords", keywords.into()),
+        ("shards", u64::from(shards).into()),
         ("replaced", replaced.into()),
     ]))
 }
@@ -329,11 +404,32 @@ fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonVa
     .map_err(engine_error)?;
 
     dataset.note_query();
+    // Sharded datasets route here. A query proven confined to one shard
+    // runs on that shard's engine with the scaling extrema anchored to
+    // the fused graph, so its answer matches the single-engine answer
+    // bit for bit; anything else fans out to the fused engine, the only
+    // search that can see cut edges. Greedy never runs shard-locally —
+    // its pair-cost heuristics consult paths that may cross shards even
+    // when the final route would not.
+    let (engine, anchor) = match dataset.router() {
+        Some(router) => {
+            let local_capable = matches!(algo, "os-scaling" | "bucket-bound" | "exact");
+            let plan = router
+                .plan(query.source, query.target, query.budget, local_capable)
+                .map_err(|e| WireError::new(ErrorCode::ShardUnavailable, e.to_string()))?;
+            match plan {
+                ShardPlan::Local(s) => (router.engine(s), Some(router.anchor())),
+                ShardPlan::Fanout => (dataset.engine(), None),
+            }
+        }
+        None => (dataset.engine(), None),
+    };
     let mut extra: Vec<(&'static str, JsonValue)> = Vec::new();
     let routes: Vec<RouteResult> = match algo {
         "os-scaling" => {
             let mut params = OsScalingParams {
                 deadline,
+                anchor,
                 ..OsScalingParams::default()
             };
             if let Some(e) = epsilon {
@@ -356,6 +452,7 @@ fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonVa
         "bucket-bound" => {
             let mut params = BucketBoundParams {
                 deadline,
+                anchor,
                 ..BucketBoundParams::default()
             };
             if let Some(e) = epsilon {

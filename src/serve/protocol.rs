@@ -35,6 +35,10 @@ pub enum ErrorCode {
     /// the connection is closed after this response. Retry later,
     /// ideally with backoff.
     Overloaded,
+    /// The shard owning the query's source or target is unavailable
+    /// (poisoned or lost). Queries owned by other shards keep
+    /// answering; the connection stays open.
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -49,6 +53,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::RequestTooLarge => "request_too_large",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShardUnavailable => "shard_unavailable",
         }
     }
 }
@@ -218,6 +223,7 @@ mod tests {
             (ErrorCode::DeadlineExceeded, "deadline_exceeded"),
             (ErrorCode::RequestTooLarge, "request_too_large"),
             (ErrorCode::Overloaded, "overloaded"),
+            (ErrorCode::ShardUnavailable, "shard_unavailable"),
         ];
         for (code, s) in pairs {
             assert_eq!(code.as_str(), s);

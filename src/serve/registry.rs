@@ -6,11 +6,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use kor_core::KorEngine;
+use kor_data::Snapshot;
 use kor_graph::Graph;
+
+use crate::shard::ShardRouter;
 
 /// A loaded dataset: the graph plus one warm [`KorEngine`] (inverted
 /// index and shared forward-tree cache) reused by every request that
-/// names this dataset.
+/// names this dataset — and, when the snapshot carried `SHRD`/`BNDR`
+/// sections, a [`ShardRouter`] with one warm engine per shard in front
+/// of it.
 ///
 /// The engine holds the graph behind an `Arc`, so a `Dataset` owns its
 /// data outright and an `Arc<Dataset>` handed to a worker keeps serving
@@ -18,6 +23,7 @@ use kor_graph::Graph;
 pub struct Dataset {
     name: String,
     engine: KorEngine<Arc<Graph>>,
+    router: Option<ShardRouter>,
     queries_served: AtomicU64,
 }
 
@@ -26,6 +32,10 @@ impl std::fmt::Debug for Dataset {
         f.debug_struct("Dataset")
             .field("name", &self.name)
             .field("nodes", &self.engine.graph().node_count())
+            .field(
+                "shards",
+                &self.router.as_ref().map_or(0, |r| r.shard_count()),
+            )
             .field("queries_served", &self.queries_served())
             .finish_non_exhaustive()
     }
@@ -33,11 +43,29 @@ impl std::fmt::Debug for Dataset {
 
 impl Dataset {
     /// Loads a graph file — text `.korg` or binary `.korbin` snapshot,
-    /// sniffed by content — and builds the engine.
+    /// sniffed by content — and builds the engine. A snapshot with
+    /// `SHRD`/`BNDR` sections comes up sharded: the scatter-gather
+    /// router and its per-shard engines are built here, warm before the
+    /// first query.
     pub fn load(name: &str, path: &Path) -> Result<Dataset, String> {
-        let graph =
-            kor_data::load_graph_auto(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        Ok(Dataset::from_graph(name, graph))
+        let snapshot =
+            kor_data::read_world_auto(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(Dataset::from_snapshot(name, snapshot))
+    }
+
+    /// Wraps an in-memory snapshot, building the shard router when the
+    /// snapshot carries a shard layout.
+    pub fn from_snapshot(name: &str, snapshot: Snapshot) -> Dataset {
+        let router = snapshot
+            .sharding
+            .as_ref()
+            .map(|info| ShardRouter::new(&snapshot.graph, info.clone()));
+        Dataset {
+            name: name.to_string(),
+            engine: KorEngine::new(Arc::new(snapshot.graph)),
+            router,
+            queries_served: AtomicU64::new(0),
+        }
     }
 
     /// The default registry name for a graph file: its file stem
@@ -49,11 +77,12 @@ impl Dataset {
             .map(str::to_string)
     }
 
-    /// Wraps an already-built graph (tests, embedded use).
+    /// Wraps an already-built graph (tests, embedded use). Unsharded.
     pub fn from_graph(name: &str, graph: Graph) -> Dataset {
         Dataset {
             name: name.to_string(),
             engine: KorEngine::new(Arc::new(graph)),
+            router: None,
             queries_served: AtomicU64::new(0),
         }
     }
@@ -63,9 +92,17 @@ impl Dataset {
         &self.name
     }
 
-    /// The warm engine for this dataset.
+    /// The warm engine for this dataset — the *fused* engine over the
+    /// whole graph. Sharded datasets still need it: it is the gather
+    /// side of the router, answering every cross-shard query.
     pub fn engine(&self) -> &KorEngine<Arc<Graph>> {
         &self.engine
+    }
+
+    /// The shard router, when this dataset was loaded from a sharded
+    /// snapshot.
+    pub fn router(&self) -> Option<&ShardRouter> {
+        self.router.as_ref()
     }
 
     /// Records one answered query (any outcome).
