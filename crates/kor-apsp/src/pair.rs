@@ -76,6 +76,43 @@ impl<G: AsRef<Graph>> CachedPairCosts<G> {
             .or_insert_with(|| Arc::new(forward_tree(self.graph.as_ref(), metric, source)))
             .clone()
     }
+
+    /// Rebinds the cache to a mutated graph, carrying over every tree
+    /// that provably avoided all changed edges. A forward tree from `s`
+    /// can only be affected by an edge whose *tail* is reachable from
+    /// `s`; because mutation rebuilds preserve the relative CSR order
+    /// of surviving edges, a carried tree is bit-for-bit the tree a
+    /// cold engine would compute on the new graph (identical scan
+    /// order, identical weights, identical ties).
+    ///
+    /// `changed_tails` must hold the `from` node of every mutation in
+    /// the batch (closures, reopenings, and scalings alike — a reopened
+    /// edge adds paths only below its tail, so the same test covers
+    /// it). The new graph must have the same node count as the old one.
+    ///
+    /// Returns the rebound cache plus `(retained, evicted)` tree
+    /// counts.
+    pub fn carry_over(&self, graph: G, changed_tails: &[NodeId]) -> (Self, usize, usize) {
+        let old = self.trees.lock().unwrap();
+        let mut kept = HashMap::with_capacity(old.len());
+        let mut evicted = 0usize;
+        for (&key, tree) in old.iter() {
+            if changed_tails.iter().any(|&u| tree.is_reachable(u)) {
+                evicted += 1;
+            } else {
+                kept.insert(key, Arc::clone(tree));
+            }
+        }
+        let retained = kept.len();
+        (
+            Self {
+                graph,
+                trees: Mutex::new(kept),
+            },
+            retained,
+            evicted,
+        )
+    }
 }
 
 impl<G: AsRef<Graph>> PairCosts for CachedPairCosts<G> {
@@ -134,6 +171,52 @@ mod tests {
             vec![v(0), v(3), v(5), v(7)]
         );
         assert!(cached.tau_path(v(1), v(7)).is_none());
+    }
+
+    #[test]
+    fn carry_over_keeps_only_trees_that_avoid_changed_tails() {
+        use kor_graph::{EdgeMutation, GraphBuilder};
+
+        // Diamond: 0 -> 1 -> 3, 0 -> 2 -> 3.
+        let mut b = GraphBuilder::new();
+        let s = b.add_node(["s"]);
+        let a = b.add_node(["a"]);
+        let c = b.add_node(["c"]);
+        let t = b.add_node(["t"]);
+        b.add_edge(s, a, 1.0, 1.0).unwrap();
+        b.add_edge(s, c, 2.0, 2.0).unwrap();
+        b.add_edge(a, t, 1.0, 1.0).unwrap();
+        b.add_edge(c, t, 1.0, 1.0).unwrap();
+        let g = b.build().unwrap();
+
+        let cached = CachedPairCosts::new(&g);
+        let _ = cached.tau(s, t); // tree from s: reaches a -> must evict
+        let _ = cached.tau(c, t); // tree from c: never sees a -> retained
+        let _ = cached.sigma(t, s); // tree from t: only {t} -> retained
+        assert_eq!(cached.cached_tree_count(), 3);
+
+        let g2 = g
+            .apply_mutations(&[EdgeMutation::scale(a, t, 3.0, 1.0)])
+            .unwrap();
+        let (warm, retained, evicted) = cached.carry_over(&g2, &[a]);
+        assert_eq!((retained, evicted), (2, 1));
+        assert_eq!(warm.cached_tree_count(), 2);
+
+        // Every answer matches a cold cache on the mutated graph,
+        // bit for bit, whether the tree was carried or recomputed.
+        let cold = CachedPairCosts::new(&g2);
+        for i in g2.nodes() {
+            for j in g2.nodes() {
+                let (w, c) = (warm.tau(i, j), cold.tau(i, j));
+                assert_eq!(w.is_some(), c.is_some(), "tau {i}->{j}");
+                if let (Some(w), Some(c)) = (w, c) {
+                    assert_eq!(w.objective.to_bits(), c.objective.to_bits());
+                    assert_eq!(w.budget.to_bits(), c.budget.to_bits());
+                }
+                assert_eq!(warm.tau_path(i, j), cold.tau_path(i, j));
+                assert_eq!(warm.sigma(i, j), cold.sigma(i, j), "sigma {i}->{j}");
+            }
+        }
     }
 
     #[test]

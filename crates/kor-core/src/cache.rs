@@ -74,6 +74,97 @@ pub(crate) fn build_opt2_trees(
     }
 }
 
+/// Compact invalidation stamp for one cached tree family: the set of
+/// nodes the family's backward Dijkstras relaxed (one bit per node).
+///
+/// A mutation of edge `u → v` can change a backward tree only if the
+/// edge's *head* `v` is in the tree's relaxed set — otherwise the edge
+/// was never scanned, and (because mutation rebuilds preserve the
+/// relative CSR order of surviving edges) the tree a cold engine would
+/// build on the mutated graph scans the exact same edge sequence and is
+/// bit-for-bit identical. One stamp per target covers every cache
+/// family keyed by that target: the `τ`/`σ` context trees directly, and
+/// the Opt-2 bound trees because their reachable sets *and* their seed
+/// potentials both live inside the context's relaxed set (any node that
+/// reaches a seeded posting also reaches the target). The Opt-2 stamp
+/// still unions its own trees' reachability as a belt-and-braces check.
+#[derive(Debug)]
+pub struct TreeStamp {
+    words: Vec<u64>,
+}
+
+impl TreeStamp {
+    fn for_nodes(n: usize) -> Self {
+        Self {
+            words: vec![0u64; n.div_ceil(64)],
+        }
+    }
+
+    fn set(&mut self, v: NodeId) {
+        self.words[v.index() / 64] |= 1u64 << (v.index() % 64);
+    }
+
+    /// Whether node `v` is in the stamped (relaxed) set. Out-of-range
+    /// ids are never in the set.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.words
+            .get(v.index() / 64)
+            .is_some_and(|w| w & (1u64 << (v.index() % 64)) != 0)
+    }
+
+    /// Whether any of `nodes` is in the stamped set.
+    pub fn touches_any(&self, nodes: &[NodeId]) -> bool {
+        nodes.iter().any(|&v| self.contains(v))
+    }
+
+    /// Number of stamped nodes.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no node is stamped.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Stamp of a query context: the union of its `τ` and `σ` trees'
+    /// relaxed sets (in practice identical — reachability does not
+    /// depend on the metric — but unioned rather than assumed).
+    fn from_context(ctx: &QueryContext, n: usize) -> Self {
+        let mut s = Self::for_nodes(n);
+        for i in 0..n as u32 {
+            let v = NodeId(i);
+            if ctx.reaches_target(v) || ctx.sigma_to_target(v).is_some() {
+                s.set(v);
+            }
+        }
+        s
+    }
+
+    fn union_tree(&mut self, tree: &Tree, n: usize) {
+        for i in 0..n as u32 {
+            let v = NodeId(i);
+            if tree.is_reachable(v) {
+                self.set(v);
+            }
+        }
+    }
+}
+
+/// Per-family retain/evict counts reported by
+/// [`PreprocessCache::carry_over`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvalidationCounts {
+    /// Query contexts whose stamp avoided every changed edge head.
+    pub contexts_retained: usize,
+    /// Query contexts evicted because a changed edge head was stamped.
+    pub contexts_evicted: usize,
+    /// Opt-2 tree pairs carried over warm.
+    pub opt2_retained: usize,
+    /// Opt-2 tree pairs evicted.
+    pub opt2_evicted: usize,
+}
+
 /// Point-in-time counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -91,6 +182,12 @@ pub struct CacheStats {
     /// context miss, two per Opt-2 miss — including builds that lost a
     /// concurrent race and were discarded).
     pub trees_built: u64,
+    /// Entries evicted by mutation-driven incremental invalidation
+    /// ([`PreprocessCache::carry_over`]), contexts and Opt-2 pairs
+    /// alike. Distinct from `evictions`, which counts the LRU cap.
+    pub invalidated: u64,
+    /// Entries that survived mutation-driven invalidation warm.
+    pub retained: u64,
 }
 
 impl CacheStats {
@@ -107,9 +204,10 @@ impl CacheStats {
     }
 }
 
-/// One memoized entry plus its LRU clock value.
+/// One memoized entry plus its LRU clock value and invalidation stamp.
 struct Slot<T> {
     value: Arc<T>,
+    stamp: Arc<TreeStamp>,
     last_used: u64,
 }
 
@@ -236,6 +334,7 @@ impl PreprocessCache {
             }
         }
         let built = Arc::new(QueryContext::new(graph, target));
+        let stamp = Arc::new(TreeStamp::from_context(&built, graph.node_count()));
         let mut inner = self.inner.lock().unwrap();
         let tick = inner.next_tick();
         inner.stats.ctx_misses += 1;
@@ -250,6 +349,7 @@ impl PreprocessCache {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(Slot {
                     value: built.clone(),
+                    stamp,
                     last_used: tick,
                 });
                 built
@@ -287,6 +387,13 @@ impl PreprocessCache {
             }
         }
         let built = Arc::new(build_opt2_trees(graph, index, ctx, kw));
+        let n = graph.node_count();
+        // The context stamp provably covers the Opt-2 dependencies (see
+        // `TreeStamp`); union the pair's own reachability anyway.
+        let mut stamp = TreeStamp::from_context(ctx, n);
+        stamp.union_tree(&built.obj_bound, n);
+        stamp.union_tree(&built.bud_bound, n);
+        let stamp = Arc::new(stamp);
         let mut inner = self.inner.lock().unwrap();
         let tick = inner.next_tick();
         inner.stats.opt2_misses += 1;
@@ -299,6 +406,7 @@ impl PreprocessCache {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(Slot {
                     value: built.clone(),
+                    stamp,
                     last_used: tick,
                 });
                 built
@@ -322,6 +430,86 @@ impl PreprocessCache {
     /// Number of Opt-2 tree pairs currently cached.
     pub fn opt2_entries(&self) -> usize {
         self.inner.lock().unwrap().opt2.len()
+    }
+
+    /// Targets of the currently cached query contexts, sorted (for
+    /// instrumentation and the mutation property tests).
+    pub fn cached_context_targets(&self) -> Vec<NodeId> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<NodeId> = inner.contexts.keys().copied().collect();
+        out.sort_by_key(|v| v.0);
+        out
+    }
+
+    /// Incremental invalidation: rebinds the cache to a mutated graph,
+    /// carrying over every entry whose stamp avoids all changed edge
+    /// heads and evicting the rest.
+    ///
+    /// `changed_heads` must hold the `to` node of every mutation in the
+    /// batch. Soundness: a backward tree changes only if a mutated edge
+    /// was scanned, i.e. only if that edge's head is in the tree
+    /// family's stamp — including *reopened* edges, whose head cannot
+    /// create new paths to the target unless it already reached it.
+    /// Carried entries are bit-for-bit what a cold build on the mutated
+    /// graph would produce (see [`TreeStamp`]).
+    ///
+    /// The returned cache is pinned to the mutated graph's shape and
+    /// carries the cumulative counters forward, with `invalidated` /
+    /// `retained` updated. `self` is left untouched, still answering
+    /// for the old graph.
+    pub fn carry_over(
+        &self,
+        new_graph: &Graph,
+        changed_heads: &[NodeId],
+    ) -> (PreprocessCache, InvalidationCounts) {
+        let inner = self.inner.lock().unwrap();
+        let mut counts = InvalidationCounts::default();
+        let mut contexts = HashMap::with_capacity(inner.contexts.len());
+        for (&target, slot) in &inner.contexts {
+            if slot.stamp.touches_any(changed_heads) {
+                counts.contexts_evicted += 1;
+            } else {
+                counts.contexts_retained += 1;
+                contexts.insert(
+                    target,
+                    Slot {
+                        value: slot.value.clone(),
+                        stamp: slot.stamp.clone(),
+                        last_used: slot.last_used,
+                    },
+                );
+            }
+        }
+        let mut opt2 = HashMap::with_capacity(inner.opt2.len());
+        for (&key, slot) in &inner.opt2 {
+            if slot.stamp.touches_any(changed_heads) {
+                counts.opt2_evicted += 1;
+            } else {
+                counts.opt2_retained += 1;
+                opt2.insert(
+                    key,
+                    Slot {
+                        value: slot.value.clone(),
+                        stamp: slot.stamp.clone(),
+                        last_used: slot.last_used,
+                    },
+                );
+            }
+        }
+        let mut stats = inner.stats;
+        stats.invalidated += (counts.contexts_evicted + counts.opt2_evicted) as u64;
+        stats.retained += (counts.contexts_retained + counts.opt2_retained) as u64;
+        let cache = PreprocessCache {
+            capacity: self.capacity,
+            inner: Mutex::new(Inner {
+                tick: inner.tick,
+                graph_shape: Some((new_graph.node_count(), new_graph.edge_count())),
+                contexts,
+                opt2,
+                stats,
+            }),
+        };
+        (cache, counts)
     }
 
     /// Drops every cached entry (counters are kept). The graph binding

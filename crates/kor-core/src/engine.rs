@@ -1,9 +1,10 @@
 //! Convenience facade bundling the index and pre-processing caches.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use kor_apsp::CachedPairCosts;
-use kor_graph::Graph;
+use kor_graph::{EdgeMutation, Graph, MutationError, NodeId};
 use kor_index::InvertedIndex;
 
 use crate::brute::{brute_force, BruteForceParams};
@@ -50,6 +51,39 @@ pub struct KorEngine<G> {
     prep: PreprocessCache,
 }
 
+/// What one [`KorEngine::apply_edge_mutations`] call did to the warm
+/// state: the new graph epoch plus retain/evict counts per cache
+/// family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutationReport {
+    /// Epoch of the mutated graph (old epoch + 1).
+    pub epoch: u64,
+    /// Query contexts carried over warm.
+    pub contexts_retained: usize,
+    /// Query contexts evicted by incremental invalidation.
+    pub contexts_evicted: usize,
+    /// Opt-2 tree pairs carried over warm.
+    pub opt2_retained: usize,
+    /// Opt-2 tree pairs evicted.
+    pub opt2_evicted: usize,
+    /// Greedy forward trees carried over warm.
+    pub pair_trees_retained: usize,
+    /// Greedy forward trees evicted.
+    pub pair_trees_evicted: usize,
+}
+
+impl MutationReport {
+    /// Total entries (all families) that survived the batch warm.
+    pub fn total_retained(&self) -> usize {
+        self.contexts_retained + self.opt2_retained + self.pair_trees_retained
+    }
+
+    /// Total entries (all families) evicted by the batch.
+    pub fn total_evicted(&self) -> usize {
+        self.contexts_evicted + self.opt2_evicted + self.pair_trees_evicted
+    }
+}
+
 // The whole point of the engine is warm reuse across worker threads;
 // regressions to `Send`/`Sync` (e.g. an `Rc` or un-guarded cell slipping
 // into the graph, index, or tree cache) must fail the build, not bubble
@@ -81,6 +115,60 @@ impl<G: AsRef<Graph> + Clone> KorEngine<G> {
             pairs,
             prep: PreprocessCache::with_capacity(cache_capacity),
         }
+    }
+}
+
+impl KorEngine<Arc<Graph>> {
+    /// Applies a mutation batch to this warm engine, producing a new
+    /// engine over the mutated graph with **incremental invalidation**:
+    /// every cached tree whose invalidation stamp avoids all changed
+    /// edges is carried over warm; only entries that actually scanned a
+    /// changed edge are evicted. The carried state is bit-for-bit what
+    /// a cold engine built from the mutated graph would compute (the
+    /// oracle battery in `tests/mutate_oracle.rs` enforces this), so
+    /// queries on the returned engine are byte-identical to cold
+    /// answers while skipping the retained Dijkstras.
+    ///
+    /// `self` is untouched and keeps answering for the old graph —
+    /// services swap the returned engine in and let in-flight queries
+    /// drain on the old one.
+    ///
+    /// # Errors
+    ///
+    /// [`MutationError`] if the batch is invalid; nothing is changed.
+    pub fn apply_edge_mutations(
+        &self,
+        mutations: &[EdgeMutation],
+    ) -> Result<(KorEngine<Arc<Graph>>, MutationReport), MutationError> {
+        let new_graph = Arc::new(self.graph().apply_mutations(mutations)?);
+        // Backward (to-target) trees depend on edges whose head they
+        // relaxed; forward trees on edges whose tail they reached.
+        let heads: Vec<NodeId> = mutations.iter().map(|m| m.to).collect();
+        let tails: Vec<NodeId> = mutations.iter().map(|m| m.from).collect();
+        let (pairs, pair_trees_retained, pair_trees_evicted) =
+            self.pairs.carry_over(new_graph.clone(), &tails);
+        let (prep, counts) = self.prep.carry_over(&new_graph, &heads);
+        // Keywords are untouched by edge mutations; rebuilding the
+        // index on the new graph is deterministic and identical.
+        let index = InvertedIndex::build(&new_graph);
+        let report = MutationReport {
+            epoch: new_graph.epoch(),
+            contexts_retained: counts.contexts_retained,
+            contexts_evicted: counts.contexts_evicted,
+            opt2_retained: counts.opt2_retained,
+            opt2_evicted: counts.opt2_evicted,
+            pair_trees_retained,
+            pair_trees_evicted,
+        };
+        Ok((
+            KorEngine {
+                graph: new_graph,
+                index,
+                pairs,
+                prep,
+            },
+            report,
+        ))
     }
 }
 
@@ -295,6 +383,73 @@ mod tests {
         let gp = GreedyParams::default();
         engine.greedy(&q, &gp).unwrap();
         assert!(engine.cached_tree_count() > 0);
+    }
+
+    #[test]
+    fn mutations_carry_warm_state_and_match_cold() {
+        use kor_graph::{EdgeMutation, MutationError};
+
+        let engine = KorEngine::new(Arc::new(figure1()));
+        let q = KorQuery::new(engine.graph(), v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        engine.os_scaling(&q, &OsScalingParams::default()).unwrap();
+        engine.greedy(&q, &GreedyParams::default()).unwrap();
+        // A second warm target the mutation below cannot touch: only
+        // {v0..v3} reach v1, and the changed edge's head is v7.
+        engine.preprocess_cache().context(engine.graph(), v(1));
+
+        let batch = [EdgeMutation::scale(v(4), v(7), 1.0, 2.0)];
+        let (warm, report) = engine.apply_edge_mutations(&batch).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(warm.graph().epoch(), 1);
+        // ctx(v7) scanned edge 4->7 (head v7 stamped) -> evicted;
+        // ctx(v1) never did -> carried.
+        assert_eq!(report.contexts_evicted, 1);
+        assert_eq!(report.contexts_retained, 1);
+        // Greedy's forward tree from v0 reaches tail v4 -> evicted.
+        assert!(report.pair_trees_evicted >= 1);
+        // The prep-cache counters cover contexts + Opt-2 (the greedy
+        // forward trees live in CachedPairCosts, not here).
+        let stats = warm.preprocess_stats();
+        assert_eq!(
+            stats.retained,
+            (report.contexts_retained + report.opt2_retained) as u64
+        );
+        assert_eq!(
+            stats.invalidated,
+            (report.contexts_evicted + report.opt2_evicted) as u64
+        );
+
+        // Warm answers are bit-identical to a cold engine on the
+        // mutated graph; the carried ctx(v1) answers without a rebuild.
+        let cold = KorEngine::new(Arc::new(warm.graph().clone()));
+        let q2 = KorQuery::new(warm.graph(), v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let w = warm.os_scaling(&q2, &OsScalingParams::default()).unwrap();
+        let c = cold.os_scaling(&q2, &OsScalingParams::default()).unwrap();
+        let (wr, cr) = (w.route.unwrap(), c.route.unwrap());
+        assert_eq!(wr.route, cr.route);
+        assert_eq!(wr.objective.to_bits(), cr.objective.to_bits());
+        assert_eq!(wr.budget.to_bits(), cr.budget.to_bits());
+        let before = warm.preprocess_stats().trees_built;
+        let (_, hit) = warm.preprocess_cache().context(warm.graph(), v(1));
+        assert!(hit, "untouched target must stay warm");
+        assert_eq!(warm.preprocess_stats().trees_built, before);
+
+        // The old engine is untouched and still answers on epoch 0.
+        assert_eq!(engine.graph().epoch(), 0);
+        assert_eq!(engine.graph().edge_count(), warm.graph().edge_count());
+
+        // Typed rejection surfaces unchanged through the facade.
+        let err = match engine.apply_edge_mutations(&[EdgeMutation::close(v(1), v(0))]) {
+            Err(e) => e,
+            Ok(_) => panic!("closing a nonexistent edge must be rejected"),
+        };
+        assert_eq!(
+            err,
+            MutationError::UnknownEdge {
+                from: v(1),
+                to: v(0)
+            }
+        );
     }
 
     #[test]

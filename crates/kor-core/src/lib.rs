@@ -59,9 +59,9 @@ pub use brute::{brute_force, BruteForceParams};
 pub use bucket::{
     bucket_bound, bucket_bound_with_cache, top_k_bucket_bound, top_k_bucket_bound_with_cache,
 };
-pub use cache::{CacheStats, Opt2Trees, PreprocessCache};
+pub use cache::{CacheStats, InvalidationCounts, Opt2Trees, PreprocessCache, TreeStamp};
 pub use dominance::{DomMode, LabelStore};
-pub use engine::KorEngine;
+pub use engine::{KorEngine, MutationReport};
 pub use error::KorError;
 pub use greedy::{greedy, greedy_with_cache, GreedyMode, GreedyParams, GreedyRoute};
 pub use label::{Label, LabelArena, LabelSnapshot, NO_LABEL};

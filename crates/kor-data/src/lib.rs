@@ -24,7 +24,10 @@
 //! * [`shard`] — dataset sharding: deterministic node assignment, cut
 //!   edges, and the escape/enter boundary summary a scatter-gather
 //!   router uses to prove query confinement (stored in the snapshot's
-//!   optional `SHRD`/`BNDR` sections).
+//!   optional `SHRD`/`BNDR` sections);
+//! * [`traffic`] — seeded traffic profiles (closure scripts, rush-hour
+//!   multiplier schedules, reopenings) producing replayable mutation
+//!   batches for the dynamic-world oracle battery and `kor mutate`.
 //!
 //! Every generator is deterministic under an explicit `u64` seed.
 
@@ -36,6 +39,7 @@ pub mod roadnet;
 pub mod shard;
 pub mod snapshot;
 pub mod tags;
+pub mod traffic;
 
 pub use flickr::{generate_flickr, FlickrConfig, FlickrStats};
 pub use gen::{generate_world, GenConfig, Topology};
@@ -55,3 +59,4 @@ pub use snapshot::{
     read_snapshot, snapshot_from_bytes, snapshot_to_bytes, write_snapshot, Snapshot, SnapshotError,
 };
 pub use tags::TagModel;
+pub use traffic::{generate_traffic, TrafficConfig};

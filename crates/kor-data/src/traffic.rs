@@ -1,0 +1,272 @@
+//! Seeded traffic profiles: deterministic, replayable mutation scripts.
+//!
+//! A profile turns a graph plus a [`TrafficConfig`] into a sequence of
+//! *phases*, each one a mutation batch ready for
+//! `Graph::apply_mutations` (or the serve `update_edges` method):
+//!
+//! * **closures** — randomly chosen open edges are removed, modeling
+//!   incidents; their original weights are recorded so later phases can
+//!   reopen them bit-for-bit;
+//! * **slowdowns** — rush-hour multipliers on the *budget* weight of
+//!   randomly chosen edges (objective multiplier stays `1.0`), drawn
+//!   uniformly from [`TrafficConfig::multiplier_range`];
+//! * **reopenings** — when [`TrafficConfig::reopen`] is set, each phase
+//!   first reopens a random subset of the currently closed edges with
+//!   their recorded original weights.
+//!
+//! The whole script is a pure function of `(graph, config)`: the same
+//! seed replays the same incidents on any machine, which is what lets
+//! the mutation oracle battery and the CI smoke step compare a warm
+//! engine against a cold rebuild digest-for-digest.
+
+use kor_graph::{EdgeMutation, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for one seeded traffic profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Seed for the whole script; every phase derives from it.
+    pub seed: u64,
+    /// Number of mutation batches to generate.
+    pub phases: usize,
+    /// Edges closed per phase (best effort: fewer if the graph runs out
+    /// of open edges).
+    pub closures_per_phase: usize,
+    /// Edges slowed down per phase (best effort, as above).
+    pub slowdowns_per_phase: usize,
+    /// Uniform range the budget multiplier is drawn from; both ends
+    /// must be finite and positive. Values above `1.0` model rush hour,
+    /// below `1.0` recovery.
+    pub multiplier_range: (f64, f64),
+    /// Whether phases may reopen previously closed edges (with their
+    /// recorded original weights).
+    pub reopen: bool,
+}
+
+impl TrafficConfig {
+    /// A small default profile: 3 phases of 2 closures + 3 slowdowns
+    /// with multipliers in `[1.2, 3.0]` and reopenings enabled.
+    pub fn base(seed: u64) -> Self {
+        Self {
+            seed,
+            phases: 3,
+            closures_per_phase: 2,
+            slowdowns_per_phase: 3,
+            multiplier_range: (1.2, 3.0),
+            reopen: true,
+        }
+    }
+
+    fn validate(&self) {
+        let (lo, hi) = self.multiplier_range;
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo,
+            "multiplier range must be finite, positive, and ordered; got [{lo}, {hi}]"
+        );
+    }
+}
+
+/// One edge of the profile's working set: endpoints plus the original
+/// weights (the reopen payload).
+#[derive(Debug, Clone, Copy)]
+struct ProfileEdge {
+    from: NodeId,
+    to: NodeId,
+    objective: f64,
+    budget: f64,
+}
+
+/// Generates a deterministic mutation script for `graph`: one batch per
+/// phase, each valid against the graph state left by applying all
+/// earlier batches in order (closures never target closed edges,
+/// reopenings only closed ones, no pair repeats within a batch).
+///
+/// Pure in `(graph, config)` — same inputs, same script, any machine.
+///
+/// # Panics
+///
+/// If `config.multiplier_range` is empty, non-positive, or non-finite.
+pub fn generate_traffic(graph: &Graph, config: &TrafficConfig) -> Vec<Vec<EdgeMutation>> {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Working set of every edge with its original weights; `open`
+    // tracks which are currently present as the script unfolds.
+    let mut edges: Vec<ProfileEdge> = Vec::with_capacity(graph.edge_count());
+    for v in graph.nodes() {
+        for e in graph.out_edges(v) {
+            edges.push(ProfileEdge {
+                from: v,
+                to: e.node,
+                objective: e.objective,
+                budget: e.budget,
+            });
+        }
+    }
+    let mut open: Vec<bool> = vec![true; edges.len()];
+    let mut closed: Vec<usize> = Vec::new();
+
+    let (lo, hi) = config.multiplier_range;
+    let mut script = Vec::with_capacity(config.phases);
+    for _ in 0..config.phases {
+        let mut batch: Vec<EdgeMutation> = Vec::new();
+        // Pairs already mutated in this batch (indices into `edges`);
+        // batches must not repeat a pair or they would be rejected.
+        let mut used: Vec<usize> = Vec::new();
+
+        if config.reopen && !closed.is_empty() {
+            let n_reopen = rng.gen_range(0..=closed.len());
+            for _ in 0..n_reopen {
+                let pick = rng.gen_range(0..closed.len());
+                let idx = closed.swap_remove(pick);
+                let e = edges[idx];
+                open[idx] = true;
+                used.push(idx);
+                batch.push(EdgeMutation::reopen(e.from, e.to, e.objective, e.budget));
+            }
+        }
+
+        // Closures and slowdowns sample open, unused edges; bounded
+        // retries keep generation total even on tiny graphs.
+        for (want, is_closure) in [
+            (config.closures_per_phase, true),
+            (config.slowdowns_per_phase, false),
+        ] {
+            let mut placed = 0;
+            let mut attempts = 0;
+            while placed < want && attempts < 20 * want.max(1) && !edges.is_empty() {
+                attempts += 1;
+                let idx = rng.gen_range(0..edges.len());
+                if !open[idx] || used.contains(&idx) {
+                    continue;
+                }
+                let e = edges[idx];
+                used.push(idx);
+                placed += 1;
+                if is_closure {
+                    open[idx] = false;
+                    closed.push(idx);
+                    batch.push(EdgeMutation::close(e.from, e.to));
+                } else {
+                    let m = rng.gen_range(lo..=hi);
+                    batch.push(EdgeMutation::scale(e.from, e.to, 1.0, m));
+                }
+            }
+        }
+        script.push(batch);
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_world, GenConfig};
+    use kor_graph::MutationKind;
+
+    fn world() -> Graph {
+        generate_world(&GenConfig::grid(6, 6, 42)).graph
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let g = world();
+        let cfg = TrafficConfig::base(7);
+        let a = generate_traffic(&g, &cfg);
+        let b = generate_traffic(&g, &cfg);
+        assert_eq!(a.len(), cfg.phases);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.len(), pb.len());
+            for (ma, mb) in pa.iter().zip(pb) {
+                assert_eq!(ma, mb);
+            }
+        }
+        let c = generate_traffic(&g, &TrafficConfig::base(8));
+        assert!(
+            a.iter().flatten().ne(c.iter().flatten()),
+            "different seeds must diverge"
+        );
+    }
+
+    #[test]
+    fn every_phase_applies_cleanly_in_order() {
+        let g = world();
+        let cfg = TrafficConfig {
+            phases: 6,
+            ..TrafficConfig::base(13)
+        };
+        let script = generate_traffic(&g, &cfg);
+        let mut current = g.clone();
+        let mut saw_close = false;
+        let mut saw_scale = false;
+        let mut saw_reopen = false;
+        for (i, batch) in script.iter().enumerate() {
+            for m in batch {
+                match m.kind {
+                    MutationKind::Close => saw_close = true,
+                    MutationKind::Scale { .. } => saw_scale = true,
+                    MutationKind::Reopen { .. } => saw_reopen = true,
+                }
+            }
+            current = current
+                .apply_mutations(batch)
+                .unwrap_or_else(|e| panic!("phase {i} must be valid: {e}"));
+            assert_eq!(current.epoch(), (i + 1) as u64);
+        }
+        assert!(
+            saw_close && saw_scale && saw_reopen,
+            "profile must exercise all three mutation kinds"
+        );
+    }
+
+    #[test]
+    fn reopen_restores_original_weight_bits() {
+        let g = world();
+        let cfg = TrafficConfig {
+            phases: 8,
+            slowdowns_per_phase: 0,
+            ..TrafficConfig::base(3)
+        };
+        let script = generate_traffic(&g, &cfg);
+        let mut current = g.clone();
+        for batch in &script {
+            for m in batch {
+                if let MutationKind::Reopen { objective, budget } = m.kind {
+                    let orig = g
+                        .edge_between(m.from, m.to)
+                        .expect("reopened edges existed originally");
+                    assert_eq!(objective.to_bits(), orig.objective.to_bits());
+                    assert_eq!(budget.to_bits(), orig.budget.to_bits());
+                }
+            }
+            current = current.apply_mutations(batch).unwrap();
+        }
+    }
+
+    #[test]
+    fn reopen_false_never_reopens() {
+        let g = world();
+        let cfg = TrafficConfig {
+            reopen: false,
+            phases: 5,
+            ..TrafficConfig::base(9)
+        };
+        for batch in generate_traffic(&g, &cfg) {
+            assert!(batch
+                .iter()
+                .all(|m| !matches!(m.kind, MutationKind::Reopen { .. })));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier range")]
+    fn empty_multiplier_range_panics() {
+        let g = world();
+        let cfg = TrafficConfig {
+            multiplier_range: (2.0, 1.0),
+            ..TrafficConfig::base(1)
+        };
+        let _ = generate_traffic(&g, &cfg);
+    }
+}

@@ -63,6 +63,11 @@ pub struct Graph {
     /// `[o_min, o_max, b_min, b_max]`; `o_min`/`b_min` are `+inf` for an
     /// edgeless graph.
     extrema: [f64; 4],
+    /// Mutation generation counter — bumped by
+    /// [`Graph::apply_mutations`]. Runtime-only: snapshots do not store
+    /// it, so a freshly loaded or deserialized graph is always epoch 0.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    epoch: u64,
 }
 
 // Reflexive `AsRef`, so APIs generic over "some handle to a graph"
@@ -105,7 +110,19 @@ impl Graph {
             positions,
             vocab,
             extrema,
+            epoch: 0,
         }
+    }
+
+    /// Mutation generation of this graph value: 0 for a freshly built or
+    /// loaded graph, incremented once per applied mutation batch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Number of nodes `|V|`.

@@ -37,6 +37,7 @@ mod error;
 mod graph;
 mod ids;
 mod keyword;
+mod mutate;
 mod query;
 mod route;
 mod stats;
@@ -48,6 +49,7 @@ pub use error::GraphError;
 pub use graph::{CsrView, EdgeRef, Graph};
 pub use ids::{EdgeId, KeywordId, NodeId};
 pub use keyword::{KeywordSet, Vocab};
+pub use mutate::{EdgeMutation, MutationError, MutationKind};
 pub use query::{
     subsets_of, supersets_of, QueryKeywords, QueryKeywordsError, SubsetIter, SupersetIter,
     MAX_QUERY_KEYWORDS,

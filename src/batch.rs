@@ -255,31 +255,7 @@ impl BatchReport {
     /// the router or on the single fused engine — must produce equal
     /// digests; the CI shard smoke step diffs exactly this field.
     pub fn result_digest(&self) -> u64 {
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        fn eat(h: &mut u64, x: u64) {
-            for b in x.to_le_bytes() {
-                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
-            }
-        }
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for o in &self.outcomes {
-            eat(&mut h, o.id as u64);
-            match (&o.error, o.objective) {
-                (Some(_), _) => eat(&mut h, 2),
-                (None, None) => eat(&mut h, 0),
-                (None, Some(objective)) => {
-                    eat(&mut h, 1);
-                    eat(&mut h, objective.to_bits());
-                    eat(&mut h, o.budget.unwrap_or(f64::NAN).to_bits());
-                    let route = o.route.as_deref().unwrap_or(&[]);
-                    eat(&mut h, route.len() as u64);
-                    for &node in route {
-                        eat(&mut h, u64::from(node));
-                    }
-                }
-            }
-        }
-        h
+        digest_outcomes(&self.outcomes)
     }
 
     /// Render the summary as a JSON object (via [`crate::json`]; the
@@ -336,6 +312,37 @@ impl BatchReport {
         fields.push(("per_set", JsonValue::Arr(per_set)));
         JsonValue::obj(fields).render()
     }
+}
+
+/// The FNV-1a answer digest behind [`BatchReport::result_digest`],
+/// usable on any outcome list (the `kor mutate` warm-vs-cold verifier
+/// digests canned replays that never pass through a full report).
+pub fn digest_outcomes(outcomes: &[QueryOutcome]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(h: &mut u64, x: u64) {
+        for b in x.to_le_bytes() {
+            *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for o in outcomes {
+        eat(&mut h, o.id as u64);
+        match (&o.error, o.objective) {
+            (Some(_), _) => eat(&mut h, 2),
+            (None, None) => eat(&mut h, 0),
+            (None, Some(objective)) => {
+                eat(&mut h, 1);
+                eat(&mut h, objective.to_bits());
+                eat(&mut h, o.budget.unwrap_or(f64::NAN).to_bits());
+                let route = o.route.as_deref().unwrap_or(&[]);
+                eat(&mut h, route.len() as u64);
+                for &node in route {
+                    eat(&mut h, u64::from(node));
+                }
+            }
+        }
+    }
+    h
 }
 
 /// Materialized work item: a full KOR query plus bookkeeping.
@@ -537,8 +544,9 @@ fn run_one(
 }
 
 /// Run `algo` on whichever engine the routing chose, reducing the
-/// answer to `(objective, budget, route node ids)`.
-fn answer<G: AsRef<Graph>>(
+/// answer to `(objective, budget, route node ids)`. Shared with the
+/// `kor mutate` replayer, which answers on a warm mutated engine.
+pub(crate) fn answer<G: AsRef<Graph>>(
     engine: &KorEngine<G>,
     query: &KorQuery,
     algo: BatchAlgo,

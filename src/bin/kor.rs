@@ -60,7 +60,9 @@ use kor::batch::{run_batch, BatchAlgo, BatchConfig};
 use kor::bench::{run_bench_to_file, BenchAlgo, BenchConfig};
 use kor::data::gen::{generate_world, GenConfig, Topology};
 use kor::data::snapshot::{read_snapshot, write_snapshot};
+use kor::data::{generate_traffic, TrafficConfig};
 use kor::loadtest::{run_loadtest_to_file, LoadtestConfig};
+use kor::mutate::{run_mutate, MutateConfig};
 use kor::prelude::*;
 use kor::serve::registry::Dataset;
 use kor::serve::{ServeConfig, Server};
@@ -87,6 +89,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("query") => query(&args[1..]),
         Some("batch") => batch(&args[1..]),
         Some("shard") => shard(&args[1..]),
+        Some("mutate") => mutate(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("loadtest") => loadtest(&args[1..]),
@@ -102,7 +105,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// Every subcommand, for the usage screen and error messages.
 const SUBCOMMANDS: &str =
-    "generate, gen, ingest, stats, index, query, batch, shard, bench, serve, loadtest, help";
+    "generate, gen, ingest, stats, index, query, batch, shard, mutate, bench, serve, loadtest, help";
 
 fn usage() -> &'static str {
     "kor — keyword-aware optimal route search (Cao et al., VLDB 2012)\n\
@@ -126,6 +129,12 @@ fn usage() -> &'static str {
      \x20           [--threads N] [--seed N] [--epsilon E] [--beta B]\n\
      \x20           [--alpha A] [--beam N] [--json-out FILE] [--quiet]\n\
      \x20 kor shard FILE [--shards N] [--out FILE.korbin]\n\
+     \x20 kor mutate FILE [--out FILE.korbin] [--script FILE.json]\n\
+     \x20           [--traffic-seed N] [--phases N] [--closures N]\n\
+     \x20           [--slowdowns N] [--multiplier-lo X] [--multiplier-hi X]\n\
+     \x20           [--no-reopen] [--verify] [--emit-script FILE.json]\n\
+     \x20           [--algo os-scaling|bucket-bound|greedy] [--epsilon E]\n\
+     \x20           [--beta B] [--alpha A] [--beam N] [--json-out FILE] [--quiet]\n\
      \x20 kor bench [FILE] [--out BENCH_kor.json] [--nodes N] [--targets T]\n\
      \x20           [--per-target Q] [--budget X] [--seed N]\n\
      \x20           [--algos a,b,c] [--smoke]\n\
@@ -159,7 +168,10 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            if name == "small" || name == "quiet" || name == "smoke" || name == "canned" {
+            if matches!(
+                name,
+                "small" | "quiet" | "smoke" | "canned" | "verify" | "no-reopen"
+            ) {
                 // boolean flags
                 flags.push((name.to_string(), "true".to_string()));
                 continue;
@@ -727,6 +739,154 @@ fn shard(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `kor mutate`: replay a mutation script (loaded from `--script` or
+/// generated from seeded traffic-profile flags) against a warm engine
+/// and write the mutated snapshot. `--verify` rebuilds a cold engine
+/// after every phase and requires the two canned-replay answer digests
+/// to match bit for bit — the offline form of the dynamic-world
+/// byte-identity contract. `--emit-script` saves the script JSON so the
+/// exact same incidents replay offline or over `update_edges`.
+fn mutate(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let input = positional
+        .first()
+        .ok_or("mutate needs a dataset file (.korbin or .korg)")?;
+    let out = match flag(&flags, "out") {
+        Some(o) => PathBuf::from(o),
+        None => {
+            let p = Path::new(input);
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("dataset");
+            p.with_file_name(format!("{stem}-mutated.korbin"))
+        }
+    };
+    // Same clobber guard as `ingest` and `shard`.
+    let same_file = match (std::fs::canonicalize(input), std::fs::canonicalize(&out)) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => out.as_path() == Path::new(input),
+    };
+    if same_file {
+        return Err(format!(
+            "refusing to overwrite the input ({}); pass a different --out",
+            out.display()
+        ));
+    }
+    let mut world =
+        kor::data::read_world_auto(Path::new(input)).map_err(|e| format!("{input}: {e}"))?;
+
+    let script = match flag(&flags, "script") {
+        Some(path) => {
+            // A script file overrides the traffic knobs; mixing the two
+            // would silently ignore half the flags.
+            for knob in [
+                "traffic-seed",
+                "phases",
+                "closures",
+                "slowdowns",
+                "multiplier-lo",
+                "multiplier-hi",
+                "no-reopen",
+            ] {
+                if flag(&flags, knob).is_some() {
+                    return Err(format!("--{knob} conflicts with --script"));
+                }
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--script {path}: {e}"))?;
+            kor::mutate::script_from_json(&text)?
+        }
+        None => {
+            let base = TrafficConfig::base(parse_num(&flags, "traffic-seed", 2012)?);
+            let config = TrafficConfig {
+                phases: parse_num(&flags, "phases", base.phases)?,
+                closures_per_phase: parse_num(&flags, "closures", base.closures_per_phase)?,
+                slowdowns_per_phase: parse_num(&flags, "slowdowns", base.slowdowns_per_phase)?,
+                multiplier_range: (
+                    parse_num(&flags, "multiplier-lo", base.multiplier_range.0)?,
+                    parse_num(&flags, "multiplier-hi", base.multiplier_range.1)?,
+                ),
+                reopen: flag(&flags, "no-reopen").is_none(),
+                ..base
+            };
+            let (lo, hi) = config.multiplier_range;
+            if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo) {
+                return Err(format!(
+                    "--multiplier-lo/--multiplier-hi must be finite, positive, \
+                     and ordered (got [{lo}, {hi}])"
+                ));
+            }
+            generate_traffic(&world.graph, &config)
+        }
+    };
+    if let Some(path) = flag(&flags, "emit-script") {
+        std::fs::write(path, kor::mutate::script_to_json(&script))
+            .map_err(|e| format!("--emit-script {path}: {e}"))?;
+        eprintln!("wrote mutation script to {path}");
+    }
+
+    let epsilon: f64 = parse_num(&flags, "epsilon", 0.5)?;
+    let algo = match flag(&flags, "algo").unwrap_or("bucket-bound") {
+        "os-scaling" => BatchAlgo::OsScaling { epsilon },
+        "bucket-bound" => BatchAlgo::BucketBound {
+            epsilon,
+            beta: parse_num(&flags, "beta", 1.2)?,
+        },
+        "greedy" => BatchAlgo::Greedy {
+            alpha: parse_num(&flags, "alpha", 0.5)?,
+            beam: parse_num(&flags, "beam", 1)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown --algo {other:?} (mutate supports os-scaling, bucket-bound, greedy)"
+            ))
+        }
+    };
+    let report = run_mutate(
+        &mut world,
+        &script,
+        &MutateConfig {
+            algo,
+            verify: flag(&flags, "verify").is_some(),
+        },
+    )?;
+
+    if flag(&flags, "quiet").is_none() {
+        for (i, p) in report.phases.iter().enumerate() {
+            let verdict = match (p.warm_digest, p.cold_digest) {
+                (Some(w), Some(c)) if w == c => format!(", digest {w:016x} (warm == cold)"),
+                _ => String::new(),
+            };
+            eprintln!(
+                "phase {i}: {} mutations -> epoch {}, retained {}, evicted {}{verdict}",
+                p.applied,
+                p.report.epoch,
+                p.report.total_retained(),
+                p.report.total_evicted(),
+            );
+        }
+    }
+    eprintln!(
+        "mutate: {} phases, {} mutations, retained {}, evicted {}{}",
+        report.phases.len(),
+        report.phases.iter().map(|p| p.applied).sum::<usize>(),
+        report.total_retained(),
+        report.total_evicted(),
+        if report.verified {
+            ", verified warm == cold"
+        } else {
+            ""
+        },
+    );
+    let json = report.to_json();
+    if let Some(path) = flag(&flags, "json-out") {
+        std::fs::write(path, &json).map_err(|e| format!("--json-out {path}: {e}"))?;
+        eprintln!("wrote JSON summary to {path}");
+    }
+    println!("{json}");
+    write_snapshot(&out, &world).map_err(|e| e.to_string())?;
+    println!("saved to {}", out.display());
+    Ok(())
+}
+
 /// `kor bench`: run the warm-vs-cold repeated-target benchmark and
 /// write `BENCH_kor.json`.
 fn bench(args: &[String]) -> Result<(), String> {
@@ -951,8 +1111,8 @@ mod tests {
         let err = run(&s(&["frobnicate"])).unwrap_err();
         assert!(err.contains("frobnicate"), "{err}");
         for sub in [
-            "generate", "gen", "ingest", "stats", "index", "query", "batch", "shard", "bench",
-            "serve", "loadtest",
+            "generate", "gen", "ingest", "stats", "index", "query", "batch", "shard", "mutate",
+            "bench", "serve", "loadtest",
         ] {
             assert!(err.contains(sub), "error must mention {sub}: {err}");
         }
@@ -970,6 +1130,7 @@ mod tests {
             "kor query",
             "kor batch",
             "kor shard",
+            "kor mutate",
             "kor bench",
             "kor serve",
             "kor loadtest",
@@ -1230,6 +1391,100 @@ mod tests {
         // Refuses --shards 0 and clobbering the input.
         assert!(run(&s(&["shard", &bin_str, "--shards", "0"])).is_err());
         assert!(run(&s(&["shard", &bin_str, "--out", &bin_str])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutate_verifies_emits_and_replays_scripts() {
+        let dir = std::env::temp_dir().join(format!("kor-cli-mutate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("world.korbin");
+        let bin_str = bin.to_str().unwrap().to_string();
+        run(&s(&[
+            "gen",
+            "--topology",
+            "grid",
+            "--width",
+            "6",
+            "--height",
+            "5",
+            "--seed",
+            "3",
+            "--out",
+            &bin_str,
+        ]))
+        .unwrap();
+
+        // Generate traffic, verify warm == cold, emit the script.
+        let mutated = dir.join("mutated.korbin");
+        let script = dir.join("script.json");
+        run(&s(&[
+            "mutate",
+            &bin_str,
+            "--traffic-seed",
+            "7",
+            "--verify",
+            "--quiet",
+            "--out",
+            mutated.to_str().unwrap(),
+            "--emit-script",
+            script.to_str().unwrap(),
+            "--json-out",
+            dir.join("summary.json").to_str().unwrap(),
+        ]))
+        .unwrap();
+        let world = read_snapshot(&mutated).unwrap();
+        assert!(world.query_count() > 0, "canned queries survive mutation");
+        let summary = kor::json::JsonValue::parse(
+            &std::fs::read_to_string(dir.join("summary.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            summary
+                .get("verified")
+                .and_then(kor::json::JsonValue::as_bool),
+            Some(true)
+        );
+
+        // Replaying the emitted script byte-reproduces the snapshot.
+        let again = dir.join("again.korbin");
+        run(&s(&[
+            "mutate",
+            &bin_str,
+            "--script",
+            script.to_str().unwrap(),
+            "--quiet",
+            "--out",
+            again.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&mutated).unwrap(),
+            std::fs::read(&again).unwrap(),
+            "script replay must byte-reproduce the mutated snapshot"
+        );
+
+        // Traffic knobs conflict with --script; clobbering is refused.
+        assert!(run(&s(&[
+            "mutate",
+            &bin_str,
+            "--script",
+            script.to_str().unwrap(),
+            "--phases",
+            "2",
+        ]))
+        .is_err());
+        assert!(run(&s(&["mutate", &bin_str, "--out", &bin_str])).is_err());
+        // Bad multiplier ranges fail before any engine work.
+        assert!(run(&s(&[
+            "mutate",
+            &bin_str,
+            "--multiplier-lo",
+            "2.0",
+            "--multiplier-hi",
+            "1.0",
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

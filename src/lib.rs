@@ -82,6 +82,7 @@ pub mod batch;
 pub mod bench;
 pub mod json;
 pub mod loadtest;
+pub mod mutate;
 pub mod serve;
 pub mod shard;
 
@@ -97,12 +98,14 @@ pub mod prelude {
         RouteResult, ScaleAnchor, SearchResult, SearchStats, TopKResult,
     };
     pub use kor_data::{
-        compute_sharding, generate_flickr, generate_roadnet, generate_workload, generate_world,
-        read_snapshot, write_snapshot, CannedQuery, CannedQuerySet, FlickrConfig, GenConfig,
-        RoadNetConfig, ShardingInfo, Snapshot, SnapshotError, TagModel, Topology, WorkloadConfig,
+        compute_sharding, generate_flickr, generate_roadnet, generate_traffic, generate_workload,
+        generate_world, read_snapshot, write_snapshot, CannedQuery, CannedQuerySet, FlickrConfig,
+        GenConfig, RoadNetConfig, ShardingInfo, Snapshot, SnapshotError, TagModel, Topology,
+        TrafficConfig, WorkloadConfig,
     };
     pub use kor_graph::{
-        Graph, GraphBuilder, GraphError, KeywordId, NodeId, QueryKeywords, Route, Vocab,
+        EdgeMutation, Graph, GraphBuilder, GraphError, KeywordId, MutationError, MutationKind,
+        NodeId, QueryKeywords, Route, Vocab,
     };
     pub use kor_index::{DiskInvertedIndex, InvertedIndex};
 }

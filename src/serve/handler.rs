@@ -100,6 +100,7 @@ pub fn handle(
         "stats" => stats(ctx, req),
         "load_dataset" => load_dataset(ctx, req),
         "query" => query(ctx, req, received),
+        "update_edges" => update_edges(ctx, req),
         "poison_shard" => set_shard_poisoned(ctx, req, true),
         "revive_shard" => set_shard_poisoned(ctx, req, false),
         "shutdown" => {
@@ -110,8 +111,8 @@ pub fn handle(
         other => Err(WireError::new(
             ErrorCode::UnknownMethod,
             format!(
-                "unknown method {other:?} (expected query, load_dataset, poison_shard, \
-                 revive_shard, stats, health, or shutdown)"
+                "unknown method {other:?} (expected query, update_edges, load_dataset, \
+                 poison_shard, revive_shard, stats, health, or shutdown)"
             ),
         )),
     }
@@ -132,6 +133,7 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
                 ("name", d.name().into()),
                 ("nodes", g.node_count().into()),
                 ("edges", g.edge_count().into()),
+                ("epoch", g.epoch().into()),
                 ("keywords", g.vocab().len().into()),
                 ("queries_served", d.queries_served().into()),
                 ("cached_trees", d.engine().cached_tree_count().into()),
@@ -148,6 +150,8 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
                         ("opt2_hits", prep.opt2_hits.into()),
                         ("opt2_misses", prep.opt2_misses.into()),
                         ("evictions", prep.evictions.into()),
+                        ("invalidated", prep.invalidated.into()),
+                        ("retained", prep.retained.into()),
                         ("trees_built", prep.trees_built.into()),
                         ("hit_rate", prep.hit_rate().into()),
                     ]),
@@ -207,6 +211,7 @@ fn shards_json(router: &ShardRouter) -> JsonValue {
     JsonValue::obj([
         ("count", u64::from(router.shard_count()).into()),
         ("cut_edges", (router.info().cut_edges.len() as u64).into()),
+        ("fused_only", router.fused_only().into()),
         ("fanouts", router.fanouts().into()),
         ("rejected", router.rejected().into()),
         ("per_shard", JsonValue::Arr(per_shard)),
@@ -529,6 +534,11 @@ fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonVa
     let mut fields: Vec<(&'static str, JsonValue)> = vec![
         ("dataset", dataset.name().into()),
         ("algo", algo.into()),
+        // Which graph generation answered: clients interleaving
+        // queries with update_edges use this to tell old-world from
+        // new-world responses (each response is wholly one epoch —
+        // mutation swaps whole datasets, never edits a live graph).
+        ("epoch", dataset.engine().graph().epoch().into()),
         ("feasible", (!routes.is_empty()).into()),
         (
             "routes",
@@ -537,6 +547,120 @@ fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonVa
     ];
     fields.append(&mut extra);
     Ok(JsonValue::obj(fields))
+}
+
+/// `update_edges`: applies a mutation batch (closures, reopenings,
+/// weight scalings) to a live dataset. The mutated dataset replaces the
+/// registry entry atomically — in-flight queries finish on the old
+/// graph (reporting the old `epoch`), later ones see the new graph —
+/// and the warm caches carry over every entry whose invalidation stamp
+/// avoids the changed edges.
+fn update_edges(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
+    check_keys(&req.params, &["dataset", "mutations"])?;
+    let mutations = parse_mutations(&req.params)?;
+    // Serialize batches registry-wide: two batches rebuilding from the
+    // same base would silently lose one of them on insert.
+    let _guard = ctx.registry.mutation_guard();
+    let dataset = resolve(&ctx.registry, opt_str(&req.params, "dataset")?)?;
+    let (updated, report) = dataset
+        .with_mutations(&mutations)
+        .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+    let edges = updated.engine().graph().edge_count();
+    let router_mode = match updated.router() {
+        None => "none",
+        Some(r) if r.fused_only() => "fused_only",
+        Some(_) => "sharded",
+    };
+    ctx.registry.insert(updated);
+    Ok(JsonValue::obj([
+        ("dataset", dataset.name().into()),
+        ("epoch", report.epoch.into()),
+        ("edges", edges.into()),
+        ("applied", (mutations.len() as u64).into()),
+        ("router", router_mode.into()),
+        (
+            "invalidation",
+            JsonValue::obj([
+                ("contexts_retained", report.contexts_retained.into()),
+                ("contexts_evicted", report.contexts_evicted.into()),
+                ("opt2_retained", report.opt2_retained.into()),
+                ("opt2_evicted", report.opt2_evicted.into()),
+                ("pair_trees_retained", report.pair_trees_retained.into()),
+                ("pair_trees_evicted", report.pair_trees_evicted.into()),
+            ]),
+        ),
+    ]))
+}
+
+/// Parses the `mutations` array of an `update_edges` request. Strict:
+/// unknown keys, wrong types, missing weights, and weights on `close`
+/// all fail loudly before anything touches the dataset.
+fn parse_mutations(params: &JsonValue) -> Result<Vec<kor_graph::EdgeMutation>, WireError> {
+    let items = match params.get("mutations") {
+        Some(JsonValue::Arr(items)) => items,
+        Some(_) => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                "\"mutations\" must be an array",
+            ))
+        }
+        None => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                "missing \"mutations\"",
+            ))
+        }
+    };
+    if items.is_empty() {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            "\"mutations\" must contain at least one mutation",
+        ));
+    }
+    items
+        .iter()
+        .map(|item| {
+            if !matches!(item, JsonValue::Obj(_)) {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    "each mutation must be an object",
+                ));
+            }
+            check_keys(item, &["from", "to", "op", "objective", "budget"])?;
+            let from = kor_graph::NodeId(req_u32(item, "from")?);
+            let to = kor_graph::NodeId(req_u32(item, "to")?);
+            let op = req_str(item, "op")?;
+            match op {
+                "close" => {
+                    for key in ["objective", "budget"] {
+                        if item.get(key).is_some() {
+                            return Err(WireError::new(
+                                ErrorCode::BadRequest,
+                                format!("\"{key}\" does not apply to op \"close\""),
+                            ));
+                        }
+                    }
+                    Ok(kor_graph::EdgeMutation::close(from, to))
+                }
+                "reopen" => Ok(kor_graph::EdgeMutation::reopen(
+                    from,
+                    to,
+                    req_f64(item, "objective")?,
+                    req_f64(item, "budget")?,
+                )),
+                "scale" => Ok(kor_graph::EdgeMutation::scale(
+                    from,
+                    to,
+                    req_f64(item, "objective")?,
+                    req_f64(item, "budget")?,
+                )),
+                other => Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    format!("unknown op {other:?} (expected close, reopen, or scale)"),
+                )),
+            }
+        })
+        .collect()
 }
 
 /// Renders one route: node ids in order plus exact scores (numbers use
@@ -791,10 +915,115 @@ mod tests {
                 r#"{"method":"load_dataset","params":{"path":"/nonexistent.korg"}}"#,
                 ErrorCode::LoadFailed,
             ),
+            (
+                r#"{"method":"update_edges","params":{}}"#,
+                ErrorCode::BadRequest, // missing mutations
+            ),
+            (
+                r#"{"method":"update_edges","params":{"mutations":[]}}"#,
+                ErrorCode::BadRequest, // empty batch
+            ),
+            (
+                r#"{"method":"update_edges","params":{"mutations":"close all"}}"#,
+                ErrorCode::BadRequest, // mutations must be an array
+            ),
+            (
+                r#"{"method":"update_edges","params":{"mutations":[{"from":0,"to":1,"op":"demolish"}]}}"#,
+                ErrorCode::BadRequest, // unknown op
+            ),
+            (
+                r#"{"method":"update_edges","params":{"mutations":[{"from":0,"to":1,"op":"close","objective":2.0,"budget":1.0}]}}"#,
+                ErrorCode::BadRequest, // close takes no weights
+            ),
+            (
+                r#"{"method":"update_edges","params":{"mutations":[{"from":0,"to":1,"op":"scale"}]}}"#,
+                ErrorCode::BadRequest, // scale requires both multipliers
+            ),
+            (
+                r#"{"method":"update_edges","params":{"mutations":[{"from":0,"to":7,"op":"close"}]}}"#,
+                ErrorCode::BadRequest, // no such edge in figure 1
+            ),
+            (
+                r#"{"method":"update_edges","params":{"mutations":[{"from":0,"to":1,"op":"scale","objective":1.0,"budget":0.0}]}}"#,
+                ErrorCode::BadRequest, // zero multiplier
+            ),
+            (
+                r#"{"method":"update_edges","params":{"mutations":[{"from":0,"to":1,"op":"close"},{"from":0,"to":1,"op":"close"}]}}"#,
+                ErrorCode::BadRequest, // duplicate pair in one batch
+            ),
+            (
+                r#"{"method":"update_edges","params":{"dataset":"nope","mutations":[{"from":0,"to":1,"op":"close"}]}}"#,
+                ErrorCode::UnknownDataset,
+            ),
         ] {
             let err = run(&ctx, line).unwrap_err();
             assert_eq!(err.code, code, "{line} -> {}", err.message);
         }
+    }
+
+    #[test]
+    fn update_edges_swaps_the_dataset_and_reports_invalidation() {
+        let ctx = ctx_with_figure1();
+        // Warm the cache, then close the v5 -> v7 detour: the optimal
+        // route for Example 2 avoids it, so the answer must not change.
+        let query = r#"{"method":"query","params":{"from":0,"to":7,"keywords":["t1","t2"],"budget":10,"algo":"os-scaling"}}"#;
+        let before = run(&ctx, query).unwrap();
+        assert_eq!(before.get("epoch").and_then(JsonValue::as_u64), Some(0));
+
+        let r = run(
+            &ctx,
+            r#"{"method":"update_edges","params":{"dataset":"fig1","mutations":[{"from":5,"to":7,"op":"close"}]}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.get("epoch").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(r.get("edges").and_then(JsonValue::as_u64), Some(11));
+        assert_eq!(r.get("applied").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(r.get("router").and_then(JsonValue::as_str), Some("none"));
+        let inv = r.get("invalidation").expect("invalidation counters");
+        let count = |key| inv.get(key).and_then(JsonValue::as_u64).unwrap();
+        // v7 is the only warmed target and the closed edge points at
+        // it, so its context (and opt2 trees, if any) must go.
+        assert_eq!(count("contexts_evicted"), 1);
+        assert_eq!(count("contexts_retained"), 0);
+
+        let after = run(&ctx, query).unwrap();
+        assert_eq!(after.get("epoch").and_then(JsonValue::as_u64), Some(1));
+        for key in ["feasible", "routes"] {
+            assert_eq!(before.get(key), after.get(key), "{key}");
+        }
+        // The query counter survives the swap: 2 queries + 0 for the
+        // mutation itself.
+        assert_eq!(ctx.registry.get("fig1").unwrap().queries_served(), 2);
+
+        // Reopen with the original weights restores epoch-0 behavior on
+        // a third-generation graph.
+        run(
+            &ctx,
+            r#"{"method":"update_edges","params":{"mutations":[{"from":5,"to":7,"op":"reopen","objective":4.0,"budget":1.0}]}}"#,
+        )
+        .unwrap();
+        let restored = run(&ctx, query).unwrap();
+        assert_eq!(restored.get("epoch").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(before.get("routes"), restored.get("routes"));
+    }
+
+    #[test]
+    fn stats_reports_epoch_and_invalidation_counters() {
+        let ctx = ctx_with_figure1();
+        run(
+            &ctx,
+            r#"{"method":"update_edges","params":{"mutations":[{"from":0,"to":1,"op":"scale","objective":1.0,"budget":2.0}]}}"#,
+        )
+        .unwrap();
+        let r = run(&ctx, r#"{"method":"stats"}"#).unwrap();
+        let ds = &r.get("datasets").unwrap().as_arr().unwrap()[0];
+        assert_eq!(ds.get("epoch").and_then(JsonValue::as_u64), Some(1));
+        let prep = ds.get("prep_cache").expect("prep cache stats");
+        assert!(prep
+            .get("invalidated")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+        assert!(prep.get("retained").and_then(JsonValue::as_u64).is_some());
     }
 
     #[test]

@@ -3,11 +3,12 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use kor_core::KorEngine;
+use kor_core::{KorEngine, MutationReport};
+use kor_data::sharding_from_assignment;
 use kor_data::Snapshot;
-use kor_graph::Graph;
+use kor_graph::{EdgeMutation, Graph, MutationError};
 
 use crate::shard::ShardRouter;
 
@@ -114,6 +115,49 @@ impl Dataset {
     pub fn queries_served(&self) -> u64 {
         self.queries_served.load(Ordering::Relaxed)
     }
+
+    /// Applies a mutation batch, producing the replacement `Dataset`
+    /// (same name, carried query counter) plus the invalidation report.
+    /// `self` is untouched — in-flight queries drain on the old value
+    /// while the caller swaps the new one into the registry, so no
+    /// request ever observes a torn graph.
+    ///
+    /// The warm engine carries every cache entry whose invalidation
+    /// stamp avoids the changed edges. A sharded dataset re-derives its
+    /// escape/enter boundary tables from the old node assignment on the
+    /// mutated graph; if the batch changed a *cut* edge (or the router
+    /// was already degraded), the new router runs fused-only — every
+    /// query fans out to the fused engine until a re-shard.
+    pub fn with_mutations(
+        &self,
+        mutations: &[EdgeMutation],
+    ) -> Result<(Dataset, MutationReport), MutationError> {
+        let (engine, report) = self.engine.apply_edge_mutations(mutations)?;
+        let router = match &self.router {
+            Some(old) => {
+                let assignment = old.info().assignment.clone();
+                let crosses_cut = mutations
+                    .iter()
+                    .any(|m| assignment[m.from.index()] != assignment[m.to.index()]);
+                let info = sharding_from_assignment(engine.graph(), assignment);
+                Some(ShardRouter::new_with_mode(
+                    engine.graph(),
+                    info,
+                    crosses_cut || old.fused_only(),
+                ))
+            }
+            None => None,
+        };
+        Ok((
+            Dataset {
+                name: self.name.clone(),
+                engine,
+                router,
+                queries_served: AtomicU64::new(self.queries_served()),
+            },
+            report,
+        ))
+    }
 }
 
 /// Why [`Registry::resolve`] could not produce a dataset.
@@ -131,6 +175,13 @@ pub enum ResolveError {
 #[derive(Default)]
 pub struct Registry {
     datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    /// Serializes `update_edges` batches. Mutation builds the new
+    /// dataset *outside* the `datasets` lock (queries keep flowing),
+    /// but two concurrent batches reading the same base would each
+    /// rebuild from it and the last insert would silently drop the
+    /// other's changes — holding this for resolve→rebuild→insert makes
+    /// batches apply strictly in sequence instead.
+    mutation: Mutex<()>,
 }
 
 impl Registry {
@@ -178,6 +229,13 @@ impl Registry {
             None if guard.len() == 1 => Ok(guard.values().next().cloned().expect("len 1")),
             None => Err(ResolveError::NoDefault(guard.len())),
         }
+    }
+
+    /// Takes the registry-wide mutation lock; hold the guard across
+    /// resolve → [`Dataset::with_mutations`] → [`Registry::insert`] so
+    /// concurrent mutation batches serialize instead of losing updates.
+    pub fn mutation_guard(&self) -> MutexGuard<'_, ()> {
+        self.mutation.lock().unwrap()
     }
 
     /// All loaded datasets, sorted by name (stable stats output).
@@ -233,6 +291,75 @@ mod tests {
     fn load_reports_missing_file() {
         let err = Dataset::load("x", Path::new("/nonexistent/graph.korg")).unwrap_err();
         assert!(err.contains("graph.korg"));
+    }
+
+    #[test]
+    fn with_mutations_replaces_dataset_without_touching_the_old() {
+        let r = Registry::new();
+        r.insert(Dataset::from_graph("a", figure1()));
+        let old = r.get("a").unwrap();
+        old.note_query();
+        let batch = [EdgeMutation::scale(
+            kor_graph::NodeId(4),
+            kor_graph::NodeId(7),
+            1.0,
+            2.0,
+        )];
+        let _guard = r.mutation_guard();
+        let (updated, report) = old.with_mutations(&batch).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(updated.name(), "a");
+        assert_eq!(updated.queries_served(), 1, "query counter is carried");
+        assert!(updated.router().is_none());
+        r.insert(updated);
+        assert_eq!(r.get("a").unwrap().engine().graph().epoch(), 1);
+        // The old Arc still answers on the unmutated graph.
+        assert_eq!(old.engine().graph().epoch(), 0);
+    }
+
+    #[test]
+    fn sharded_mutation_rederives_boundary_or_degrades_to_fused_only() {
+        let world = kor_data::generate_world(&kor_data::GenConfig::grid(6, 5, 3));
+        let info = kor_data::compute_sharding(&world.graph, 2);
+        let assignment = info.assignment.clone();
+        let mut snapshot = Snapshot::graph_only(world.graph.clone());
+        snapshot.sharding = Some(info);
+        let d = Dataset::from_snapshot("w", snapshot);
+
+        // Find one intra-shard and one cross-shard edge.
+        let (mut intra, mut cut) = (None, None);
+        for v in world.graph.nodes() {
+            for e in world.graph.out_edges(v) {
+                if assignment[v.index()] == assignment[e.node.index()] {
+                    intra.get_or_insert((v, e.node));
+                } else {
+                    cut.get_or_insert((v, e.node));
+                }
+            }
+        }
+        let (iv, iw) = intra.unwrap();
+        let (cv, cw) = cut.unwrap();
+
+        // Intra-shard change: boundary re-derived, router stays sharded.
+        let (updated, _) = d
+            .with_mutations(&[EdgeMutation::scale(iv, iw, 1.0, 2.0)])
+            .unwrap();
+        let router = updated.router().expect("still sharded");
+        assert!(!router.fused_only());
+        assert_eq!(router.info().assignment, assignment);
+
+        // Cut-edge change: degraded to fused-only routing, stickily.
+        let (degraded, _) = updated
+            .with_mutations(&[EdgeMutation::scale(cv, cw, 1.0, 2.0)])
+            .unwrap();
+        assert!(degraded.router().unwrap().fused_only());
+        let (still, _) = degraded
+            .with_mutations(&[EdgeMutation::scale(iv, iw, 1.0, 2.0)])
+            .unwrap();
+        assert!(
+            still.router().unwrap().fused_only(),
+            "fused-only survives later intra-shard batches"
+        );
     }
 
     #[test]

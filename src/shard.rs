@@ -94,6 +94,7 @@ pub struct ShardRouter {
     info: ShardingInfo,
     anchor: ScaleAnchor,
     shards: Vec<Shard>,
+    fused_only: bool,
     fanouts: AtomicU64,
     rejected: AtomicU64,
 }
@@ -104,6 +105,18 @@ impl ShardRouter {
     /// `graph` — snapshot loading validates that; computed layouts are
     /// correct by construction.
     pub fn new(graph: &Graph, info: ShardingInfo) -> Self {
+        Self::new_with_mode(graph, info, false)
+    }
+
+    /// [`Self::new`] with an explicit routing mode. `fused_only` is the
+    /// degraded mode a mutated sharded dataset falls into when a batch
+    /// changed a *cut* edge: the re-derived escape/enter boundary
+    /// tables describe the new cut set, but confinement proofs built on
+    /// a shifting boundary are not worth trusting mid-traffic, so the
+    /// router plans every query as [`ShardPlan::Fanout`] (the fused
+    /// engine — still byte-identical answers, no shard-local savings)
+    /// until the dataset is re-sharded offline.
+    pub fn new_with_mode(graph: &Graph, info: ShardingInfo, fused_only: bool) -> Self {
         let sizes = info.shard_sizes();
         let shards = (0..info.shard_count)
             .map(|s| Shard {
@@ -118,9 +131,16 @@ impl ShardRouter {
             anchor: ScaleAnchor::of(graph),
             info,
             shards,
+            fused_only,
             fanouts: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
+    }
+
+    /// Whether the router is in the degraded fused-only mode (every
+    /// query fans out; see [`Self::new_with_mode`]).
+    pub fn fused_only(&self) -> bool {
+        self.fused_only
     }
 
     /// Number of shards.
@@ -171,7 +191,7 @@ impl ShardRouter {
                 .queries
                 .fetch_add(1, Ordering::Relaxed);
         }
-        if local_capable && self.info.confined(source, target, budget) {
+        if local_capable && !self.fused_only && self.info.confined(source, target, budget) {
             self.shards[s as usize]
                 .local_hits
                 .fetch_add(1, Ordering::Relaxed);
@@ -358,6 +378,24 @@ mod tests {
         assert!(!router.poison(99));
         assert!(!router.revive(99));
         assert!(!router.is_poisoned(99));
+    }
+
+    #[test]
+    fn fused_only_mode_always_fans_out() {
+        let world = generate_world(&GenConfig::grid(6, 5, 3));
+        let info = compute_sharding(&world.graph, 2);
+        let router = ShardRouter::new_with_mode(&world.graph, info, true);
+        assert!(router.fused_only());
+        let ((s, t), _) = pairs(&world.graph, &router);
+        // Confined by the boundary tables, but the degraded mode
+        // refuses the local plan anyway.
+        assert_eq!(router.plan(s, t, 0.0, true).unwrap(), ShardPlan::Fanout);
+        assert_eq!(router.fanouts(), 1);
+        let counters = router.shard_counters();
+        assert_eq!(counters.iter().map(|c| c.local_hits).sum::<u64>(), 0);
+        // The default constructor stays in normal mode.
+        let normal = setup().1;
+        assert!(!normal.fused_only());
     }
 
     #[test]

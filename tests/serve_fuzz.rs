@@ -245,6 +245,129 @@ fn fuzz_blocking_io() {
     run_fuzz(IoMode::Blocking, 7, 20);
 }
 
+/// One seeded malformed `update_edges` line. Every variant is invalid
+/// in a different layer: JSON shape, unknown fields, bad ops, bad
+/// multiplier domains (including `1e999`, which parses to infinity),
+/// edges or nodes that do not exist, duplicates, and self-loops.
+fn malformed_update_edges(rng: &mut StdRng, id: u64) -> Vec<u8> {
+    let body = match rng.gen_range(0..12u32) {
+        0 => r#"{}"#.to_string(),
+        1 => r#"{"mutations":[]}"#.to_string(),
+        2 => r#"{"mutations":42}"#.to_string(),
+        3 => r#"{"mutations":["close"]}"#.to_string(),
+        4 => format!(
+            r#"{{"mutations":[{{"from":{},"to":{},"op":"demolish"}}]}}"#,
+            rng.gen_range(0..8u32),
+            rng.gen_range(0..8u32)
+        ),
+        5 => r#"{"mutations":[{"from":0,"to":1,"op":"close","objective":1.0,"budget":1.0}]}"#
+            .to_string(),
+        6 => r#"{"mutations":[{"from":0,"to":1,"op":"scale","objective":1.0}]}"#.to_string(),
+        // 1e999 overflows to +inf — must be a typed rejection, not a
+        // served infinity.
+        7 => r#"{"mutations":[{"from":0,"to":1,"op":"scale","objective":1e999,"budget":1.0}]}"#
+            .to_string(),
+        8 => format!(
+            r#"{{"mutations":[{{"from":0,"to":1,"op":"scale","objective":{},"budget":1.0}}]}}"#,
+            ["0.0", "-1.5", "-0.0"][rng.gen_range(0..3usize)]
+        ),
+        // (7, 0) and (1, 0) are not edges of figure 1; node 99 is not a
+        // node at all.
+        9 => format!(
+            r#"{{"mutations":[{{"from":{},"to":0,"op":"close"}}]}}"#,
+            [7u32, 1, 99][rng.gen_range(0..3usize)]
+        ),
+        10 => r#"{"mutations":[{"from":0,"to":1,"op":"close"},{"from":0,"to":1,"op":"close"}]}"#
+            .to_string(),
+        _ => format!(
+            r#"{{"mutations":[{{"from":{0},"to":{0},"op":"close"}}]}}"#,
+            rng.gen_range(0..8u32)
+        ),
+    };
+    format!(r#"{{"id":{id},"method":"update_edges","params":{body}}}"#).into_bytes()
+}
+
+/// A storm of malformed `update_edges` lines (chunk-framed, interleaved
+/// with valid queries) must produce one structured `bad_request` per
+/// line, leave the dataset at epoch 0 — no partial batch may ever
+/// apply — and leave the server serving.
+fn run_update_edges_fuzz(io: IoMode, seed: u64) {
+    let (addr, handle) = fixture_server(io);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    let mut checked = 0;
+    for id in 0..120u64 {
+        let payload = if id % 5 == 4 {
+            // Interleave a valid query so real traffic flows throughout.
+            format!(
+                r#"{{"id":{id},"method":"query","params":{{"from":0,"to":7,"keywords":["t1"],"budget":10}}}}"#
+            )
+            .into_bytes()
+        } else {
+            malformed_update_edges(&mut rng, id)
+        };
+        let mut framed = payload.clone();
+        framed.push(b'\n');
+        write_chunked(&mut rng, &mut conn, &framed);
+
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("reply");
+        let v = JsonValue::parse(resp.trim())
+            .unwrap_or_else(|e| panic!("malformed reply {resp:?}: {e:?}"));
+        assert_eq!(v.get("id").and_then(JsonValue::as_u64), Some(id), "{resp}");
+        if id % 5 == 4 {
+            assert_eq!(
+                v.get("ok").and_then(JsonValue::as_bool),
+                Some(true),
+                "{resp}"
+            );
+        } else {
+            assert_eq!(
+                v.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(JsonValue::as_str),
+                Some("bad_request"),
+                "line {:?} must be a structured rejection, got {resp}",
+                String::from_utf8_lossy(&payload)
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 120);
+
+    // Not one of the rejected batches may have touched the graph.
+    conn.write_all(b"{\"id\":9000,\"method\":\"stats\"}\n")
+        .unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    let stats = JsonValue::parse(resp.trim()).unwrap();
+    let ds = stats
+        .get("result")
+        .and_then(|r| r.get("datasets"))
+        .and_then(JsonValue::as_arr)
+        .and_then(|d| d.first())
+        .expect("dataset stats");
+    assert_eq!(ds.get("epoch").and_then(JsonValue::as_u64), Some(0));
+    assert_eq!(ds.get("edges").and_then(JsonValue::as_u64), Some(12));
+
+    handle.shutdown();
+}
+
+#[test]
+fn fuzz_update_edges_event_io() {
+    run_update_edges_fuzz(IoMode::Event, 0xED6E5);
+}
+
+#[test]
+fn fuzz_update_edges_blocking_io() {
+    run_update_edges_fuzz(IoMode::Blocking, 0x5107);
+}
+
 /// Oversized lines are their own terminal case: the server must answer
 /// `request_too_large` and close — even when the oversized line never
 /// ends (no newline arrives before the cap trips).
