@@ -27,13 +27,20 @@
 //!   optional `SHRD`/`BNDR` sections);
 //! * [`traffic`] — seeded traffic profiles (closure scripts, rush-hour
 //!   multiplier schedules, reopenings) producing replayable mutation
-//!   batches for the dynamic-world oracle battery and `kor mutate`.
+//!   batches for the dynamic-world oracle battery and `kor mutate`;
+//! * [`journal`] — the `.korj` append-only CRC-chained mutation journal
+//!   (write-ahead durability for `update_edges`, torn-tail-tolerant
+//!   recovery, checkpoint compaction — see `docs/OPERATIONS.md`);
+//! * [`faultpoint`] — deterministic, env-armable crash/short-write/
+//!   I/O-error injection points for the crash-recovery batteries.
 //!
 //! Every generator is deterministic under an explicit `u64` seed.
 
+pub mod faultpoint;
 pub mod flickr;
 pub mod gen;
 pub mod io;
+pub mod journal;
 pub mod queries;
 pub mod roadnet;
 pub mod shard;
@@ -41,11 +48,16 @@ pub mod snapshot;
 pub mod tags;
 pub mod traffic;
 
+pub use faultpoint::FaultAction;
 pub use flickr::{generate_flickr, FlickrConfig, FlickrStats};
 pub use gen::{generate_world, GenConfig, Topology};
 pub use io::{
     graph_from_str, graph_to_string, load_graph, load_graph_auto, read_world_auto, save_graph,
     LoadError,
+};
+pub use journal::{
+    checkpoint_path, graph_digest, journal_path, read_journal, read_journal_bytes, replay, Journal,
+    JournalError, RecoveredJournal,
 };
 pub use queries::{
     generate_workload, CannedQuery, CannedQuerySet, QuerySet, QuerySpec, WorkloadConfig,

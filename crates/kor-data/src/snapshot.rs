@@ -173,8 +173,9 @@ const CRC_TABLE: [u32; 256] = {
     table
 };
 
-/// IEEE CRC-32 of `bytes`.
-fn crc32(bytes: &[u8]) -> u32 {
+/// IEEE CRC-32 of `bytes` (shared with the mutation journal, whose
+/// chained record checksums use the same polynomial).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
@@ -203,7 +204,7 @@ impl SectionWriter {
     }
 }
 
-fn graph_section(graph: &Graph) -> Vec<u8> {
+pub(crate) fn graph_section(graph: &Graph) -> Vec<u8> {
     let csr = graph.csr();
     let mut w = SectionWriter::new();
     w.u32(graph.node_count() as u32);

@@ -121,7 +121,15 @@ impl Graph {
         self.epoch
     }
 
-    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+    /// Renumbers this graph's epoch without touching its structure.
+    ///
+    /// Snapshots do not store the epoch, so a graph reloaded from a
+    /// checkpoint taken at epoch `E` comes back as epoch 0; journal
+    /// recovery uses this to restore the pre-crash numbering before
+    /// replaying the batches that follow the checkpoint. Outside
+    /// recovery, the epoch should only ever move via
+    /// [`Graph::apply_mutations`].
+    pub fn set_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
     }
 

@@ -49,7 +49,7 @@ pub use error::GraphError;
 pub use graph::{CsrView, EdgeRef, Graph};
 pub use ids::{EdgeId, KeywordId, NodeId};
 pub use keyword::{KeywordSet, Vocab};
-pub use mutate::{EdgeMutation, MutationError, MutationKind};
+pub use mutate::{EdgeMutation, MutationCodecError, MutationError, MutationKind};
 pub use query::{
     subsets_of, supersets_of, QueryKeywords, QueryKeywordsError, SubsetIter, SupersetIter,
     MAX_QUERY_KEYWORDS,

@@ -102,6 +102,89 @@ impl EdgeMutation {
     }
 }
 
+/// Why a serialized mutation could not be decoded (see
+/// [`EdgeMutation::decode_from`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationCodecError {
+    /// The byte stream ended inside a mutation.
+    Truncated,
+    /// The op tag byte was not one of the known codes.
+    UnknownOp(u8),
+}
+
+impl fmt::Display for MutationCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationCodecError::Truncated => write!(f, "mutation bytes truncated"),
+            MutationCodecError::UnknownOp(op) => write!(f, "unknown mutation op tag {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationCodecError {}
+
+impl EdgeMutation {
+    /// Appends this mutation's canonical byte form to `out`.
+    ///
+    /// Layout (all little-endian): op tag `u8` (`0` close, `1` reopen,
+    /// `2` scale) · `from u32` · `to u32` · for reopen/scale the two
+    /// weights as IEEE-754 `f64` bit patterns. The encoding is
+    /// bit-exact: [`EdgeMutation::decode_from`] returns a value equal to
+    /// the original including `f64` bit patterns, which is what lets the
+    /// mutation journal replay a batch byte-identically after a crash.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self.kind {
+            MutationKind::Close => out.push(0),
+            MutationKind::Reopen { .. } => out.push(1),
+            MutationKind::Scale { .. } => out.push(2),
+        }
+        out.extend_from_slice(&self.from.0.to_le_bytes());
+        out.extend_from_slice(&self.to.0.to_le_bytes());
+        match self.kind {
+            MutationKind::Close => {}
+            MutationKind::Reopen { objective, budget }
+            | MutationKind::Scale { objective, budget } => {
+                out.extend_from_slice(&objective.to_bits().to_le_bytes());
+                out.extend_from_slice(&budget.to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes one mutation from `bytes` starting at `*at`, advancing
+    /// `*at` past it. Inverse of [`EdgeMutation::encode_into`]; weight
+    /// *values* are not validated here — [`Graph::apply_mutations`]
+    /// rejects invalid weights exactly as it would on any other path.
+    pub fn decode_from(bytes: &[u8], at: &mut usize) -> Result<EdgeMutation, MutationCodecError> {
+        let mut take = |n: usize| -> Result<&[u8], MutationCodecError> {
+            let s = bytes
+                .get(*at..*at + n)
+                .ok_or(MutationCodecError::Truncated)?;
+            *at += n;
+            Ok(s)
+        };
+        let op = take(1)?[0];
+        let from = NodeId(u32::from_le_bytes(take(4)?.try_into().unwrap()));
+        let to = NodeId(u32::from_le_bytes(take(4)?.try_into().unwrap()));
+        let mut weights = || -> Result<(f64, f64), MutationCodecError> {
+            let objective = f64::from_bits(u64::from_le_bytes(take(8)?.try_into().unwrap()));
+            let budget = f64::from_bits(u64::from_le_bytes(take(8)?.try_into().unwrap()));
+            Ok((objective, budget))
+        };
+        match op {
+            0 => Ok(EdgeMutation::close(from, to)),
+            1 => {
+                let (objective, budget) = weights()?;
+                Ok(EdgeMutation::reopen(from, to, objective, budget))
+            }
+            2 => {
+                let (objective, budget) = weights()?;
+                Ok(EdgeMutation::scale(from, to, objective, budget))
+            }
+            other => Err(MutationCodecError::UnknownOp(other)),
+        }
+    }
+}
+
 /// Why a mutation batch was rejected. The batch is validated as a whole
 /// before any rebuild work: on error the original graph is untouched
 /// and no partial batch is ever observable.
@@ -598,6 +681,70 @@ mod tests {
                 g.out_edges(v).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn codec_round_trips_bit_for_bit() {
+        let mutations = [
+            EdgeMutation::close(NodeId(0), NodeId(7)),
+            EdgeMutation::reopen(NodeId(3), NodeId(1), 0.1 + 0.2, f64::MIN_POSITIVE),
+            EdgeMutation::scale(NodeId(u32::MAX), NodeId(42), 1.5, 1e300),
+        ];
+        let mut bytes = Vec::new();
+        for m in &mutations {
+            m.encode_into(&mut bytes);
+        }
+        assert_eq!(bytes.len(), 9 + 25 + 25);
+        let mut at = 0;
+        for m in &mutations {
+            let back = EdgeMutation::decode_from(&bytes, &mut at).unwrap();
+            assert_eq!(&back, m);
+            // PartialEq on f64 misses bit patterns that compare equal;
+            // pin the bits explicitly.
+            if let (
+                MutationKind::Reopen {
+                    objective: a,
+                    budget: b,
+                }
+                | MutationKind::Scale {
+                    objective: a,
+                    budget: b,
+                },
+                MutationKind::Reopen {
+                    objective: c,
+                    budget: d,
+                }
+                | MutationKind::Scale {
+                    objective: c,
+                    budget: d,
+                },
+            ) = (back.kind, m.kind)
+            {
+                assert_eq!(a.to_bits(), c.to_bits());
+                assert_eq!(b.to_bits(), d.to_bits());
+            }
+        }
+        assert_eq!(at, bytes.len());
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_unknown_ops() {
+        let mut bytes = Vec::new();
+        EdgeMutation::scale(NodeId(1), NodeId(2), 2.0, 3.0).encode_into(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut at = 0;
+            assert_eq!(
+                EdgeMutation::decode_from(&bytes[..cut], &mut at),
+                Err(MutationCodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        let mut at = 0;
+        bytes[0] = 9;
+        assert_eq!(
+            EdgeMutation::decode_from(&bytes, &mut at),
+            Err(MutationCodecError::UnknownOp(9))
+        );
     }
 
     #[test]

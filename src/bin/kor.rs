@@ -64,6 +64,7 @@ use kor::data::{generate_traffic, TrafficConfig};
 use kor::loadtest::{run_loadtest_to_file, LoadtestConfig};
 use kor::mutate::{run_mutate, MutateConfig};
 use kor::prelude::*;
+use kor::recover::{run_recover_to_file, RecoverConfig};
 use kor::serve::registry::Dataset;
 use kor::serve::{ServeConfig, Server};
 
@@ -93,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("bench") => bench(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("loadtest") => loadtest(&args[1..]),
+        Some("recover") => recover(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
             Ok(())
@@ -104,8 +106,8 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Every subcommand, for the usage screen and error messages.
-const SUBCOMMANDS: &str =
-    "generate, gen, ingest, stats, index, query, batch, shard, mutate, bench, serve, loadtest, help";
+const SUBCOMMANDS: &str = "generate, gen, ingest, stats, index, query, batch, shard, mutate, \
+     bench, serve, loadtest, recover, help";
 
 fn usage() -> &'static str {
     "kor — keyword-aware optimal route search (Cao et al., VLDB 2012)\n\
@@ -140,10 +142,13 @@ fn usage() -> &'static str {
      \x20           [--algos a,b,c] [--smoke]\n\
      \x20 kor serve [--addr HOST:PORT] [--threads N] [--io event|blocking]\n\
      \x20           [--queue N] [--dataset [NAME=]FILE]... [--deadline-ms N]\n\
-     \x20           [--max-request-bytes N]\n\
+     \x20           [--max-request-bytes N] [--journal DIR]\n\
      \x20 kor loadtest FILE.korbin [--out BENCH_serve.json] [--threads N]\n\
      \x20           [--clients N] [--duration-ms N] [--warmup-ms N]\n\
      \x20           [--think-ms N] [--mode event|blocking|both] [--smoke]\n\
+     \x20 kor recover FILE --journal DIR [--name NAME] [--verify] [--compact]\n\
+     \x20           [--algo os-scaling|bucket-bound|greedy] [--epsilon E]\n\
+     \x20           [--beta B] [--alpha A] [--beam N] [--json-out FILE]\n\
      \x20 kor help\n\
      \n\
      Graph FILE arguments accept both the text .korg format and binary\n\
@@ -170,7 +175,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
         if let Some(name) = a.strip_prefix("--") {
             if matches!(
                 name,
-                "small" | "quiet" | "smoke" | "canned" | "verify" | "no-reopen"
+                "small" | "quiet" | "smoke" | "canned" | "verify" | "no-reopen" | "compact"
             ) {
                 // boolean flags
                 flags.push((name.to_string(), "true".to_string()));
@@ -965,6 +970,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         queue_capacity: parse_num(&flags, "queue", 0)?,
         default_deadline_ms: parse_num(&flags, "deadline-ms", 0)?,
         max_request_bytes: parse_num(&flags, "max-request-bytes", 1 << 20)?,
+        journal: flag(&flags, "journal").map(PathBuf::from),
     };
     let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     for spec in flag_all(&flags, "dataset") {
@@ -979,7 +985,11 @@ fn serve(args: &[String]) -> Result<(), String> {
                 (name, path)
             }
         };
-        let dataset = Dataset::load(&name, Path::new(path))?;
+        let recovered = server.attach_dataset(&name, Path::new(path))?;
+        let dataset = server
+            .registry()
+            .get(&name)
+            .expect("attach_dataset registered the dataset");
         let graph = dataset.engine().graph();
         eprintln!(
             "loaded dataset {name:?}: {} nodes, {} edges, {} keywords",
@@ -987,7 +997,14 @@ fn serve(args: &[String]) -> Result<(), String> {
             graph.edge_count(),
             graph.vocab().len()
         );
-        server.registry().insert(dataset);
+        if let Some(info) = recovered {
+            if info.batches > 0 {
+                eprintln!(
+                    "recovered dataset {name:?} from its journal: {} batches -> epoch {}",
+                    info.batches, info.epoch
+                );
+            }
+        }
     }
     // The e2e tests parse this line to learn the ephemeral port; keep
     // its shape stable.
@@ -996,6 +1013,64 @@ fn serve(args: &[String]) -> Result<(), String> {
     std::io::stdout().flush().ok();
     server.run();
     eprintln!("kor serve: shut down");
+    Ok(())
+}
+
+/// `kor recover`: replay a mutation journal over its base world,
+/// optionally verify against a never-crashed twin, optionally compact.
+fn recover(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let dataset = positional
+        .first()
+        .ok_or("recover needs the dataset file the journal was created for")?;
+    let journal_dir = flag(&flags, "journal")
+        .ok_or("recover needs --journal DIR (the serve-side journal directory)")?;
+    let epsilon: f64 = parse_num(&flags, "epsilon", 0.5)?;
+    let algo = match flag(&flags, "algo").unwrap_or("bucket-bound") {
+        "os-scaling" => BatchAlgo::OsScaling { epsilon },
+        "bucket-bound" => BatchAlgo::BucketBound {
+            epsilon,
+            beta: parse_num(&flags, "beta", 1.2)?,
+        },
+        "greedy" => BatchAlgo::Greedy {
+            alpha: parse_num(&flags, "alpha", 0.5)?,
+            beam: parse_num(&flags, "beam", 1)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown --algo {other:?} (recover supports os-scaling, bucket-bound, greedy)"
+            ))
+        }
+    };
+    let config = RecoverConfig {
+        dataset: PathBuf::from(dataset),
+        journal_dir: PathBuf::from(journal_dir),
+        name: flag(&flags, "name").map(str::to_string),
+        verify: flag(&flags, "verify").is_some(),
+        compact: flag(&flags, "compact").is_some(),
+        algo,
+    };
+    let json_out = flag(&flags, "json-out").map(Path::new);
+    let report = run_recover_to_file(&config, json_out)?;
+    eprintln!(
+        "recover {:?}: base epoch {}, {} batches -> epoch {}{}",
+        report.name,
+        report.base_epoch,
+        report.batches,
+        report.epoch,
+        if report.torn_bytes > 0 {
+            format!(" ({} torn bytes ignored)", report.torn_bytes)
+        } else {
+            String::new()
+        },
+    );
+    if let Some(digest) = report.verified_digest {
+        eprintln!("verified: cold-recovered answers match the never-crashed twin ({digest:016x})");
+    }
+    if let Some(path) = &report.checkpoint {
+        eprintln!("compacted into checkpoint {}", path.display());
+    }
+    println!("{}", report.to_json());
     Ok(())
 }
 
@@ -1112,7 +1187,7 @@ mod tests {
         assert!(err.contains("frobnicate"), "{err}");
         for sub in [
             "generate", "gen", "ingest", "stats", "index", "query", "batch", "shard", "mutate",
-            "bench", "serve", "loadtest",
+            "bench", "serve", "loadtest", "recover",
         ] {
             assert!(err.contains(sub), "error must mention {sub}: {err}");
         }
@@ -1134,6 +1209,7 @@ mod tests {
             "kor bench",
             "kor serve",
             "kor loadtest",
+            "kor recover",
             "kor help",
         ] {
             assert!(usage().contains(sub), "usage must mention {sub:?}");

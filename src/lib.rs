@@ -35,6 +35,11 @@
 //! * [`loadtest`] — a closed-loop client fleet that measures `serve`
 //!   throughput and latency per I/O mode (`kor loadtest` on the CLI,
 //!   emitting `BENCH_serve.json`);
+//! * [`recover`] — offline crash recovery: replay a mutation journal
+//!   over its base world, verify the recovered engine against a
+//!   never-crashed twin, and compact the journal into a checkpoint
+//!   (`kor recover` on the CLI; operations guide in
+//!   `docs/OPERATIONS.md`);
 //! * [`shard`] — the scatter-gather router over partitioned datasets:
 //!   one warm engine per shard, confinement-proven local answers, and
 //!   fused-engine fanout for cross-shard queries (`kor shard` on the
@@ -83,6 +88,7 @@ pub mod bench;
 pub mod json;
 pub mod loadtest;
 pub mod mutate;
+pub mod recover;
 pub mod serve;
 pub mod shard;
 

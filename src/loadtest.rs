@@ -12,10 +12,18 @@
 //! multiplexes all of them and keeps the workers busy with actual
 //! requests.
 //!
+//! Clients are robust to a server under pressure: a refused connect or
+//! an `overloaded` response is retried with deterministic jittered
+//! exponential backoff (bounded attempts, then the client gives up on
+//! that request and moves on); the report counts `retries` and
+//! `gave_up` per mode so saturation is visible rather than silently
+//! smoothed over.
+//!
 //! The report is written to `BENCH_serve.json` (schema documented in
 //! `docs/ARCHITECTURE.md`): per-mode QPS, p50/p95/p99/max latency,
-//! error and `overloaded` counts, connection counts, and the server's
-//! own `stats.server` section, plus the event-over-blocking speedup.
+//! error, `overloaded`, `retries`, and `gave_up` counts, connection
+//! counts, and the server's own `stats.server` section, plus the
+//! event-over-blocking speedup.
 //! Any response that is neither `ok` nor an `overloaded` error fails
 //! the run — under a well-formed canned workload the server has no
 //! excuse for one, so CI treats it as a protocol regression.
@@ -93,6 +101,10 @@ struct ClientTally {
     other_errors: u64,
     /// Connect failures, timeouts, resets; each costs a reconnect.
     io_errors: u64,
+    /// Backoff retries taken (connect refused or `overloaded`).
+    retries: u64,
+    /// Requests abandoned after the backoff attempt budget ran out.
+    gave_up: u64,
     /// Connections opened.
     connections: u64,
     /// Latencies of `ok` responses inside the window, in ms.
@@ -107,6 +119,8 @@ impl ClientTally {
         self.overloaded += other.overloaded;
         self.other_errors += other.other_errors;
         self.io_errors += other.io_errors;
+        self.retries += other.retries;
+        self.gave_up += other.gave_up;
         self.connections += other.connections;
         self.latencies_ms.extend(other.latencies_ms);
         if self.sample_error.is_none() {
@@ -115,20 +129,84 @@ impl ClientTally {
     }
 }
 
-/// One closed-loop client: keep-alive connection, one request in
-/// flight, think time between requests. Round-robins through the canned
-/// request lines starting at its own offset.
-fn client_loop(
+/// Retry budget per request/connect before a client gives up and moves
+/// on. With the 2 ms base doubling to a 128 ms cap this bounds one
+/// request's retry tail to roughly half a second.
+const BACKOFF_ATTEMPTS: u32 = 8;
+
+/// Jittered exponential backoff with a bounded attempt budget. The
+/// jitter is deterministic — a per-client LCG, because the loadtest has
+/// no randomness source and its reports must be reproducible — but
+/// still de-synchronizes the fleet: each client walks a different
+/// pseudo-random delay sequence, so a burst refused together does not
+/// retry together.
+struct Backoff {
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    fn new(seed: u64) -> Backoff {
+        Backoff {
+            attempt: 0,
+            // Odd multiplier spreads consecutive small seeds (client
+            // indices) across the LCG's state space.
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Next delay (base 2 ms doubling to 128 ms, plus up-to-100% LCG
+    /// jitter), or `None` once the attempt budget is spent.
+    fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= BACKOFF_ATTEMPTS {
+            return None;
+        }
+        let base_ms = 2u64 << self.attempt.min(6);
+        self.attempt += 1;
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let jitter = (self.rng >> 33) % base_ms;
+        Some(Duration::from_millis(base_ms + jitter))
+    }
+
+    fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// Everything one client needs besides the shared request lines and
+/// stop flag.
+struct ClientSpec {
     addr: SocketAddr,
-    lines: &[String],
-    mut cursor: usize,
+    /// Starting offset into the canned request lines.
+    cursor: usize,
+    /// Seed for this client's backoff jitter stream.
+    seed: u64,
     measure_from: Instant,
-    stop: &AtomicBool,
     think: Duration,
     read_timeout: Duration,
-) -> ClientTally {
+}
+
+/// One closed-loop client: keep-alive connection, one request in
+/// flight, think time between requests. Round-robins through the canned
+/// request lines starting at its own offset. Connect refusals and
+/// `overloaded` responses are retried with [`Backoff`]; once the
+/// attempt budget is spent the client gives up on that request (or
+/// connect round) and moves on.
+fn client_loop(spec: &ClientSpec, lines: &[String], stop: &AtomicBool) -> ClientTally {
+    let ClientSpec {
+        addr,
+        mut cursor,
+        seed,
+        measure_from,
+        think,
+        read_timeout,
+    } = *spec;
     let mut tally = ClientTally::default();
     let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
+    let mut backoff = Backoff::new(seed);
     while !stop.load(Ordering::Relaxed) {
         if conn.is_none() {
             match TcpStream::connect(addr) {
@@ -138,6 +216,7 @@ fn client_loop(
                     match stream.try_clone() {
                         Ok(clone) => {
                             tally.connections += 1;
+                            backoff.reset();
                             conn = Some((stream, BufReader::new(clone)));
                         }
                         Err(_) => {
@@ -147,7 +226,17 @@ fn client_loop(
                 }
                 Err(_) => {
                     tally.io_errors += 1;
-                    std::thread::sleep(think.max(Duration::from_millis(1)));
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            tally.retries += 1;
+                            std::thread::sleep(delay);
+                        }
+                        None => {
+                            tally.gave_up += 1;
+                            backoff.reset();
+                            std::thread::sleep(think.max(Duration::from_millis(1)));
+                        }
+                    }
                     continue;
                 }
             }
@@ -156,7 +245,6 @@ fn client_loop(
             continue;
         };
         let line = &lines[cursor % lines.len()];
-        cursor += 1;
         let sent = Instant::now();
         let outcome: Result<String, ()> = (|| {
             stream.write_all(line.as_bytes()).map_err(|_| ())?;
@@ -172,6 +260,7 @@ fn client_loop(
                 // Timeout, reset, or orderly close (the blocking layer
                 // hangs up after answering `overloaded`): reconnect.
                 tally.io_errors += 1;
+                cursor += 1;
                 conn = None;
             }
             Ok(resp) => {
@@ -184,13 +273,33 @@ fn client_loop(
                                 .latencies_ms
                                 .push(done.duration_since(sent).as_secs_f64() * 1e3);
                         }
+                        backoff.reset();
+                        cursor += 1;
                     }
-                    Reply::Overloaded => tally.overloaded += 1,
+                    Reply::Overloaded => {
+                        tally.overloaded += 1;
+                        // Retry the SAME request after a backoff; give
+                        // up on it (cursor advances) once the budget is
+                        // spent.
+                        match backoff.next_delay() {
+                            Some(delay) => {
+                                tally.retries += 1;
+                                std::thread::sleep(delay);
+                                continue;
+                            }
+                            None => {
+                                tally.gave_up += 1;
+                                backoff.reset();
+                                cursor += 1;
+                            }
+                        }
+                    }
                     Reply::Other => {
                         tally.other_errors += 1;
                         tally
                             .sample_error
                             .get_or_insert_with(|| resp.trim_end().to_string());
+                        cursor += 1;
                     }
                 }
             }
@@ -315,15 +424,15 @@ fn run_mode(
         let stop = Arc::clone(&stop);
         let think = cfg.think;
         clients.push(std::thread::spawn(move || {
-            client_loop(
+            let spec = ClientSpec {
                 addr,
-                &lines,
-                c * 7, // spread clients across the canned set
+                cursor: c * 7, // spread clients across the canned set
+                seed: c as u64 + 1,
                 measure_from,
-                &stop,
                 think,
                 read_timeout,
-            )
+            };
+            client_loop(&spec, &lines, &stop)
         }));
     }
     std::thread::sleep(cfg.warmup + cfg.duration);
@@ -343,6 +452,8 @@ fn run_mode(
         ("overloaded", tally.overloaded.into()),
         ("other_errors", tally.other_errors.into()),
         ("io_errors", tally.io_errors.into()),
+        ("retries", tally.retries.into()),
+        ("gave_up", tally.gave_up.into()),
         ("connections", tally.connections.into()),
         ("latency_ms", latency_json(tally.latencies_ms.clone())),
         ("server", server_stats),
@@ -480,6 +591,30 @@ mod tests {
     }
 
     #[test]
+    fn backoff_is_bounded_jittered_and_deterministic() {
+        let mut b = Backoff::new(3);
+        let mut delays = Vec::new();
+        while let Some(d) = b.next_delay() {
+            delays.push(d.as_millis() as u64);
+        }
+        assert_eq!(delays.len() as u32, BACKOFF_ATTEMPTS, "budget is bounded");
+        for (i, &d) in delays.iter().enumerate() {
+            let base = 2u64 << (i as u32).min(6);
+            assert!(d >= base && d < 2 * base, "attempt {i}: {d} vs base {base}");
+        }
+        assert!(b.next_delay().is_none(), "spent budget stays spent");
+        b.reset();
+        assert!(b.next_delay().is_some(), "reset restores the budget");
+        // Same seed, same sequence; different seeds diverge somewhere.
+        let seq = |seed| {
+            let mut b = Backoff::new(seed);
+            std::iter::from_fn(move || b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(3), seq(3));
+        assert_ne!(seq(1), seq(2), "clients must not retry in lockstep");
+    }
+
+    #[test]
     fn quick_event_run_produces_a_report() {
         let world = tiny_world();
         let cfg = LoadtestConfig {
@@ -498,6 +633,9 @@ mod tests {
             event.get("other_errors").and_then(JsonValue::as_u64),
             Some(0)
         );
+        // The retry counters are always reported, zero on a calm run.
+        assert!(event.get("retries").and_then(JsonValue::as_u64).is_some());
+        assert!(event.get("gave_up").and_then(JsonValue::as_u64).is_some());
         let lat = event.get("latency_ms").unwrap();
         assert!(lat.get("p50").and_then(JsonValue::as_f64).unwrap() > 0.0);
         // Single-mode runs have no speedup field.

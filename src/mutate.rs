@@ -188,7 +188,7 @@ pub fn run_mutate(
 /// folds the outcomes into the batch answer digest. Sequential on
 /// purpose: the digest is order-defined and mutation replays are about
 /// correctness, not throughput.
-fn replay_digest<G: AsRef<Graph>>(
+pub(crate) fn replay_digest<G: AsRef<Graph>>(
     engine: &KorEngine<G>,
     world: &Snapshot,
     algo: BatchAlgo,

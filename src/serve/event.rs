@@ -36,7 +36,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::json::JsonValue;
-use crate::serve::handler::{handle, ServerContext};
+use crate::serve::handler::{handle, note_panic, ServerContext};
 use crate::serve::protocol::{error_response, ok_response, parse_request, ErrorCode, WireError};
 
 /// Per-connection cap on requests dispatched to workers but not yet
@@ -71,14 +71,15 @@ pub(crate) struct Job {
     received: Instant,
 }
 
-/// One response travelling back. `response: None` means the handler
-/// panicked; the reactor drops the connection, mirroring the blocking
-/// layer where a panic tears down the connection it was serving.
+/// One response travelling back. Always present: a handler panic is
+/// caught in the worker and rendered as an `internal_error` response,
+/// so the faulty request is the only casualty — the worker, the
+/// connection, and every pipelined neighbor keep going.
 pub(crate) struct Completion {
     conn: usize,
     generation: u64,
     seq: u64,
-    response: Option<String>,
+    response: String,
 }
 
 /// Bounded multi-producer multi-consumer queue of request jobs.
@@ -178,8 +179,7 @@ impl CompletionBus {
 pub(crate) fn worker_loop(queue: &JobQueue, bus: &CompletionBus, ctx: &ServerContext) {
     while let Some(job) = queue.pop() {
         ctx.queued_requests.fetch_sub(1, Ordering::Relaxed);
-        let response =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| respond(ctx, &job))).ok();
+        let response = respond(ctx, &job);
         bus.push(Completion {
             conn: job.conn,
             generation: job.generation,
@@ -191,15 +191,22 @@ pub(crate) fn worker_loop(queue: &JobQueue, bus: &CompletionBus, ctx: &ServerCon
 
 /// Parses and routes one request line — the same pipeline as the
 /// blocking layer's per-connection loop, so responses are byte-identical
-/// between the two I/O modes.
+/// between the two I/O modes. A handler panic is confined to the
+/// request that caused it: parsing happens outside the unwind guard so
+/// the client's `id` survives into the `internal_error` response.
 fn respond(ctx: &ServerContext, job: &Job) -> String {
     let text = String::from_utf8_lossy(&job.line);
     match parse_request(text.trim()) {
         Err(e) => error_response(&JsonValue::Null, &e),
-        Ok(req) => match handle(ctx, &req, job.received) {
-            Ok(result) => ok_response(&req.id, result),
-            Err(e) => error_response(&req.id, &e),
-        },
+        Ok(req) => {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle(ctx, &req, job.received)
+            })) {
+                Ok(Ok(result)) => ok_response(&req.id, result),
+                Ok(Err(e)) => error_response(&req.id, &e),
+                Err(_) => error_response(&req.id, &note_panic(ctx)),
+            }
+        }
     }
 }
 
@@ -407,12 +414,7 @@ impl Reactor {
             return;
         }
         conn.in_flight -= 1;
-        match completion.response {
-            Some(response) => {
-                conn.pending.insert(completion.seq, response);
-            }
-            None => conn.dead = true,
-        }
+        conn.pending.insert(completion.seq, completion.response);
     }
 
     /// Flush + read + parse every connection once.
@@ -614,7 +616,7 @@ mod tests {
             conn: 3,
             generation: 1,
             seq: 7,
-            response: Some("x".into()),
+            response: "x".into(),
         });
         let got = waiter.join().unwrap();
         assert_eq!(got.len(), 1);

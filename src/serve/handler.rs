@@ -7,13 +7,18 @@
 //! carried it — the property the end-to-end tests pin down by comparing
 //! concurrent responses byte for byte.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use kor_core::{BucketBoundParams, GreedyParams, KorError, KorQuery, OsScalingParams, RouteResult};
+use kor_data::FaultAction;
 
 use crate::json::JsonValue;
 use crate::serve::protocol::{ErrorCode, Request, WireError};
+use crate::serve::recovery::{self, JournalState};
 use crate::serve::registry::{Dataset, Registry, ResolveError};
 use crate::serve::IoMode;
 use crate::shard::{ShardPlan, ShardRouter};
@@ -25,6 +30,13 @@ use std::sync::Arc;
 pub struct ServerContext {
     /// Loaded datasets.
     pub registry: Registry,
+    /// Directory holding one write-ahead `.korj` journal (plus
+    /// checkpoints) per dataset; `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Open journals keyed by dataset name, each with what its last
+    /// recovery replayed. Replaced together with the registry entry
+    /// under [`Registry::mutation_guard`].
+    pub journals: Mutex<HashMap<String, JournalState>>,
     /// When the server started (for `uptime_ms`).
     pub started: Instant,
     /// Worker pool size (reported by `stats`).
@@ -51,6 +63,9 @@ pub struct ServerContext {
     /// Total requests/connections answered `overloaded` because that
     /// queue was full.
     pub overloaded: AtomicU64,
+    /// Request handlers that panicked and were answered with
+    /// `internal_error` instead of killing the worker or connection.
+    pub panics: AtomicU64,
     /// Set by the `shutdown` method (and by [`crate::serve::ServerHandle`]);
     /// the listener stops accepting once it observes this.
     pub shutdown: AtomicBool,
@@ -61,6 +76,8 @@ impl ServerContext {
     pub fn new(threads: usize, default_deadline_ms: u64) -> ServerContext {
         ServerContext {
             registry: Registry::new(),
+            journal_dir: None,
+            journals: Mutex::new(HashMap::new()),
             started: Instant::now(),
             threads,
             io: IoMode::Event,
@@ -72,7 +89,19 @@ impl ServerContext {
             requests: AtomicU64::new(0),
             queued_requests: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Fsyncs every open journal. Appends are already synced record by
+    /// record, so this is a belt-and-suspenders pass on graceful
+    /// shutdown — and the place sync errors get surfaced.
+    pub fn sync_journals(&self) {
+        for (name, state) in self.journals.lock().unwrap().iter() {
+            if let Err(e) = state.journal.sync() {
+                eprintln!("kor serve: journal sync for {name:?} failed: {e}");
+            }
         }
     }
 }
@@ -88,6 +117,21 @@ pub fn handle(
     req: &Request,
     received: Instant,
 ) -> Result<JsonValue, WireError> {
+    // Crash/panic injection for the robustness batteries: the panic
+    // action exercises the per-request `catch_unwind` isolation in both
+    // I/O layers; crash exercises recovery from an unflushed death.
+    if let Some(action) = kor_data::faultpoint::hit("serve-request") {
+        match action {
+            FaultAction::Panic => panic!("fault point \"serve-request\": injected panic"),
+            FaultAction::IoError => {
+                return Err(WireError::new(
+                    ErrorCode::InternalError,
+                    kor_data::faultpoint::injected_error("serve-request").to_string(),
+                ))
+            }
+            FaultAction::Crash | FaultAction::Torn => kor_data::faultpoint::die("serve-request"),
+        }
+    }
     match req.method.as_str() {
         "health" => {
             check_keys(&req.params, &[])?;
@@ -124,6 +168,7 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
         Some(name) => vec![resolve(&ctx.registry, Some(name))?],
         None => ctx.registry.all(),
     };
+    let journals = ctx.journals.lock().unwrap();
     let per_dataset: Vec<JsonValue> = datasets
         .iter()
         .map(|d| {
@@ -160,9 +205,21 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
             if let Some(router) = d.router() {
                 fields.push(("shards", shards_json(router)));
             }
+            if let Some(state) = journals.get(d.name()) {
+                fields.push((
+                    "journal",
+                    JsonValue::obj([
+                        ("epoch", state.journal.epoch().into()),
+                        ("records", state.journal.records().into()),
+                        ("recovered_epoch", state.recovered.epoch.into()),
+                        ("recovered_batches", state.recovered.batches.into()),
+                    ]),
+                ));
+            }
             JsonValue::obj(fields)
         })
         .collect();
+    drop(journals);
     Ok(JsonValue::obj([
         ("threads", ctx.threads.into()),
         ("uptime_ms", millis(ctx.started.elapsed()).into()),
@@ -185,6 +242,8 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
                 ),
                 ("queue_capacity", ctx.queue_capacity.into()),
                 ("overloaded", ctx.overloaded.load(Ordering::Relaxed).into()),
+                ("panics", ctx.panics.load(Ordering::Relaxed).into()),
+                ("journaling", ctx.journal_dir.is_some().into()),
             ]),
         ),
         ("datasets", JsonValue::Arr(per_dataset)),
@@ -275,22 +334,45 @@ fn load_dataset(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireErr
             )
         })?,
     };
-    let dataset = Dataset::load(&name, std::path::Path::new(path))
-        .map_err(|e| WireError::new(ErrorCode::LoadFailed, e))?;
+    // Serialize with `update_edges` so journal state and registry entry
+    // replace together: a racing batch lands entirely before this load
+    // (and is replayed by it, journal permitting) or entirely after,
+    // against the freshly loaded dataset. Loads are rare; the guard is
+    // not on any query path.
+    let _guard = ctx.registry.mutation_guard();
+    let (dataset, recovered) = match &ctx.journal_dir {
+        Some(dir) => {
+            let (dataset, state) = recovery::attach(dir, &name, std::path::Path::new(path))
+                .map_err(|e| WireError::new(ErrorCode::LoadFailed, e))?;
+            let info = state.recovered;
+            ctx.journals.lock().unwrap().insert(name.clone(), state);
+            (dataset, Some(info))
+        }
+        None => {
+            let dataset = Dataset::load(&name, std::path::Path::new(path))
+                .map_err(|e| WireError::new(ErrorCode::LoadFailed, e))?;
+            (dataset, None)
+        }
+    };
     let (nodes, edges, keywords) = {
         let g = dataset.engine().graph();
         (g.node_count(), g.edge_count(), g.vocab().len())
     };
     let shards = dataset.router().map_or(0, ShardRouter::shard_count);
     let replaced = ctx.registry.insert(dataset);
-    Ok(JsonValue::obj([
+    let mut fields: Vec<(&'static str, JsonValue)> = vec![
         ("name", name.into()),
         ("nodes", nodes.into()),
         ("edges", edges.into()),
         ("keywords", keywords.into()),
         ("shards", u64::from(shards).into()),
         ("replaced", replaced.into()),
-    ]))
+    ];
+    if let Some(info) = recovered {
+        fields.push(("recovered_epoch", info.epoch.into()));
+        fields.push(("recovered_batches", info.batches.into()));
+    }
+    Ok(JsonValue::obj(fields))
 }
 
 fn query(ctx: &ServerContext, req: &Request, received: Instant) -> Result<JsonValue, WireError> {
@@ -565,6 +647,37 @@ fn update_edges(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireErr
     let (updated, report) = dataset
         .with_mutations(&mutations)
         .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+    // Write-ahead: the batch becomes durable before it becomes visible.
+    // An append failure leaves the registry untouched — the client gets
+    // `journal_error`, the dataset still serves the old epoch, and the
+    // batch is safe to retry.
+    let journaled = if let Some(dir) = &ctx.journal_dir {
+        let mut journals = ctx.journals.lock().unwrap();
+        let state = match journals.entry(dataset.name().to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            // First journaled batch for a dataset that was loaded
+            // before journaling (or inserted from memory): checkpoint
+            // the current world and bind a fresh journal to it, so
+            // recovery never depends on how the dataset arrived.
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let state = recovery::seed(dir, &dataset)
+                    .map_err(|e| WireError::new(ErrorCode::JournalError, e))?;
+                v.insert(state)
+            }
+        };
+        state
+            .journal
+            .append(report.epoch, &mutations)
+            .map_err(|e| {
+                WireError::new(
+                    ErrorCode::JournalError,
+                    format!("write-ahead append failed; the batch was NOT applied: {e}"),
+                )
+            })?;
+        true
+    } else {
+        false
+    };
     let edges = updated.engine().graph().edge_count();
     let router_mode = match updated.router() {
         None => "none",
@@ -578,6 +691,7 @@ fn update_edges(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireErr
         ("edges", edges.into()),
         ("applied", (mutations.len() as u64).into()),
         ("router", router_mode.into()),
+        ("journaled", journaled.into()),
         (
             "invalidation",
             JsonValue::obj([
@@ -680,6 +794,19 @@ fn route_json(r: &RouteResult) -> JsonValue {
         ("objective", r.objective.into()),
         ("budget", r.budget.into()),
     ])
+}
+
+/// Records a caught handler panic and builds the structured
+/// `internal_error` the faulty request is answered with. Both I/O
+/// layers funnel their per-request `catch_unwind` arms through here so
+/// the response bytes (and the `stats` counter) cannot drift apart.
+pub(crate) fn note_panic(ctx: &ServerContext) -> WireError {
+    ctx.panics.fetch_add(1, Ordering::Relaxed);
+    WireError::new(
+        ErrorCode::InternalError,
+        "the request handler panicked; the request was not completed (see server \
+         logs) — the connection remains usable",
+    )
 }
 
 fn engine_error(e: KorError) -> WireError {

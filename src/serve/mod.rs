@@ -69,10 +69,12 @@ mod event;
 mod handler;
 mod pool;
 pub mod protocol;
+pub mod recovery;
 pub mod registry;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -149,6 +151,12 @@ pub struct ServeConfig {
     /// Maximum request-line length in bytes; longer lines are answered
     /// with a `request_too_large` error and the connection is closed.
     pub max_request_bytes: usize,
+    /// Directory for per-dataset write-ahead mutation journals (and
+    /// their checkpoints). When set, `update_edges` batches are made
+    /// durable before they are applied, and dataset loads replay any
+    /// surviving journal — see `docs/OPERATIONS.md`. `None` (the
+    /// default) serves purely in memory.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -162,6 +170,7 @@ impl Default for ServeConfig {
             queue_capacity: 0,
             default_deadline_ms: 0,
             max_request_bytes: 1 << 20,
+            journal: None,
         }
     }
 }
@@ -188,6 +197,7 @@ impl Server {
         let mut ctx = ServerContext::new(threads, config.default_deadline_ms);
         ctx.max_request_bytes = config.max_request_bytes;
         ctx.io = config.io;
+        ctx.journal_dir = config.journal;
         ctx.queue_capacity = if config.queue_capacity > 0 {
             config.queue_capacity
         } else {
@@ -216,6 +226,40 @@ impl Server {
     /// `load_dataset` method).
     pub fn registry(&self) -> &Registry {
         &self.ctx.registry
+    }
+
+    /// Loads — or, when journaling is configured, *recovers* — the
+    /// dataset at `path` and registers it under `name`: exactly what a
+    /// `load_dataset` request does, exposed for CLI preloading before
+    /// [`Server::start`]. With a journal directory set, any surviving
+    /// journal for `name` is replayed over the file (or its newest
+    /// checkpoint) and the result reported; without one this is
+    /// [`registry::Dataset::load`] plus an insert.
+    pub fn attach_dataset(
+        &self,
+        name: &str,
+        path: &Path,
+    ) -> Result<Option<recovery::RecoveryInfo>, String> {
+        let _guard = self.ctx.registry.mutation_guard();
+        match &self.ctx.journal_dir {
+            Some(dir) => {
+                let (dataset, state) = recovery::attach(dir, name, path)?;
+                let info = state.recovered;
+                self.ctx
+                    .journals
+                    .lock()
+                    .unwrap()
+                    .insert(name.to_string(), state);
+                self.ctx.registry.insert(dataset);
+                Ok(Some(info))
+            }
+            None => {
+                self.ctx
+                    .registry
+                    .insert(registry::Dataset::load(name, path)?);
+                Ok(None)
+            }
+        }
     }
 
     /// Spawns the I/O and worker threads and returns a handle for
@@ -398,6 +442,11 @@ impl ServerHandle {
         for w in self.workers {
             let _ = w.join();
         }
+        // Last act of a graceful stop: every journal fsynced. Appends
+        // already sync record by record, so this only matters for
+        // surfacing late errors — but a drain that loses acknowledged
+        // batches would be a lie, so be explicit.
+        self.ctx.sync_journals();
     }
 }
 

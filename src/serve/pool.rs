@@ -21,7 +21,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use crate::json::JsonValue;
-use crate::serve::handler::{handle, ServerContext};
+use crate::serve::handler::{handle, note_panic, ServerContext};
 use crate::serve::protocol::{error_response, ok_response, parse_request, ErrorCode, WireError};
 
 /// Queued connections per worker thread: enough slack to absorb a
@@ -216,9 +216,17 @@ fn serve_connection(mut stream: TcpStream, ctx: &ServerContext) -> io::Result<()
             Err(e) => error_response(&JsonValue::Null, &e),
             Ok(req) => {
                 let shutting_down = req.method == "shutdown";
-                let resp = match handle(ctx, &req, received) {
-                    Ok(result) => ok_response(&req.id, result),
-                    Err(e) => error_response(&req.id, &e),
+                // Panic isolation per *request*, matching the event
+                // layer: the faulty request gets `internal_error`, the
+                // connection (and its pipelined neighbors) lives on.
+                // The connection-level guard in `worker_loop` stays as
+                // the outer net for panics outside this scope.
+                let resp = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle(ctx, &req, received)
+                })) {
+                    Ok(Ok(result)) => ok_response(&req.id, result),
+                    Ok(Err(e)) => error_response(&req.id, &e),
+                    Err(_) => error_response(&req.id, &note_panic(ctx)),
                 };
                 if shutting_down && ctx.shutdown.load(Ordering::SeqCst) {
                     // Acknowledge, then close this connection; the

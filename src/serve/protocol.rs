@@ -39,6 +39,13 @@ pub enum ErrorCode {
     /// (poisoned or lost). Queries owned by other shards keep
     /// answering; the connection stays open.
     ShardUnavailable,
+    /// The write-ahead journal append failed; the mutation batch was
+    /// NOT applied (the dataset is unchanged) and it is safe to retry.
+    JournalError,
+    /// The request handler panicked. The faulty request got this
+    /// response instead of killing the worker or the connection; the
+    /// connection stays usable.
+    InternalError,
 }
 
 impl ErrorCode {
@@ -54,6 +61,8 @@ impl ErrorCode {
             ErrorCode::RequestTooLarge => "request_too_large",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShardUnavailable => "shard_unavailable",
+            ErrorCode::JournalError => "journal_error",
+            ErrorCode::InternalError => "internal_error",
         }
     }
 }
@@ -224,6 +233,8 @@ mod tests {
             (ErrorCode::RequestTooLarge, "request_too_large"),
             (ErrorCode::Overloaded, "overloaded"),
             (ErrorCode::ShardUnavailable, "shard_unavailable"),
+            (ErrorCode::JournalError, "journal_error"),
+            (ErrorCode::InternalError, "internal_error"),
         ];
         for (code, s) in pairs {
             assert_eq!(code.as_str(), s);

@@ -78,6 +78,34 @@ impl Dataset {
             .map(str::to_string)
     }
 
+    /// Wraps a graph recovered by replaying a mutation journal over a
+    /// base snapshot — the crash-recovery twin of [`Dataset::load`]
+    /// followed by every acknowledged `update_edges` batch.
+    ///
+    /// `sharding` is the *base* snapshot's layout, when it had one; the
+    /// boundary tables are re-derived from its node assignment on the
+    /// recovered graph, exactly as [`Dataset::with_mutations`] would
+    /// have per batch. `fused_only` must be true when any replayed
+    /// batch touched a cut edge of that assignment — degradation is
+    /// sticky live, so recovery must reproduce it.
+    pub fn from_recovered(
+        name: &str,
+        graph: Graph,
+        sharding: Option<kor_data::ShardingInfo>,
+        fused_only: bool,
+    ) -> Dataset {
+        let router = sharding.map(|info| {
+            let rederived = sharding_from_assignment(&graph, info.assignment);
+            ShardRouter::new_with_mode(&graph, rederived, fused_only)
+        });
+        Dataset {
+            name: name.to_string(),
+            engine: KorEngine::new(Arc::new(graph)),
+            router,
+            queries_served: AtomicU64::new(0),
+        }
+    }
+
     /// Wraps an already-built graph (tests, embedded use). Unsharded.
     pub fn from_graph(name: &str, graph: Graph) -> Dataset {
         Dataset {

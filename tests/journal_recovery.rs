@@ -1,0 +1,285 @@
+//! Recovery oracle battery: an engine recovered cold from
+//! (base snapshot + `.korj` journal on disk) answers every canned
+//! query bit-for-bit identically to the warm engine that never
+//! crashed.
+//!
+//! This is the crash-safety counterpart of `tests/mutate_oracle.rs`:
+//! where that battery proves incremental invalidation equals a cold
+//! rebuild, this one proves the *durable* path equals the live path.
+//! Generated worlds (grid and ring topologies, multiple seeds) each
+//! get a seeded traffic script. Every batch is appended to a real
+//! journal file before the warm engine applies it — the write-ahead
+//! order serve uses. After every phase the journal is re-read from
+//! disk, replayed over the pristine base world, and the recovered
+//! engine races the warm survivor on every canned query with every
+//! algorithm: same feasibility, same route node ids, same
+//! objective/budget f64 bit patterns, same top-k order.
+//!
+//! A torn-tail rider appends garbage after the last durable record and
+//! proves recovery still lands on the identical world (the byte-level
+//! truncation property test lives with `kor_data::journal`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use kor::prelude::*;
+use kor_data::journal::{graph_digest, journal_path, read_journal, replay, Journal};
+
+const EPSILON: f64 = 0.5;
+const BETA: f64 = 1.2;
+const K: usize = 3;
+
+/// Grid and ring worlds across seeds — the same families the gen and
+/// mutate oracles cover, kept small so every phase replays quickly.
+fn worlds() -> Vec<GenConfig> {
+    let mut configs = Vec::new();
+    for seed in 0..3 {
+        configs.push(GenConfig {
+            vocab_size: 12,
+            max_tags_per_node: 2,
+            keyword_counts: vec![1, 2],
+            queries_per_set: 4,
+            budget_tightness: 1.5,
+            ..GenConfig::grid(3, 4, seed)
+        });
+        configs.push(GenConfig {
+            vocab_size: 12,
+            max_tags_per_node: 2,
+            keyword_counts: vec![1, 2],
+            queries_per_set: 4,
+            budget_tightness: 1.6,
+            ..GenConfig::ring(10, 3, 1000 + seed)
+        });
+    }
+    configs
+}
+
+/// A route reduced to its exact bits: node ids, OS bits, BS bits.
+type RouteKey = (Vec<u32>, u64, u64);
+
+fn key(r: &RouteResult) -> RouteKey {
+    (
+        r.route.nodes().iter().map(|n| n.0).collect(),
+        r.objective.to_bits(),
+        r.budget.to_bits(),
+    )
+}
+
+const ALGOS: [&str; 6] = [
+    "exact",
+    "os-scaling",
+    "bucket-bound",
+    "top-k-os-scaling",
+    "top-k-bucket-bound",
+    "greedy",
+];
+
+fn run_algo<G: AsRef<Graph>>(engine: &KorEngine<G>, query: &KorQuery, algo: &str) -> Vec<RouteKey> {
+    let os = OsScalingParams::with_epsilon(EPSILON);
+    let bb = BucketBoundParams::with(EPSILON, BETA);
+    let routes: Vec<RouteResult> = match algo {
+        "exact" => engine.exact(query).unwrap().route.into_iter().collect(),
+        "os-scaling" => engine
+            .os_scaling(query, &os)
+            .unwrap()
+            .route
+            .into_iter()
+            .collect(),
+        "bucket-bound" => engine
+            .bucket_bound(query, &bb)
+            .unwrap()
+            .route
+            .into_iter()
+            .collect(),
+        "top-k-os-scaling" => engine.top_k_os_scaling(query, &os, K).unwrap().routes,
+        "top-k-bucket-bound" => engine.top_k_bucket_bound(query, &bb, K).unwrap().routes,
+        "greedy" => engine
+            .greedy(query, &GreedyParams::default())
+            .unwrap()
+            .into_iter()
+            .map(|g| RouteResult {
+                route: g.route,
+                objective: g.objective,
+                budget: g.budget,
+            })
+            .collect(),
+        other => unreachable!("unknown algo {other}"),
+    };
+    routes.iter().map(key).collect()
+}
+
+fn canned_queries(graph: &Graph, sets: &[kor::data::CannedQuerySet]) -> Vec<KorQuery> {
+    sets.iter()
+        .flat_map(|set| &set.queries)
+        .map(|q| {
+            KorQuery::new(graph, q.source, q.target, q.keywords.clone(), q.budget)
+                .expect("canned queries stay constructible across mutations")
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kor-jrnl-oracle-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn recovered_engine_matches_the_never_crashed_twin_on_all_worlds() {
+    let mut compared = 0usize;
+    for (w, config) in worlds().into_iter().enumerate() {
+        let world = generate_world(&config);
+        let label = format!("{} seed {}", config.topology.name(), config.seed);
+        let script = generate_traffic(&world.graph, &TrafficConfig::base(0xC0FFEE ^ config.seed));
+        assert!(!script.is_empty(), "{label}: traffic script is empty");
+
+        let dir = temp_dir(&format!("w{w}"));
+        let jpath = journal_path(&dir, "w");
+        let mut journal = Journal::create(&jpath, 0, graph_digest(&world.graph)).unwrap();
+
+        // The never-crashed twin: warm caches, incremental invalidation.
+        let mut warm = KorEngine::new(Arc::new(world.graph.clone()));
+        for query in &canned_queries(warm.graph(), &world.query_sets) {
+            for algo in ALGOS {
+                let _ = run_algo(&warm, query, algo);
+            }
+        }
+
+        for (phase, batch) in script.iter().enumerate() {
+            let epoch = (phase + 1) as u64;
+            // Write-ahead, exactly like serve: durable first, then live.
+            journal.append(epoch, batch).unwrap();
+            let (next, _report) = warm
+                .apply_edge_mutations(batch)
+                .unwrap_or_else(|e| panic!("{label} phase {phase}: {e}"));
+            warm = next;
+
+            // Cold recovery from the bytes on disk, every phase.
+            let recovered = read_journal(&jpath).unwrap();
+            assert_eq!(recovered.torn_bytes, 0, "{label}: clean journal");
+            let (graph, applied) = replay(&world.graph, &recovered).unwrap();
+            assert_eq!(applied, epoch, "{label} phase {phase}: batches replayed");
+            assert_eq!(graph.epoch(), epoch, "{label}: recovered epoch");
+            let cold = KorEngine::new(Arc::new(graph));
+
+            for query in &canned_queries(warm.graph(), &world.query_sets) {
+                for algo in ALGOS {
+                    assert_eq!(
+                        run_algo(&warm, query, algo),
+                        run_algo(&cold, query, algo),
+                        "{label} phase {phase}: {} -> {} Δ {:.3} [{algo}]: \
+                         recovered engine diverged from the never-crashed twin",
+                        query.source,
+                        query.target,
+                        query.budget
+                    );
+                    compared += 1;
+                }
+            }
+        }
+
+        // Torn-tail rider: a crash mid-append leaves garbage after the
+        // last durable record. Recovery must land on the identical
+        // world and report the tail.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&jpath)
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]).unwrap();
+        drop(f);
+        let recovered = read_journal(&jpath).unwrap();
+        assert_eq!(recovered.torn_bytes, 5, "{label}: torn tail measured");
+        assert_eq!(
+            recovered.batches.len(),
+            script.len(),
+            "{label}: the torn tail cost no durable batch"
+        );
+        let (graph, _) = replay(&world.graph, &recovered).unwrap();
+        let cold = KorEngine::new(Arc::new(graph));
+        for query in &canned_queries(warm.graph(), &world.query_sets) {
+            assert_eq!(
+                run_algo(&warm, query, "bucket-bound"),
+                run_algo(&cold, query, "bucket-bound"),
+                "{label}: torn-tail recovery diverged"
+            );
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert!(compared > 0, "the oracle never compared anything");
+    eprintln!("journal recovery oracle: {compared} warm-vs-recovered comparisons");
+}
+
+/// Regression: `RecoveryInfo.epoch` is the *graph* epoch after replay,
+/// which equals the replayed-batch count only while the journal's base
+/// is epoch 0. After compaction the journal is empty but its base is
+/// the checkpoint epoch — recovery must report that epoch, not 0.
+#[test]
+fn compacted_journal_recovery_reports_the_checkpoint_epoch() {
+    use kor::serve::recovery::attach;
+    use kor_data::Snapshot;
+
+    let config = GenConfig {
+        vocab_size: 12,
+        max_tags_per_node: 2,
+        keyword_counts: vec![1, 2],
+        queries_per_set: 4,
+        budget_tightness: 1.5,
+        ..GenConfig::grid(3, 4, 0)
+    };
+    let world = generate_world(&config);
+    let script = generate_traffic(&world.graph, &TrafficConfig::base(7));
+    let n = script.len() as u64;
+    assert!(n > 0, "traffic script is empty");
+
+    let dir = temp_dir("compact");
+    let wpath = dir.join("w.korbin");
+    write_snapshot(&wpath, &world).unwrap();
+    let jdir = dir.join("journal");
+
+    // Fresh attach binds a journal at base epoch 0; journal every batch
+    // write-ahead while tracking the world it describes.
+    let (_ds, mut state) = attach(&jdir, "w", &wpath).unwrap();
+    assert_eq!(state.recovered.epoch, 0);
+    let mut graph = world.graph.clone();
+    for (i, batch) in script.iter().enumerate() {
+        state.journal.append((i + 1) as u64, batch).unwrap();
+        graph = graph.apply_mutations(batch).unwrap();
+    }
+    drop(state);
+
+    // Pre-compaction restart: epoch and batch count coincide (base 0).
+    let (_ds, state) = attach(&jdir, "w", &wpath).unwrap();
+    assert_eq!(state.recovered.batches, n);
+    assert_eq!(state.recovered.epoch, n);
+
+    // Compact, restart again: nothing left to replay, but the epoch is
+    // the checkpoint's — the two counters no longer coincide.
+    let mut journal = state.journal;
+    journal
+        .checkpoint(
+            "w",
+            &Snapshot {
+                graph,
+                query_sets: Vec::new(),
+                sharding: None,
+            },
+        )
+        .unwrap();
+    drop(journal);
+    let (ds, state) = attach(&jdir, "w", &wpath).unwrap();
+    assert_eq!(state.recovered.batches, 0, "compaction emptied the journal");
+    assert_eq!(
+        state.recovered.epoch, n,
+        "recovered epoch must be the checkpoint epoch, not the replay count"
+    );
+    assert_eq!(
+        ds.engine().graph().epoch(),
+        n,
+        "the dataset serves epoch {n}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -143,6 +143,46 @@ fn eight_concurrent_pipelined_clients_agree() {
     }
 }
 
+/// Graceful drain: a query pipelined IN FRONT of `shutdown` — both in
+/// one TCP write, so the query is in flight when the shutdown lands —
+/// still gets its full answer, in order, before the acknowledgement and
+/// the server's exit. An in-flight request is never dropped by a
+/// graceful stop.
+#[test]
+fn pipelined_query_in_flight_at_shutdown_is_still_answered() {
+    for io in [IoMode::Event, IoMode::Blocking] {
+        let (addr, handle) = fixture_server(io, 2);
+        let query = r#"{"id":"last-query","method":"query","params":{"from":0,"to":7,"keywords":["t1","t2"],"budget":10,"algo":"os-scaling"}}"#;
+        // The reference answer, from a calm server.
+        let reference = {
+            let (mut conn, mut reader) = connect(addr);
+            conn.write_all(query.as_bytes()).unwrap();
+            conn.write_all(b"\n").unwrap();
+            read_response(&mut reader)
+        };
+
+        let (mut conn, mut reader) = connect(addr);
+        conn.write_all(format!("{query}\n{{\"id\":\"bye\",\"method\":\"shutdown\"}}\n").as_bytes())
+            .unwrap();
+        let answered = read_response(&mut reader);
+        assert_eq!(
+            answered,
+            reference,
+            "[{}] the in-flight query must drain with its full answer",
+            io.as_str()
+        );
+        let bye = read_response(&mut reader);
+        assert!(
+            bye.contains("\"stopping\":true"),
+            "[{}] shutdown acknowledged after the drain: {bye}",
+            io.as_str()
+        );
+        drop(conn);
+        // The server actually stops — join() returns instead of hanging.
+        handle.join();
+    }
+}
+
 #[test]
 fn cross_mode_responses_are_byte_identical() {
     let (event_addr, event_handle) = fixture_server(IoMode::Event, 3);
