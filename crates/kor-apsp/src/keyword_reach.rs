@@ -9,14 +9,21 @@
 //! the jump label can be extended edge-by-edge with exact scores and
 //! coverage.
 
+use std::sync::Arc;
+
 use kor_graph::{Graph, NodeId, QueryKeywords};
 
 use crate::tree::{backward_tree, Metric, Tree};
 
 /// One budget-metric multi-seed tree per query keyword bit.
+///
+/// Trees are held behind `Arc` so a pre-processing cache can share one
+/// build across every query mentioning the keyword: each tree depends
+/// only on `(graph, keyword)` — never on the query's source, target, or
+/// budget.
 #[derive(Debug, Clone)]
 pub struct KeywordReach {
-    trees: Vec<Tree>,
+    trees: Vec<Arc<Tree>>,
 }
 
 impl KeywordReach {
@@ -30,11 +37,22 @@ impl KeywordReach {
         );
         let trees = postings
             .iter()
-            .map(|nodes| {
-                let seeds: Vec<(NodeId, f64, f64)> = nodes.iter().map(|&n| (n, 0.0, 0.0)).collect();
-                backward_tree(graph, Metric::Budget, &seeds)
-            })
+            .map(|nodes| Arc::new(Self::build_tree(graph, nodes)))
             .collect();
+        Self { trees }
+    }
+
+    /// Builds the single-keyword reach tree for the given posting list —
+    /// the unit a cache memoizes per keyword.
+    pub fn build_tree(graph: &Graph, postings: &[NodeId]) -> Tree {
+        let seeds: Vec<(NodeId, f64, f64)> = postings.iter().map(|&n| (n, 0.0, 0.0)).collect();
+        backward_tree(graph, Metric::Budget, &seeds)
+    }
+
+    /// Assembles a reach from already-built (possibly cached) per-keyword
+    /// trees, in query-bit order. Equivalent to [`Self::new`] when each
+    /// tree came from [`Self::build_tree`] on the matching postings.
+    pub fn from_trees(trees: Vec<Arc<Tree>>) -> Self {
         Self { trees }
     }
 

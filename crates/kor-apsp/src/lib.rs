@@ -22,6 +22,7 @@
 
 mod dense;
 mod keyword_reach;
+mod landmark;
 mod pair;
 mod partition;
 mod query;
@@ -29,6 +30,7 @@ mod tree;
 
 pub use dense::DenseApsp;
 pub use keyword_reach::KeywordReach;
+pub use landmark::{Landmarks, TargetBounds, DEFAULT_LANDMARKS};
 pub use pair::{CachedPairCosts, PairCosts, PathCost};
 pub use partition::{partition, PartitionConfig, PartitionedApsp};
 pub use query::QueryContext;

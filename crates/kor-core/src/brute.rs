@@ -54,7 +54,7 @@ pub fn brute_force(
     // DFS over partial paths; the stack stores full node sequences, which
     // is exactly the paper's queue-of-partial-paths formulation.
     let init_mask = query.keywords.mask_of(graph.keywords(query.source));
-    let mut stack: Vec<(Vec<NodeId>, u32, f64, f64)> =
+    let mut stack: Vec<(Vec<NodeId>, u64, f64, f64)> =
         vec![(vec![query.source], init_mask, 0.0, 0.0)];
     stats.labels_created += 1;
     let mut expansions = 0u64;

@@ -23,8 +23,8 @@ use crate::dominance::LabelStore;
 use crate::error::KorError;
 use crate::label::{Label, LabelArena, LabelSnapshot, NO_LABEL};
 use crate::labeling::{
-    acquire_context, build_opt2, query_mask_table, scaler_for, Opt2, QItem, ScoreMode,
-    DEADLINE_STRIDE,
+    acquire_context, acquire_reach, build_opt2, query_mask_table, scaler_for, AltBounds,
+    DeadlineTicker, Opt2, QItem, ScoreMode,
 };
 use crate::params::BucketBoundParams;
 use crate::query::KorQuery;
@@ -160,9 +160,11 @@ struct BucketEngine<'a> {
     deadline: Option<Instant>,
     ctx: Arc<QueryContext>,
     /// Per-node query-keyword masks (empty ⇒ all zero).
-    masks: Vec<u32>,
+    masks: Vec<u64>,
     reach: Option<KeywordReach>,
     opt2: Option<Opt2>,
+    /// Landmark bounds; `max`-ed with σ at the budget pruning sites.
+    alt: Option<AltBounds>,
     arena: LabelArena,
     store: LabelStore,
     buckets: Buckets,
@@ -183,13 +185,9 @@ impl<'a> BucketEngine<'a> {
         let mut stats = SearchStats::default();
         let ctx = acquire_context(graph, query.target, cache, &mut stats);
         let masks = query_mask_table(graph.node_count(), &query.keywords, index);
-        let reach = (params.use_opt1 && !query.keywords.is_empty()).then(|| {
-            KeywordReach::new(
-                graph,
-                &query.keywords,
-                &index.query_postings(&query.keywords),
-            )
-        });
+        let reach = (params.use_opt1 && !query.keywords.is_empty())
+            .then(|| acquire_reach(graph, index, query, cache, &mut stats));
+        let alt = AltBounds::acquire(graph, query.target, cache);
         let opt2 = if params.use_opt2 {
             build_opt2(
                 graph,
@@ -209,7 +207,12 @@ impl<'a> BucketEngine<'a> {
             params.epsilon,
             query.budget,
         ));
-        let store = LabelStore::new(mode.dom_mode(), query.keywords.full_mask(), k);
+        let store = LabelStore::new(
+            mode.dom_mode(),
+            query.keywords.full_mask(),
+            k,
+            graph.node_count(),
+        );
         // Bucket base: OS(τ_{s,t}); when source == target that is 0, so
         // fall back to the smallest edge objective (any covering cycle
         // costs at least that), keeping the intervals well-defined. Like
@@ -235,7 +238,8 @@ impl<'a> BucketEngine<'a> {
             masks,
             reach,
             opt2,
-            arena: LabelArena::new(),
+            alt,
+            arena: LabelArena::with_capacity(1024),
             store,
             buckets: Buckets::new(base, params.beta),
             found: Vec::new(),
@@ -246,11 +250,24 @@ impl<'a> BucketEngine<'a> {
 
     /// The query-keyword mask of `node` (one indexed load).
     #[inline]
-    fn node_mask(&self, node: NodeId) -> u32 {
+    fn node_mask(&self, node: NodeId) -> u64 {
         if self.masks.is_empty() {
             0
         } else {
             self.masks[node.index()]
+        }
+    }
+
+    /// Lower bound on the remaining budget from `node` to the target:
+    /// `max(BS(σ), ALT)`. Equal to `BS(σ)` — the exact distance — on
+    /// every node, so pruning decisions are unchanged; see
+    /// [`AltBounds`].
+    #[inline]
+    fn bs_lb(&self, node: NodeId) -> f64 {
+        let sigma = self.ctx.bs_sigma(node);
+        match &self.alt {
+            Some(alt) => sigma.max(alt.budget_bound(node)),
+            None => sigma,
         }
     }
 
@@ -277,18 +294,12 @@ impl<'a> BucketEngine<'a> {
         self.store.try_insert(&mut self.arena, init_id);
         self.file_label(init_id);
 
-        let mut pops: u64 = 0;
+        // One per-search ticker (see `labeling::DeadlineTicker`): the
+        // first iteration always checks, and the counter spans bucket
+        // transitions, so later buckets cannot starve the deadline.
+        let mut ticker = DeadlineTicker::new(self.deadline);
         while !self.done() {
-            // Stride-based deadline check (see `labeling::DEADLINE_STRIDE`);
-            // the first iteration always checks.
-            if pops % DEADLINE_STRIDE == 0 {
-                if let Some(deadline) = self.deadline {
-                    if Instant::now() >= deadline {
-                        return Err(KorError::DeadlineExceeded);
-                    }
-                }
-            }
-            pops += 1;
+            ticker.tick()?;
             let Some((_, item)) = self
                 .buckets
                 .pop_first(&self.arena, &mut self.stats.labels_skipped)
@@ -398,7 +409,7 @@ impl<'a> BucketEngine<'a> {
         }
         // Algorithm 2 line 11: budget feasibility via the min-budget
         // completion (BucketBound has no objective upper bound).
-        if child.budget + self.ctx.bs_sigma(child.node) > self.query.budget {
+        if child.budget + self.bs_lb(child.node) > self.query.budget {
             self.stats.labels_pruned += 1;
             return;
         }
@@ -456,7 +467,7 @@ impl<'a> BucketEngine<'a> {
         let mut best: Option<(f64, u32)> = None;
         for (bit, _) in self.query.keywords.uncovered(label.mask) {
             if let Some((dist, j)) = reach.nearest(bit, label.node) {
-                if label.budget + dist + self.ctx.bs_sigma(j) <= self.query.budget {
+                if label.budget + dist + self.bs_lb(j) <= self.query.budget {
                     let better = best.is_none_or(|(d, _)| dist < d);
                     if better {
                         best = Some((dist, bit));
@@ -673,6 +684,28 @@ mod tests {
             bucket_bound(&g, &idx, &q, &params(0.5, 1.0)),
             Err(KorError::InvalidBeta(_))
         ));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_expansion() {
+        // Promptness regression test for the bucket-bound path: the
+        // per-search ticker checks on the first pop, so an expired
+        // deadline must abort before a single label is expanded — on a
+        // search far smaller than the check stride. If the ticker ever
+        // counted buckets or beams separately (or incremented before
+        // checking), this search would run to completion instead.
+        let (g, idx) = setup();
+        let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
+        let p = BucketBoundParams {
+            deadline: Some(std::time::Instant::now()),
+            ..BucketBoundParams::default()
+        };
+        let mut engine = BucketEngine::new(&g, &idx, &q, &p, 1, None);
+        assert!(matches!(engine.run(), Err(KorError::DeadlineExceeded)));
+        assert_eq!(
+            engine.stats.labels_expanded, 0,
+            "deadline was checked only after expansion work began"
+        );
     }
 
     #[test]

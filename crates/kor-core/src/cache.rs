@@ -15,7 +15,15 @@
 //! * **Opt-2 bound trees** — the "through an infrequent-keyword node,
 //!   then finish" lower-bound tree pair, keyed by `(target, keyword)`
 //!   (the seed set is exactly the keyword's postings weighted by the
-//!   target context, so the pair pins the trees down completely).
+//!   target context, so the pair pins the trees down completely);
+//! * **keyword reach trees** — the Optimization-Strategy-1 "nearest node
+//!   holding this keyword" tree, keyed by the keyword alone (the seed
+//!   set is the keyword's postings with zero potential — independent of
+//!   the query's source, target, and budget, so one build serves every
+//!   query mentioning the keyword);
+//! * **landmark vectors** — the per-dataset ALT distance vectors
+//!   ([`kor_apsp::Landmarks`]), one singleton entry built lazily on
+//!   first use and shared by every query.
 //!
 //! Entries are evicted least-recently-used once a map exceeds its
 //! capacity, bounding memory at roughly
@@ -33,7 +41,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use kor_apsp::{backward_tree, Metric, QueryContext, Tree};
+use kor_apsp::{backward_tree, KeywordReach, Landmarks, Metric, QueryContext, Tree};
 use kor_graph::{Graph, KeywordId, NodeId};
 use kor_index::InvertedIndex;
 
@@ -163,6 +171,10 @@ pub struct InvalidationCounts {
     pub opt2_retained: usize,
     /// Opt-2 tree pairs evicted.
     pub opt2_evicted: usize,
+    /// Keyword reach trees carried over warm.
+    pub reach_retained: usize,
+    /// Keyword reach trees evicted.
+    pub reach_evicted: usize,
 }
 
 /// Point-in-time counters describing cache effectiveness.
@@ -176,15 +188,35 @@ pub struct CacheStats {
     pub opt2_hits: u64,
     /// Opt-2 tree lookups that had to build trees.
     pub opt2_misses: u64,
-    /// Entries removed by the LRU cap (contexts and Opt-2 pairs alike).
+    /// Keyword reach-tree lookups answered from the cache.
+    pub reach_hits: u64,
+    /// Keyword reach-tree lookups that had to build a tree.
+    pub reach_misses: u64,
+    /// Entries removed by the LRU cap (all families alike).
+    ///
+    /// **Exclusive** with `invalidated`: one removed entry increments
+    /// exactly one of the two counters. [`PreprocessCache::carry_over`]
+    /// filters by invalidation stamp first — stamped entries count only
+    /// here-under `invalidated` — and applies the LRU cap only to the
+    /// survivors, so an entry that is both stale and over-cap is counted
+    /// once, as invalidated.
     pub evictions: u64,
-    /// Backward Dijkstra trees built on behalf of this cache (two per
-    /// context miss, two per Opt-2 miss — including builds that lost a
-    /// concurrent race and were discarded).
+    /// Dijkstra trees built on behalf of this cache (two per context
+    /// miss, two per Opt-2 miss, one per reach miss — including builds
+    /// that lost a concurrent race and were discarded). Landmark builds
+    /// are tracked separately in `landmark_trees_built`: query-serving
+    /// trees and dataset-level ALT vectors have different lifecycles,
+    /// and conflating them would make "no per-query rebuild happened"
+    /// unobservable.
     pub trees_built: u64,
+    /// Dijkstra trees built for the landmark (ALT) singleton: four per
+    /// landmark (forward + backward × objective + budget), rebuilt from
+    /// scratch after every mutation batch.
+    pub landmark_trees_built: u64,
     /// Entries evicted by mutation-driven incremental invalidation
-    /// ([`PreprocessCache::carry_over`]), contexts and Opt-2 pairs
-    /// alike. Distinct from `evictions`, which counts the LRU cap.
+    /// ([`PreprocessCache::carry_over`]), all families alike. Distinct
+    /// from — and exclusive with — `evictions`, which counts the LRU
+    /// cap (see `evictions`).
     pub invalidated: u64,
     /// Entries that survived mutation-driven invalidation warm.
     pub retained: u64,
@@ -194,8 +226,8 @@ impl CacheStats {
     /// Fraction of all lookups answered from the cache (`0.0` when no
     /// lookup has happened yet).
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.ctx_hits + self.opt2_hits;
-        let total = hits + self.ctx_misses + self.opt2_misses;
+        let hits = self.ctx_hits + self.opt2_hits + self.reach_hits;
+        let total = hits + self.ctx_misses + self.opt2_misses + self.reach_misses;
         if total == 0 {
             0.0
         } else {
@@ -221,6 +253,9 @@ struct Inner {
     graph_shape: Option<(usize, usize)>,
     contexts: HashMap<NodeId, Slot<QueryContext>>,
     opt2: HashMap<(NodeId, KeywordId), Slot<Opt2Trees>>,
+    reach: HashMap<KeywordId, Slot<Tree>>,
+    /// Per-dataset landmark (ALT) vectors: a singleton, so no LRU slot.
+    landmarks: Option<Arc<Landmarks>>,
     stats: CacheStats,
 }
 
@@ -264,6 +299,8 @@ impl std::fmt::Debug for PreprocessCache {
             .field("capacity", &self.capacity)
             .field("contexts", &inner.contexts.len())
             .field("opt2", &inner.opt2.len())
+            .field("reach", &inner.reach.len())
+            .field("landmarks", &inner.landmarks.is_some())
             .field("stats", &inner.stats)
             .finish()
     }
@@ -300,6 +337,8 @@ impl PreprocessCache {
                 graph_shape: None,
                 contexts: HashMap::new(),
                 opt2: HashMap::new(),
+                reach: HashMap::new(),
+                landmarks: None,
                 stats: CacheStats::default(),
             }),
         }
@@ -417,6 +456,83 @@ impl PreprocessCache {
         (value, false)
     }
 
+    /// The Optimization-Strategy-1 reach tree for `kw`, built on first
+    /// use from `postings` (which must be `kw`'s posting list from the
+    /// inverted index — the tree is fully determined by it).
+    ///
+    /// # Panics
+    ///
+    /// If `graph` differs in shape from the graph this cache served
+    /// first — one cache serves exactly one dataset.
+    pub fn reach_tree(
+        &self,
+        graph: &Graph,
+        kw: KeywordId,
+        postings: &[NodeId],
+    ) -> (Arc<Tree>, bool) {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.check_graph(graph);
+            let tick = inner.next_tick();
+            if let Some(slot) = inner.reach.get_mut(&kw) {
+                slot.last_used = tick;
+                let value = slot.value.clone();
+                inner.stats.reach_hits += 1;
+                return (value, true);
+            }
+        }
+        let built = Arc::new(KeywordReach::build_tree(graph, postings));
+        let n = graph.node_count();
+        let mut stamp = TreeStamp::for_nodes(n);
+        stamp.union_tree(&built, n);
+        let stamp = Arc::new(stamp);
+        let mut inner = self.inner.lock().unwrap();
+        let tick = inner.next_tick();
+        inner.stats.reach_misses += 1;
+        inner.stats.trees_built += 1;
+        let value = match inner.reach.entry(kw) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().last_used = tick;
+                e.get().value.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Slot {
+                    value: built.clone(),
+                    stamp,
+                    last_used: tick,
+                });
+                built
+            }
+        };
+        let evicted = evict_lru(&mut inner.reach, self.capacity);
+        inner.stats.evictions += evicted;
+        (value, false)
+    }
+
+    /// The per-dataset landmark (ALT) distance vectors, built lazily on
+    /// first use (`4 × DEFAULT_LANDMARKS` Dijkstras) and shared by every
+    /// query thereafter.
+    ///
+    /// # Panics
+    ///
+    /// If `graph` differs in shape from the graph this cache served
+    /// first — one cache serves exactly one dataset.
+    pub fn landmarks(&self, graph: &Graph) -> (Arc<Landmarks>, bool) {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.check_graph(graph);
+            if let Some(lm) = &inner.landmarks {
+                return (lm.clone(), true);
+            }
+        }
+        let built = Arc::new(Landmarks::build(graph, kor_apsp::DEFAULT_LANDMARKS));
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.landmark_trees_built += 4 * built.len() as u64;
+        // Converge on a concurrent build if one landed first.
+        let value = inner.landmarks.get_or_insert(built).clone();
+        (value, false)
+    }
+
     /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.inner.lock().unwrap().stats
@@ -496,9 +612,45 @@ impl PreprocessCache {
                 );
             }
         }
+        let mut reach = HashMap::with_capacity(inner.reach.len());
+        for (&key, slot) in &inner.reach {
+            if slot.stamp.touches_any(changed_heads) {
+                counts.reach_evicted += 1;
+            } else {
+                counts.reach_retained += 1;
+                reach.insert(
+                    key,
+                    Slot {
+                        value: slot.value.clone(),
+                        stamp: slot.stamp.clone(),
+                        last_used: slot.last_used,
+                    },
+                );
+            }
+        }
         let mut stats = inner.stats;
-        stats.invalidated += (counts.contexts_evicted + counts.opt2_evicted) as u64;
-        stats.retained += (counts.contexts_retained + counts.opt2_retained) as u64;
+        stats.invalidated +=
+            (counts.contexts_evicted + counts.opt2_evicted + counts.reach_evicted) as u64;
+        stats.retained +=
+            (counts.contexts_retained + counts.opt2_retained + counts.reach_retained) as u64;
+        // Counter exclusivity (`evictions` vs `invalidated`): stamped
+        // entries were dropped above and counted once, as invalidated;
+        // the LRU cap runs only over the surviving entries, so a
+        // stale-and-over-cap entry can never be counted twice. The maps
+        // cannot normally exceed the cap here (carry-over only shrinks
+        // them), but enforcing it keeps the invariant local rather than
+        // depending on every caller's history.
+        for e in [
+            evict_lru(&mut contexts, self.capacity),
+            evict_lru(&mut opt2, self.capacity),
+            evict_lru(&mut reach, self.capacity),
+        ] {
+            stats.evictions += e;
+        }
+        // Landmark vectors are distance tables over the *old* weights:
+        // any carried entry could overestimate a shortened distance and
+        // silently break admissibility, so the singleton is always
+        // dropped and lazily rebuilt on the mutated graph.
         let cache = PreprocessCache {
             capacity: self.capacity,
             inner: Mutex::new(Inner {
@@ -506,6 +658,8 @@ impl PreprocessCache {
                 graph_shape: Some((new_graph.node_count(), new_graph.edge_count())),
                 contexts,
                 opt2,
+                reach,
+                landmarks: None,
                 stats,
             }),
         };
@@ -519,6 +673,8 @@ impl PreprocessCache {
         let mut inner = self.inner.lock().unwrap();
         inner.contexts.clear();
         inner.opt2.clear();
+        inner.reach.clear();
+        inner.landmarks = None;
         inner.graph_shape = None;
     }
 }
@@ -659,6 +815,130 @@ mod tests {
         // Same NodeId namespace, different graph: must panic, not
         // silently answer with figure1's trees.
         cache.context(&b, x);
+    }
+
+    #[test]
+    fn reach_tree_memoized_per_keyword() {
+        use kor_graph::fixtures::t;
+        let g = figure1();
+        let index = kor_index::InvertedIndex::build(&g);
+        let cache = PreprocessCache::new();
+        let (a, hit_a) = cache.reach_tree(&g, t(1), index.postings(t(1)));
+        let (b, hit_b) = cache.reach_tree(&g, t(1), index.postings(t(1)));
+        let (_, hit_c) = cache.reach_tree(&g, t(2), index.postings(t(2)));
+        assert!(!hit_a && hit_b && !hit_c);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.reach_hits, s.reach_misses, s.trees_built), (1, 2, 2));
+    }
+
+    #[test]
+    fn cached_reach_tree_matches_cold_build() {
+        use kor_apsp::KeywordReach;
+        use kor_graph::fixtures::t;
+        let g = figure1();
+        let index = kor_index::InvertedIndex::build(&g);
+        let cache = PreprocessCache::new();
+        let (warm, _) = cache.reach_tree(&g, t(1), index.postings(t(1)));
+        let cold = KeywordReach::build_tree(&g, index.postings(t(1)));
+        for n in g.nodes() {
+            assert_eq!(warm.budget(n).to_bits(), cold.budget(n).to_bits());
+            assert_eq!(warm.objective(n).to_bits(), cold.objective(n).to_bits());
+        }
+    }
+
+    #[test]
+    fn landmarks_are_a_shared_singleton() {
+        let g = figure1();
+        let cache = PreprocessCache::new();
+        let (a, hit_a) = cache.landmarks(&g);
+        let (b, hit_b) = cache.landmarks(&g);
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!a.is_empty());
+        // 4 Dijkstras per landmark were accounted for — in their own
+        // counter, not the query-tree one.
+        assert_eq!(cache.stats().landmark_trees_built, 4 * a.len() as u64);
+        assert_eq!(cache.stats().trees_built, 0);
+    }
+
+    /// Satellite: mutation-driven invalidation and the LRU cap must be
+    /// **exclusive** counters — one removed entry bumps exactly one.
+    #[test]
+    fn invalidation_and_lru_counters_are_exclusive() {
+        let g = figure1();
+        let cache = PreprocessCache::with_capacity(8);
+        cache.context(&g, v(7)); // stamp covers v0..v7 minus dead ends
+        cache.context(&g, v(4));
+        // Mutation touching v7's tree only: v7 reaches v7, v4's τ tree
+        // does not relax head v7 (no path v7 → v4).
+        let (warm, counts) = cache.carry_over(&g, &[v(7)]);
+        assert_eq!(counts.contexts_evicted, 1);
+        assert_eq!(counts.contexts_retained, 1);
+        let s = warm.stats();
+        assert_eq!(s.invalidated, 1, "stamped entry counts as invalidated");
+        assert_eq!(s.evictions, 0, "…and never also as an LRU eviction");
+        assert_eq!(s.retained, 1);
+    }
+
+    /// Satellite: an entry that is both stamped *and* over the cap is
+    /// counted once — as invalidated. Survivors over the cap (possible
+    /// only if the capacity shrank between builds) count as evictions.
+    #[test]
+    fn carry_over_applies_cap_to_survivors_only() {
+        let g = figure1();
+        let cache = PreprocessCache::with_capacity(3);
+        cache.context(&g, v(5));
+        cache.context(&g, v(6));
+        cache.context(&g, v(7));
+        // Shrink the cap in place: the maps now exceed it, which is the
+        // only way the defensive cap path can fire.
+        let cache = PreprocessCache {
+            capacity: 1,
+            inner: cache.inner,
+        };
+        let (warm, counts) = cache.carry_over(&g, &[v(7)]);
+        // v7 is in a context's stamp iff v7 reaches that context's
+        // target; v7 reaches only itself, so exactly the v7 context is
+        // invalidated and the v5/v6 contexts survive the stamp filter.
+        assert_eq!(counts.contexts_evicted, 1);
+        assert_eq!(counts.contexts_retained, 2);
+        let s = warm.stats();
+        assert_eq!(s.invalidated, 1);
+        // Two survivors over a cap of 1: exactly one LRU eviction, and
+        // the invalidated entry was NOT double-counted here.
+        assert_eq!(s.evictions, 1);
+        assert_eq!(warm.context_entries(), 1);
+    }
+
+    #[test]
+    fn lru_pressure_bumps_only_evictions() {
+        let g = figure1();
+        let cache = PreprocessCache::with_capacity(1);
+        cache.context(&g, v(6));
+        cache.context(&g, v(7)); // evicts v6 by cap
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.invalidated, 0);
+        assert_eq!(s.retained, 0);
+    }
+
+    #[test]
+    fn carry_over_drops_landmarks_and_keeps_clean_reach_trees() {
+        use kor_graph::fixtures::t;
+        let g = figure1();
+        let index = kor_index::InvertedIndex::build(&g);
+        let cache = PreprocessCache::new();
+        cache.landmarks(&g);
+        cache.reach_tree(&g, t(1), index.postings(t(1)));
+        // t1's reach tree relaxes nodes that reach {v3, v6}; v1 reaches
+        // neither (no out-edges), so a change at head v1 keeps it warm.
+        let (warm, counts) = cache.carry_over(&g, &[v(1)]);
+        assert_eq!((counts.reach_retained, counts.reach_evicted), (1, 0));
+        let (_, reach_hit) = warm.reach_tree(&g, t(1), index.postings(t(1)));
+        assert!(reach_hit, "clean reach tree carried over warm");
+        let (_, lm_hit) = warm.landmarks(&g);
+        assert!(!lm_hit, "landmarks must always rebuild after mutations");
     }
 
     #[test]

@@ -1,9 +1,5 @@
 //! Label dominance store (Definition 6 and the KkR k-dominance of §3.5).
 
-use std::collections::HashMap;
-
-use kor_graph::{subsets_of, supersets_of};
-
 use crate::label::{Label, LabelArena};
 
 /// Which objective representation dominance compares.
@@ -21,8 +17,12 @@ impl DomMode {
     /// A monotone `u64` ordering key for the objective under this mode.
     ///
     /// Exact mode uses the IEEE-754 bit pattern, which orders identically
-    /// to the value for non-negative finite floats (edge objectives are
-    /// validated positive).
+    /// to the value for non-negative floats — including `+inf`, whose bit
+    /// pattern sorts above every finite objective, so searches whose
+    /// objectives overflow to infinity (e.g. after extreme `update_edges`
+    /// scale multipliers) keep a total, monotone order instead of
+    /// misbehaving. Edge objectives are validated positive, so negative
+    /// values cannot occur.
     #[inline]
     fn key(self, label: &Label) -> u64 {
         match self {
@@ -35,6 +35,13 @@ impl DomMode {
 /// One stored label: `(objective key, budget, arena id)`.
 type Entry = (u64, f64, u32);
 
+/// The mask groups of one touched node: a short list of
+/// `(λ, Pareto frontier)` pairs scanned linearly.
+type MaskGroups = Vec<(u64, Vec<Entry>)>;
+
+/// Slot-table sentinel: node not touched yet.
+const NO_SLOT: u32 = u32::MAX;
+
 /// Per-node label store with (k-)dominance checks.
 ///
 /// A label `L_a` dominates `L_b` iff `L_a.λ ⊇ L_b.λ`, `ÔS_a ≤ ÔS_b`, and
@@ -42,37 +49,51 @@ type Entry = (u64, f64, u32);
 /// alive labels dominate it (`k = 1` for plain KOR); inserting a label
 /// evicts stored labels that become k-dominated.
 ///
-/// Labels are grouped by `(node, λ)`; cross-mask dominance enumerates
-/// superset/subset masks with bit tricks (`2^(m−|λ|)` groups for `m`
-/// query keywords). For `k = 1` each group is a **Pareto frontier**:
+/// Labels are grouped by `(node, λ)`. The node level is a dense
+/// `node → slot` table (one indexed load — no hashing in the hottest
+/// lookup of the engine); the mask level is a short linear list per
+/// node, because a search rarely sees more than a handful of distinct
+/// coverage masks on one node. Cross-mask dominance is then one
+/// branchless `u64` test per group (`μ & λ == λ` for supersets,
+/// `μ & λ == μ` for subsets) instead of enumerating the `2^(m−|λ|)`
+/// possible masks. For `k = 1` each group is a **Pareto frontier**:
 /// sorted by ascending objective key with strictly decreasing budgets, so
 /// a dominance test is one binary search and evictions splice a
-/// contiguous range. For `k > 1` groups are plain lists scanned linearly
-/// (top-k workloads are small).
+/// contiguous range — the steady insert path allocates nothing. For
+/// `k > 1` groups are plain lists scanned linearly (top-k workloads are
+/// small); the victim scratch buffer is reused across inserts.
 ///
-/// Per-node group maps are allocated lazily: a search that touches a few
-/// hundred nodes of a million-node graph pays for exactly those nodes,
-/// not an `O(|V|)` table per query.
+/// The slot table costs `O(|V|)` per search — the same shape as the
+/// per-query keyword-mask table, and far cheaper than the per-label
+/// hashing it replaces.
 #[derive(Debug)]
 pub struct LabelStore {
     mode: DomMode,
     k: usize,
-    full_mask: u32,
-    groups: HashMap<u32, HashMap<u32, Vec<Entry>>>,
+    full_mask: u64,
+    /// Dense `node → index into groups` table (`NO_SLOT` = untouched).
+    slots: Vec<u32>,
+    /// Mask groups of touched nodes, in first-touch order.
+    groups: Vec<MaskGroups>,
+    /// Victim ids reused across `try_insert_k` calls.
+    scratch: Vec<u32>,
     dominated: u64,
     evicted: u64,
 }
 
 impl LabelStore {
-    /// Creates a store for query mask universe `full_mask` and dominance
-    /// threshold `k ≥ 1`. Nodes acquire storage on first touch.
-    pub fn new(mode: DomMode, full_mask: u32, k: usize) -> Self {
+    /// Creates a store for query mask universe `full_mask`, dominance
+    /// threshold `k ≥ 1`, and a graph of `node_count` nodes. Nodes
+    /// acquire mask-group storage on first touch.
+    pub fn new(mode: DomMode, full_mask: u64, k: usize, node_count: usize) -> Self {
         assert!(k >= 1, "dominance threshold must be ≥ 1");
         Self {
             mode,
             k,
             full_mask,
-            groups: HashMap::new(),
+            slots: vec![NO_SLOT; node_count],
+            groups: Vec::new(),
+            scratch: Vec::new(),
             dominated: 0,
             evicted: 0,
         }
@@ -88,13 +109,37 @@ impl LabelStore {
         self.evicted
     }
 
+    /// The mask groups of `node`, if it was ever touched.
+    #[inline]
+    fn node_groups(&self, node: u32) -> Option<&MaskGroups> {
+        match self.slots.get(node as usize) {
+            Some(&slot) if slot != NO_SLOT => Some(&self.groups[slot as usize]),
+            _ => None,
+        }
+    }
+
+    /// The mask groups of `node`, allocating its slot on first touch.
+    #[inline]
+    fn node_groups_mut(&mut self, node: u32) -> &mut MaskGroups {
+        let idx = node as usize;
+        if idx >= self.slots.len() {
+            // Defensive: labels never carry out-of-range ids, but a grow
+            // beats an index panic if that invariant ever slips.
+            self.slots.resize(idx + 1, NO_SLOT);
+        }
+        if self.slots[idx] == NO_SLOT {
+            self.slots[idx] = self.groups.len() as u32;
+            self.groups.push(Vec::new());
+        }
+        &mut self.groups[self.slots[idx] as usize]
+    }
+
     /// Number of alive labels currently stored on `node`.
     pub fn alive_on(&self, arena: &LabelArena, node: usize) -> usize {
-        self.groups
-            .get(&(node as u32))
+        self.node_groups(node as u32)
             .into_iter()
-            .flat_map(HashMap::values)
-            .flatten()
+            .flat_map(|groups| groups.iter())
+            .flat_map(|(_, group)| group.iter())
             .filter(|&&(_, _, id)| arena.get(id).alive)
             .count()
     }
@@ -104,6 +149,11 @@ impl LabelStore {
     /// inserts it and evicts labels it k-dominates.
     pub fn try_insert(&mut self, arena: &mut LabelArena, id: u32) -> bool {
         let label = *arena.get(id);
+        debug_assert_eq!(
+            label.mask & !self.full_mask,
+            0,
+            "label mask outside the query universe"
+        );
         let key = self.mode.key(&label);
         if self.k == 1 {
             self.try_insert_frontier(arena, id, &label, key)
@@ -122,76 +172,56 @@ impl LabelStore {
     ) -> bool {
         let node = label.node.0;
 
-        // Dominance test: in every superset-mask frontier, the candidate
-        // is dominated iff the entry with the largest key ≤ `key` has
-        // budget ≤ `label.budget` (budgets fall as keys grow).
-        // Enumerating all 2^(m−|λ|) superset masks is wasteful when the
-        // node has seen only a few distinct masks; iterate whichever set
-        // is smaller (`node_groups.len()` is the "present" count).
-        let dominated_in = |group: &Vec<Entry>| -> bool {
-            let pos = group.partition_point(|e| e.0 <= key);
-            pos > 0 && group[pos - 1].1 <= label.budget
-        };
-        let is_dominated = match self.groups.get(&node) {
-            None => false,
-            Some(node_groups) => {
-                let free_bits = (self.full_mask & !label.mask).count_ones();
-                if free_bits < 10 && (1usize << free_bits) <= node_groups.len() * 2 {
-                    supersets_of(label.mask, self.full_mask)
-                        .any(|sup| node_groups.get(&sup).is_some_and(dominated_in))
-                } else {
-                    node_groups
-                        .iter()
-                        .any(|(&m, group)| m & label.mask == label.mask && dominated_in(group))
+        if let Some(groups) = self.node_groups(node) {
+            // Dominance test: in every superset-mask frontier, the
+            // candidate is dominated iff the entry with the largest key ≤
+            // `key` has budget ≤ `label.budget` (budgets fall as keys
+            // grow). One branchless mask test per present group.
+            for (mask, group) in groups {
+                if mask & label.mask == label.mask {
+                    let pos = group.partition_point(|e| e.0 <= key);
+                    if pos > 0 && group[pos - 1].1 <= label.budget {
+                        self.dominated += 1;
+                        return false;
+                    }
                 }
             }
-        };
-        if is_dominated {
-            self.dominated += 1;
-            return false;
         }
 
         // Eviction: in every subset-mask frontier, entries with key ≥
-        // `key` and budget ≥ `label.budget` form a contiguous run.
-        if let Some(node_groups) = self.groups.get_mut(&node) {
-            let mask_bits = label.mask.count_ones();
-            let subset_masks: Vec<u32> =
-                if mask_bits < 10 && (1usize << mask_bits) <= node_groups.len() * 2 {
-                    subsets_of(label.mask)
-                        .filter(|m| node_groups.contains_key(m))
-                        .collect()
-                } else {
-                    node_groups
-                        .keys()
-                        .copied()
-                        .filter(|&m| m & label.mask == m)
-                        .collect()
-                };
-            let mut evicted = 0u64;
-            for sub in subset_masks {
-                let group = node_groups.get_mut(&sub).expect("key exists");
-                let start = group.partition_point(|e| e.0 < key);
-                let mut end = start;
-                while end < group.len() && group[end].1 >= label.budget {
-                    end += 1;
-                }
-                if end > start {
-                    for &(_, _, victim) in &group[start..end] {
-                        arena.kill(victim);
+        // `key` and budget ≥ `label.budget` form a contiguous run,
+        // spliced in place (no collected mask list).
+        if let Some(&slot) = self.slots.get(node as usize) {
+            if slot != NO_SLOT {
+                let mut evicted = 0u64;
+                for (mask, group) in self.groups[slot as usize].iter_mut() {
+                    if *mask & label.mask == *mask {
+                        let start = group.partition_point(|e| e.0 < key);
+                        let mut end = start;
+                        while end < group.len() && group[end].1 >= label.budget {
+                            end += 1;
+                        }
+                        if end > start {
+                            for &(_, _, victim) in &group[start..end] {
+                                arena.kill(victim);
+                            }
+                            evicted += (end - start) as u64;
+                            group.drain(start..end);
+                        }
                     }
-                    evicted += (end - start) as u64;
-                    group.drain(start..end);
                 }
+                self.evicted += evicted;
             }
-            self.evicted += evicted;
         }
 
-        let group = self
-            .groups
-            .entry(node)
-            .or_default()
-            .entry(label.mask)
-            .or_default();
+        let groups = self.node_groups_mut(node);
+        let group = match groups.iter_mut().position(|(m, _)| *m == label.mask) {
+            Some(i) => &mut groups[i].1,
+            None => {
+                groups.push((label.mask, Vec::new()));
+                &mut groups.last_mut().expect("just pushed").1
+            }
+        };
         let pos = group.partition_point(|e| e.0 < key);
         group.insert(pos, (key, label.budget, id));
         debug_assert!(
@@ -209,22 +239,26 @@ impl LabelStore {
             return false;
         }
 
-        // Evict stored labels now k-dominated by the newcomer.
-        let mut victims: Vec<u32> = Vec::new();
-        for sub in subsets_of(label.mask) {
-            let Some(group) = self.groups.get(&node).and_then(|g| g.get(&sub)) else {
-                continue;
-            };
-            for &(okey, obud, other) in group {
-                if other == id {
+        // Evict stored labels now k-dominated by the newcomer. The victim
+        // buffer is owned scratch, cleared (not freed) per insert.
+        let mut victims = std::mem::take(&mut self.scratch);
+        victims.clear();
+        if let Some(groups) = self.node_groups(node) {
+            for (mask, group) in groups {
+                if mask & label.mask != *mask {
                     continue;
                 }
-                if arena.get(other).alive && key <= okey && label.budget <= obud {
-                    victims.push(other);
+                for &(okey, obud, other) in group {
+                    if other == id {
+                        continue;
+                    }
+                    if arena.get(other).alive && key <= okey && label.budget <= obud {
+                        victims.push(other);
+                    }
                 }
             }
         }
-        for victim in victims {
+        for &victim in &victims {
             let v = *arena.get(victim);
             // The newcomer counts as one dominator and is not yet in the
             // store, hence limit k-1 over stored labels.
@@ -242,14 +276,17 @@ impl LabelStore {
                 self.evicted += 1;
             }
         }
+        self.scratch = victims;
 
         // Insert and lazily compact dead ids in the target group.
-        let group = self
-            .groups
-            .entry(node)
-            .or_default()
-            .entry(label.mask)
-            .or_default();
+        let groups = self.node_groups_mut(node);
+        let group = match groups.iter_mut().position(|(m, _)| *m == label.mask) {
+            Some(i) => &mut groups[i].1,
+            None => {
+                groups.push((label.mask, Vec::new()));
+                &mut groups.last_mut().expect("just pushed").1
+            }
+        };
         group.retain(|&(_, _, other)| arena.get(other).alive);
         group.push((key, label.budget, id));
         true
@@ -262,17 +299,20 @@ impl LabelStore {
         &self,
         arena: &LabelArena,
         node: u32,
-        mask: u32,
+        mask: u64,
         key: u64,
         budget: f64,
         limit: usize,
         exclude: u32,
     ) -> usize {
         let mut count = 0;
-        for sup in supersets_of(mask, self.full_mask) {
-            let Some(group) = self.groups.get(&node).and_then(|g| g.get(&sup)) else {
+        let Some(groups) = self.node_groups(node) else {
+            return 0;
+        };
+        for (gmask, group) in groups {
+            if gmask & mask != mask {
                 continue;
-            };
+            }
             for &(okey, obud, other) in group {
                 if other == exclude {
                     continue;
@@ -295,7 +335,7 @@ mod tests {
     use crate::label::NO_LABEL;
     use kor_graph::NodeId;
 
-    fn mk(arena: &mut LabelArena, node: u32, mask: u32, scaled: u64, budget: f64) -> u32 {
+    fn mk(arena: &mut LabelArena, node: u32, mask: u64, scaled: u64, budget: f64) -> u32 {
         arena.push(Label {
             node: NodeId(node),
             mask,
@@ -308,7 +348,7 @@ mod tests {
     }
 
     fn store(k: usize) -> LabelStore {
-        LabelStore::new(DomMode::Scaled, 0b111, k)
+        LabelStore::new(DomMode::Scaled, 0b111, k, 16)
     }
 
     #[test]
@@ -452,7 +492,7 @@ mod tests {
     #[test]
     fn exact_mode_compares_objectives() {
         let mut arena = LabelArena::new();
-        let mut s = LabelStore::new(DomMode::Exact, 0b1, 1);
+        let mut s = LabelStore::new(DomMode::Exact, 0b1, 1, 16);
         // Same scaled score but different exact objective: in Exact mode
         // the cheaper objective dominates.
         let a = arena.push(Label {
@@ -478,9 +518,24 @@ mod tests {
     }
 
     #[test]
+    fn wide_masks_above_bit_31_group_correctly() {
+        // Coverage bits past the old u32 width must still drive
+        // dominance: bit 40 ⊃ bit 40∩0 etc.
+        let full = (1u64 << 41) | (1u64 << 40) | 1;
+        let mut arena = LabelArena::new();
+        let mut s = LabelStore::new(DomMode::Scaled, full, 1, 16);
+        let big = mk(&mut arena, 0, (1u64 << 40) | 1, 10, 5.0);
+        assert!(s.try_insert(&mut arena, big));
+        let small = mk(&mut arena, 0, 1u64 << 40, 10, 5.0);
+        assert!(!s.try_insert(&mut arena, small), "superset must dominate");
+        let other = mk(&mut arena, 0, 1u64 << 41, 10, 5.0);
+        assert!(s.try_insert(&mut arena, other), "disjoint mask coexists");
+    }
+
+    #[test]
     #[should_panic(expected = "must be ≥ 1")]
     fn zero_k_panics() {
-        let _ = LabelStore::new(DomMode::Scaled, 0, 0);
+        let _ = LabelStore::new(DomMode::Scaled, 0, 0, 16);
     }
 
     /// Brute-force reference check of the frontier path on a random
@@ -491,11 +546,11 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
         let mut arena = LabelArena::new();
-        let mut s = LabelStore::new(DomMode::Scaled, 0b11, 1);
+        let mut s = LabelStore::new(DomMode::Scaled, 0b11, 1, 16);
         // naive mirror: Vec of alive (mask, key, budget)
-        let mut naive: Vec<(u32, u64, f64, u32)> = Vec::new();
+        let mut naive: Vec<(u64, u64, f64, u32)> = Vec::new();
         for _ in 0..500 {
-            let mask = rng.gen_range(0..4u32);
+            let mask = rng.gen_range(0..4u64);
             let key = rng.gen_range(0..30u64);
             let budget = rng.gen_range(0..30) as f64;
             let id = mk(&mut arena, 0, mask, key, budget);
@@ -518,6 +573,77 @@ mod tests {
                     }
                 }
                 naive.push((mask, key, budget, id));
+            }
+            naive.retain(|&(_, _, _, nid)| arena.get(nid).alive);
+        }
+    }
+
+    /// Dominance ordering keys stay monotone — and nothing panics — when
+    /// objectives are driven to `+inf` (the core-layer mirror of the
+    /// serve fuzz family where `update_edges` scale multipliers overflow
+    /// edge weights).
+    #[test]
+    fn exact_keys_stay_monotone_under_infinite_objectives() {
+        let values = [0.0, 1.0, 1e100, 1e308, f64::MAX, f64::INFINITY];
+        for w in values.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let la = Label {
+                node: NodeId(0),
+                mask: 0,
+                scaled: 0,
+                objective: a,
+                budget: 0.0,
+                parent: NO_LABEL,
+                alive: true,
+            };
+            let lb = Label { objective: b, ..la };
+            assert!(
+                DomMode::Exact.key(&la) < DomMode::Exact.key(&lb),
+                "key order broke between {a} and {b}"
+            );
+        }
+    }
+
+    /// Property test: a random label stream with non-finite objectives
+    /// and budgets mixed in neither panics nor diverges from the naive
+    /// dominance reference (Exact mode, where `inf` objectives actually
+    /// reach the ordering key).
+    #[test]
+    fn frontier_survives_non_finite_costs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1999);
+        let mut arena = LabelArena::new();
+        let mut s = LabelStore::new(DomMode::Exact, 0b11, 1, 4);
+        let mut naive: Vec<(u64, f64, f64, u32)> = Vec::new();
+        for step in 0..400 {
+            let mask = rng.gen_range(0..4u64);
+            let objective = match rng.gen_range(0..4u32) {
+                0 => f64::INFINITY,
+                1 => 1e308 + 1e308 * rng.gen_range(0..2) as f64, // 1e308 or inf
+                _ => rng.gen_range(0..30) as f64,
+            };
+            let budget = match rng.gen_range(0..5u32) {
+                0 => f64::INFINITY,
+                _ => rng.gen_range(0..30) as f64,
+            };
+            let id = arena.push(Label {
+                node: NodeId(0),
+                mask,
+                scaled: 0,
+                objective,
+                budget,
+                parent: NO_LABEL,
+                alive: true,
+            });
+            let key = objective.to_bits();
+            let dominated = naive.iter().any(|&(m, k, b, nid)| {
+                arena.get(nid).alive && m & mask == mask && k.to_bits() <= key && b <= budget
+            });
+            let inserted = s.try_insert(&mut arena, id);
+            assert_eq!(inserted, !dominated, "divergence at step {step}");
+            if inserted {
+                naive.push((mask, objective, budget, id));
             }
             naive.retain(|&(_, _, _, nid)| arena.get(nid).alive);
         }

@@ -66,6 +66,10 @@ pub struct MutationReport {
     pub opt2_retained: usize,
     /// Opt-2 tree pairs evicted.
     pub opt2_evicted: usize,
+    /// Keyword reach trees carried over warm.
+    pub reach_retained: usize,
+    /// Keyword reach trees evicted.
+    pub reach_evicted: usize,
     /// Greedy forward trees carried over warm.
     pub pair_trees_retained: usize,
     /// Greedy forward trees evicted.
@@ -75,12 +79,12 @@ pub struct MutationReport {
 impl MutationReport {
     /// Total entries (all families) that survived the batch warm.
     pub fn total_retained(&self) -> usize {
-        self.contexts_retained + self.opt2_retained + self.pair_trees_retained
+        self.contexts_retained + self.opt2_retained + self.reach_retained + self.pair_trees_retained
     }
 
     /// Total entries (all families) evicted by the batch.
     pub fn total_evicted(&self) -> usize {
-        self.contexts_evicted + self.opt2_evicted + self.pair_trees_evicted
+        self.contexts_evicted + self.opt2_evicted + self.reach_evicted + self.pair_trees_evicted
     }
 }
 
@@ -157,6 +161,8 @@ impl KorEngine<Arc<Graph>> {
             contexts_evicted: counts.contexts_evicted,
             opt2_retained: counts.opt2_retained,
             opt2_evicted: counts.opt2_evicted,
+            reach_retained: counts.reach_retained,
+            reach_evicted: counts.reach_evicted,
             pair_trees_retained,
             pair_trees_evicted,
         };
@@ -407,16 +413,16 @@ mod tests {
         assert_eq!(report.contexts_retained, 1);
         // Greedy's forward tree from v0 reaches tail v4 -> evicted.
         assert!(report.pair_trees_evicted >= 1);
-        // The prep-cache counters cover contexts + Opt-2 (the greedy
-        // forward trees live in CachedPairCosts, not here).
+        // The prep-cache counters cover contexts + Opt-2 + reach trees
+        // (the greedy forward trees live in CachedPairCosts, not here).
         let stats = warm.preprocess_stats();
         assert_eq!(
             stats.retained,
-            (report.contexts_retained + report.opt2_retained) as u64
+            (report.contexts_retained + report.opt2_retained + report.reach_retained) as u64
         );
         assert_eq!(
             stats.invalidated,
-            (report.contexts_evicted + report.opt2_evicted) as u64
+            (report.contexts_evicted + report.opt2_evicted + report.reach_evicted) as u64
         );
 
         // Warm answers are bit-identical to a cold engine on the

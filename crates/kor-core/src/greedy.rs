@@ -109,7 +109,7 @@ impl GreedyRoute {
 #[derive(Debug, Clone)]
 struct State {
     waypoints: Vec<NodeId>,
-    mask: u32,
+    mask: u64,
     objective: f64,
     budget: f64,
 }

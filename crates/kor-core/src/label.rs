@@ -12,7 +12,7 @@ pub struct Label {
     /// The node this label belongs to.
     pub node: NodeId,
     /// Covered query keywords `λ` as a query-local bitmask.
-    pub mask: u32,
+    pub mask: u64,
     /// Scaled objective score `ÔS` (dominance key for `OSScaling`).
     pub scaled: u64,
     /// Exact objective score `OS`.
@@ -32,7 +32,7 @@ pub struct LabelSnapshot {
     /// Node the label was created on.
     pub node: NodeId,
     /// Covered query keyword mask.
-    pub mask: u32,
+    pub mask: u64,
     /// Scaled objective score.
     pub scaled: u64,
     /// Objective score.
@@ -63,6 +63,17 @@ impl LabelArena {
     /// An empty arena.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An arena with room for `capacity` labels before the first grow.
+    ///
+    /// Labels are bump-allocated into one contiguous `Vec`; searches
+    /// pre-reserve a block so the steady expansion path appends without
+    /// reallocating (label structs are `Copy` — no per-label `Box`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends a label, returning its id.

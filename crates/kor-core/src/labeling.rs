@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use kor_apsp::{KeywordReach, QueryContext};
+use kor_apsp::{KeywordReach, Landmarks, QueryContext, TargetBounds};
 use kor_graph::{Graph, NodeId, QueryKeywords, Route};
 use kor_index::InvertedIndex;
 
@@ -34,6 +34,41 @@ use crate::stats::SearchStats;
 /// The first pop always checks, so an already-expired deadline aborts
 /// before any work happens.
 pub(crate) const DEADLINE_STRIDE: u64 = 1024;
+
+/// Strided deadline checker shared by every search loop.
+///
+/// The counter is **per search** — one ticker lives for the whole engine
+/// run, never reset per bucket or beam — so a deadline can be starved by
+/// at most `DEADLINE_STRIDE − 1` pops no matter how the queue is
+/// structured. The first call always checks, so an already-expired
+/// deadline aborts before any expansion work happens.
+pub(crate) struct DeadlineTicker {
+    deadline: Option<Instant>,
+    pops: u64,
+}
+
+impl DeadlineTicker {
+    pub(crate) fn new(deadline: Option<Instant>) -> Self {
+        Self { deadline, pops: 0 }
+    }
+
+    /// Counts one queue pop; errors with
+    /// [`KorError::DeadlineExceeded`] when a configured deadline has
+    /// passed at a checked pop (the first, then every
+    /// `DEADLINE_STRIDE`-th).
+    #[inline]
+    pub(crate) fn tick(&mut self) -> Result<(), KorError> {
+        if self.pops % DEADLINE_STRIDE == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Err(KorError::DeadlineExceeded);
+                }
+            }
+        }
+        self.pops += 1;
+        Ok(())
+    }
+}
 
 /// The scaler for a search: anchored to pinned reference extrema when
 /// the params carry a [`ScaleAnchor`], otherwise read from `graph`.
@@ -216,6 +251,88 @@ pub(crate) fn acquire_context(
     }
 }
 
+/// The Optimization-Strategy-1 keyword reach for `query`, assembled from
+/// cached per-keyword trees when a cache is supplied (each tree depends
+/// only on the keyword's postings, so one build serves every query
+/// mentioning the keyword), built cold otherwise. Identical either way.
+pub(crate) fn acquire_reach(
+    graph: &Graph,
+    index: &InvertedIndex,
+    query: &KorQuery,
+    cache: Option<&PreprocessCache>,
+    stats: &mut SearchStats,
+) -> KeywordReach {
+    match cache {
+        Some(cache) => {
+            let trees = query
+                .keywords
+                .ids()
+                .iter()
+                .map(|&kw| {
+                    let (tree, hit) = cache.reach_tree(graph, kw, index.postings(kw));
+                    if hit {
+                        stats.cache_hits += 1;
+                    } else {
+                        stats.cache_misses += 1;
+                        stats.trees_built += 1;
+                    }
+                    tree
+                })
+                .collect();
+            KeywordReach::from_trees(trees)
+        }
+        None => KeywordReach::new(
+            graph,
+            &query.keywords,
+            &index.query_postings(&query.keywords),
+        ),
+    }
+}
+
+/// Landmark (ALT) lower bounds fixed to one query's target.
+///
+/// Only built from a cache (the vectors are a per-dataset product; a
+/// cold one-shot search has nothing to amortize them over). The combined
+/// prune bound `max(τ/σ, ALT)` equals the exact τ/σ bound on every node
+/// — ALT is admissible, the context distances are exact — so warm and
+/// cold searches stay bit-identical; the property tests in
+/// `tests/property.rs` pin the admissibility inequality itself.
+pub(crate) struct AltBounds {
+    lm: Arc<Landmarks>,
+    target: TargetBounds,
+}
+
+impl AltBounds {
+    /// Acquires the dataset landmarks from `cache` and fixes them to
+    /// `target`. `None` when there is no cache or no landmark could be
+    /// selected (empty graph).
+    pub(crate) fn acquire(
+        graph: &Graph,
+        target: NodeId,
+        cache: Option<&PreprocessCache>,
+    ) -> Option<Self> {
+        let cache = cache?;
+        let (lm, _) = cache.landmarks(graph);
+        if lm.is_empty() {
+            return None;
+        }
+        let target = lm.for_target(target);
+        Some(Self { lm, target })
+    }
+
+    /// Triangle lower bound on the remaining objective `d(v → target)`.
+    #[inline]
+    pub(crate) fn objective_bound(&self, v: NodeId) -> f64 {
+        self.lm.objective_bound(v, &self.target)
+    }
+
+    /// Triangle lower bound on the remaining budget `d(v → target)`.
+    #[inline]
+    pub(crate) fn budget_bound(&self, v: NodeId) -> f64 {
+        self.lm.budget_bound(v, &self.target)
+    }
+}
+
 /// The query-keyword coverage mask for every node, as one flat table.
 ///
 /// The hot loop previously called `keywords.mask_of(graph.keywords(v))`
@@ -228,14 +345,14 @@ pub(crate) fn query_mask_table(
     node_count: usize,
     keywords: &QueryKeywords,
     index: &InvertedIndex,
-) -> Vec<u32> {
+) -> Vec<u64> {
     if keywords.is_empty() {
         return Vec::new();
     }
-    let mut masks = vec![0u32; node_count];
+    let mut masks = vec![0u64; node_count];
     for (bit, &kw) in keywords.ids().iter().enumerate() {
         for &node in index.postings(kw) {
-            masks[node.index()] |= 1 << bit;
+            masks[node.index()] |= 1u64 << bit;
         }
     }
     masks
@@ -263,7 +380,11 @@ impl ScoreMode {
     #[inline]
     pub(crate) fn child_key(&self, parent: &Label, edge_obj: f64, child_obj: f64) -> u64 {
         match self {
-            ScoreMode::Scaled(s) => parent.scaled + s.scale(edge_obj),
+            // `scale` saturates at `u64::MAX` for overflowing objectives
+            // (e.g. after extreme `update_edges` multipliers), so the sum
+            // must saturate too — a wrapping add here would panic in
+            // debug builds and break key monotonicity in release.
+            ScoreMode::Scaled(s) => parent.scaled.saturating_add(s.scale(edge_obj)),
             ScoreMode::Exact => child_obj.to_bits(),
         }
     }
@@ -367,7 +488,7 @@ impl TopSet {
 /// the two "through an infrequent-keyword node" lower-bound trees
 /// (shared with the pre-processing cache when one is in use).
 pub(crate) struct Opt2 {
-    pub(crate) bit_mask: u32,
+    pub(crate) bit_mask: u64,
     pub(crate) trees: Arc<Opt2Trees>,
 }
 
@@ -377,9 +498,11 @@ struct Engine<'a> {
     cfg: EngineConfig,
     ctx: Arc<QueryContext>,
     /// Per-node query-keyword masks (empty ⇒ all zero).
-    masks: Vec<u32>,
+    masks: Vec<u64>,
     reach: Option<KeywordReach>,
     opt2: Option<Opt2>,
+    /// Landmark bounds; `max`-ed with τ/σ at every pruning site.
+    alt: Option<AltBounds>,
     arena: LabelArena,
     store: LabelStore,
     heap: BinaryHeap<QItem>,
@@ -399,13 +522,9 @@ impl<'a> Engine<'a> {
         let mut stats = SearchStats::default();
         let ctx = acquire_context(graph, query.target, cache, &mut stats);
         let masks = query_mask_table(graph.node_count(), &query.keywords, index);
-        let reach = (cfg.use_opt1 && !query.keywords.is_empty()).then(|| {
-            KeywordReach::new(
-                graph,
-                &query.keywords,
-                &index.query_postings(&query.keywords),
-            )
-        });
+        let reach = (cfg.use_opt1 && !query.keywords.is_empty())
+            .then(|| acquire_reach(graph, index, query, cache, &mut stats));
+        let alt = AltBounds::acquire(graph, query.target, cache);
         let opt2 = if cfg.use_opt2 {
             build_opt2(
                 graph,
@@ -419,7 +538,12 @@ impl<'a> Engine<'a> {
         } else {
             None
         };
-        let store = LabelStore::new(cfg.mode.dom_mode(), query.keywords.full_mask(), cfg.k);
+        let store = LabelStore::new(
+            cfg.mode.dom_mode(),
+            query.keywords.full_mask(),
+            cfg.k,
+            graph.node_count(),
+        );
         let k = cfg.k;
         Self {
             graph,
@@ -429,9 +553,10 @@ impl<'a> Engine<'a> {
             masks,
             reach,
             opt2,
-            arena: LabelArena::new(),
+            alt,
+            arena: LabelArena::with_capacity(1024),
             store,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(1024),
             top: TopSet::new(k),
             stats,
             snapshots: Vec::new(),
@@ -440,11 +565,34 @@ impl<'a> Engine<'a> {
 
     /// The query-keyword mask of `node` (one indexed load).
     #[inline]
-    fn node_mask(&self, node: NodeId) -> u32 {
+    fn node_mask(&self, node: NodeId) -> u64 {
         if self.masks.is_empty() {
             0
         } else {
             self.masks[node.index()]
+        }
+    }
+
+    /// Lower bound on the remaining objective from `node` to the target:
+    /// `max(OS(τ), ALT)`. Equal to `OS(τ)` — the exact distance — on
+    /// every node, so pruning decisions are unchanged; see [`AltBounds`].
+    #[inline]
+    fn os_lb(&self, node: NodeId) -> f64 {
+        let tau = self.ctx.os_tau(node);
+        match &self.alt {
+            Some(alt) => tau.max(alt.objective_bound(node)),
+            None => tau,
+        }
+    }
+
+    /// Lower bound on the remaining budget from `node` to the target:
+    /// `max(BS(σ), ALT)`.
+    #[inline]
+    fn bs_lb(&self, node: NodeId) -> f64 {
+        let sigma = self.ctx.bs_sigma(node);
+        match &self.alt {
+            Some(alt) => sigma.max(alt.budget_bound(node)),
+            None => sigma,
         }
     }
 
@@ -477,27 +625,20 @@ impl<'a> Engine<'a> {
         self.try_complete(init_id);
         self.push_queue(init_id);
 
-        let mut pops: u64 = 0;
+        // Stride-based deadline check: `Instant::now()` per pop is
+        // measurable in this loop; checking every DEADLINE_STRIDE pops
+        // (including the very first) bounds both the overhead and the
+        // firing latency.
+        let mut ticker = DeadlineTicker::new(self.cfg.deadline);
         while let Some(item) = self.heap.pop() {
-            // Stride-based deadline check: `Instant::now()` per pop is
-            // measurable in this loop; checking every DEADLINE_STRIDE
-            // pops (including the very first) bounds both the overhead
-            // and the firing latency.
-            if pops % DEADLINE_STRIDE == 0 {
-                if let Some(deadline) = self.cfg.deadline {
-                    if Instant::now() >= deadline {
-                        return Err(KorError::DeadlineExceeded);
-                    }
-                }
-            }
-            pops += 1;
+            ticker.tick()?;
             let label = *self.arena.get(item.id);
             if !label.alive {
                 self.stats.labels_skipped += 1;
                 continue;
             }
             // Algorithm 1 line 7: the best completion cannot beat U.
-            if label.objective + self.ctx.os_tau(label.node) > self.top.bound() {
+            if label.objective + self.os_lb(label.node) > self.top.bound() {
                 self.stats.labels_skipped += 1;
                 continue;
             }
@@ -569,11 +710,11 @@ impl<'a> Engine<'a> {
         // able to produce a feasible route (budget via the min-budget
         // completion σ) that beats the bound (objective via the
         // min-objective completion τ).
-        if child.budget + self.ctx.bs_sigma(child.node) > self.query.budget {
+        if child.budget + self.bs_lb(child.node) > self.query.budget {
             self.stats.labels_pruned += 1;
             return None;
         }
-        if child.objective + self.ctx.os_tau(child.node) >= self.top.bound() {
+        if child.objective + self.os_lb(child.node) >= self.top.bound() {
             self.stats.labels_pruned += 1;
             return None;
         }
@@ -625,7 +766,7 @@ impl<'a> Engine<'a> {
         for (bit, _) in self.query.keywords.uncovered(label.mask) {
             if let Some((dist, j)) = reach.nearest(bit, label.node) {
                 // Feasibility: jump there and still finish within budget.
-                if label.budget + dist + self.ctx.bs_sigma(j) <= self.query.budget {
+                if label.budget + dist + self.bs_lb(j) <= self.query.budget {
                     let better = match best {
                         None => true,
                         Some((d, _)) => dist < d,
@@ -777,7 +918,7 @@ pub(crate) fn build_opt2(
         }
     };
     Some(Opt2 {
-        bit_mask: 1 << bit,
+        bit_mask: 1u64 << bit,
         trees,
     })
 }
@@ -791,6 +932,37 @@ mod tests {
         let g = figure1();
         let idx = InvertedIndex::build(&g);
         (g, idx)
+    }
+
+    #[test]
+    fn ticker_first_tick_always_checks() {
+        // Promptness invariant: an already-expired deadline must abort
+        // on the very first pop — searches with fewer than
+        // DEADLINE_STRIDE pops would otherwise never check at all.
+        let mut ticker = DeadlineTicker::new(Some(Instant::now()));
+        assert!(matches!(ticker.tick(), Err(KorError::DeadlineExceeded)));
+    }
+
+    #[test]
+    fn ticker_without_deadline_never_errors() {
+        let mut ticker = DeadlineTicker::new(None);
+        for _ in 0..(3 * DEADLINE_STRIDE) {
+            ticker.tick().expect("no deadline configured");
+        }
+    }
+
+    #[test]
+    fn ticker_rechecks_within_one_stride() {
+        // A deadline that expires mid-search is noticed after at most
+        // DEADLINE_STRIDE further pops: the first tick passes (the
+        // deadline is still ahead), then once it lapses, some tick in
+        // the next stride window must error.
+        let mut ticker =
+            DeadlineTicker::new(Some(Instant::now() + std::time::Duration::from_millis(30)));
+        ticker.tick().expect("deadline still ahead");
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let erred = (0..DEADLINE_STRIDE).any(|_| ticker.tick().is_err());
+        assert!(erred, "expired deadline survived a full stride window");
     }
 
     fn plain_params(epsilon: f64) -> OsScalingParams {
@@ -823,7 +995,7 @@ mod tests {
         let q = KorQuery::new(&g, v(0), v(7), vec![t(1), t(2)], 10.0).unwrap();
         let r = os_scaling(&g, &idx, &q, &plain_params(0.5)).unwrap();
         // (node, mask {t1=bit0, t2=bit1}, ÔS, OS, BS)
-        let expected: [(u32, u32, u64, f64, f64); 9] = [
+        let expected: [(u32, u64, u64, f64, f64); 9] = [
             (0, 0b00, 0, 0.0, 0.0),   // L00
             (1, 0b00, 80, 4.0, 1.0),  // L01
             (1, 0b01, 60, 3.0, 4.0),  // L11

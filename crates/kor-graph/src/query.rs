@@ -2,9 +2,12 @@
 //!
 //! KOR search labels record the covered query keywords `L.λ` (Definition
 //! 5). With at most a few query keywords (the paper cites map-query logs
-//! with < 5 words and evaluates up to 10), a `u32` bitmask indexed by
-//! *query-local* bit positions is the compact representation; this module
-//! provides the mapping between global [`KeywordId`]s and those bits.
+//! with < 5 words and evaluates up to 10), a fixed-width `u64` bitmask
+//! indexed by *query-local* bit positions is the compact representation:
+//! coverage union is one `or`, the covering test one `and`-compare, and
+//! dominance's mask-subset test `m & λ == λ` — all branchless. This
+//! module provides the mapping between global [`KeywordId`]s and those
+//! bits.
 
 use std::fmt;
 
@@ -12,7 +15,7 @@ use crate::ids::KeywordId;
 use crate::keyword::{KeywordSet, Vocab};
 
 /// Maximum number of keywords in a single query (bits in the mask).
-pub const MAX_QUERY_KEYWORDS: usize = 32;
+pub const MAX_QUERY_KEYWORDS: usize = 64;
 
 /// Errors when assembling a query keyword set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +51,7 @@ impl std::error::Error for QueryKeywordsError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryKeywords {
     ids: Vec<KeywordId>,
-    full_mask: u32,
+    full_mask: u64,
 }
 
 impl QueryKeywords {
@@ -62,7 +65,7 @@ impl QueryKeywords {
         let full_mask = if ids.is_empty() {
             0
         } else {
-            (u32::MAX) >> (32 - ids.len() as u32)
+            (u64::MAX) >> (64 - ids.len() as u32)
         };
         Ok(Self { ids, full_mask })
     }
@@ -96,7 +99,7 @@ impl QueryKeywords {
 
     /// The mask with all query keyword bits set.
     #[inline]
-    pub fn full_mask(&self) -> u32 {
+    pub fn full_mask(&self) -> u64 {
         self.full_mask
     }
 
@@ -121,8 +124,8 @@ impl QueryKeywords {
 
     /// The coverage mask contributed by a node keyword set `v.ψ`
     /// (merge-walk over the two sorted slices).
-    pub fn mask_of(&self, node_keywords: &KeywordSet) -> u32 {
-        let mut mask = 0u32;
+    pub fn mask_of(&self, node_keywords: &KeywordSet) -> u64 {
+        let mut mask = 0u64;
         let mut qi = 0usize;
         for kw in node_keywords.iter() {
             while qi < self.ids.len() && self.ids[qi] < kw {
@@ -132,7 +135,7 @@ impl QueryKeywords {
                 break;
             }
             if self.ids[qi] == kw {
-                mask |= 1 << qi;
+                mask |= 1u64 << qi;
                 qi += 1;
             }
         }
@@ -141,15 +144,15 @@ impl QueryKeywords {
 
     /// Whether `mask` covers all query keywords.
     #[inline]
-    pub fn is_covering(&self, mask: u32) -> bool {
+    pub fn is_covering(&self, mask: u64) -> bool {
         mask & self.full_mask == self.full_mask
     }
 
     /// Keywords *not* covered by `mask`, as `(bit, id)` pairs.
-    pub fn uncovered(&self, mask: u32) -> impl Iterator<Item = (u32, KeywordId)> + '_ {
+    pub fn uncovered(&self, mask: u64) -> impl Iterator<Item = (u32, KeywordId)> + '_ {
         let missing = self.full_mask & !mask;
         (0..self.ids.len() as u32)
-            .filter(move |b| missing & (1 << b) != 0)
+            .filter(move |b| missing & (1u64 << b) != 0)
             .map(move |b| (b, self.ids[b as usize]))
     }
 }
@@ -158,7 +161,7 @@ impl QueryKeywords {
 ///
 /// Used for dominance checks: a label with coverage `λ` can only be
 /// dominated by labels whose coverage is a superset of `λ` (Definition 6).
-pub fn supersets_of(lambda: u32, universe: u32) -> SupersetIter {
+pub fn supersets_of(lambda: u64, universe: u64) -> SupersetIter {
     SupersetIter {
         lambda,
         free: universe & !lambda,
@@ -168,7 +171,7 @@ pub fn supersets_of(lambda: u32, universe: u32) -> SupersetIter {
 }
 
 /// Enumerates all masks `μ ⊆ λ` (including `λ` itself and 0).
-pub fn subsets_of(lambda: u32) -> SubsetIter {
+pub fn subsets_of(lambda: u64) -> SubsetIter {
     SubsetIter {
         lambda,
         sub: lambda,
@@ -179,16 +182,16 @@ pub fn subsets_of(lambda: u32) -> SubsetIter {
 /// Iterator over supersets; see [`supersets_of`].
 #[derive(Debug, Clone)]
 pub struct SupersetIter {
-    lambda: u32,
-    free: u32,
-    sub: u32,
+    lambda: u64,
+    free: u64,
+    sub: u64,
     done: bool,
 }
 
 impl Iterator for SupersetIter {
-    type Item = u32;
+    type Item = u64;
 
-    fn next(&mut self) -> Option<u32> {
+    fn next(&mut self) -> Option<u64> {
         if self.done {
             return None;
         }
@@ -205,15 +208,15 @@ impl Iterator for SupersetIter {
 /// Iterator over subsets; see [`subsets_of`].
 #[derive(Debug, Clone)]
 pub struct SubsetIter {
-    lambda: u32,
-    sub: u32,
+    lambda: u64,
+    sub: u64,
     done: bool,
 }
 
 impl Iterator for SubsetIter {
-    type Item = u32;
+    type Item = u64;
 
-    fn next(&mut self) -> Option<u32> {
+    fn next(&mut self) -> Option<u64> {
         if self.done {
             return None;
         }
@@ -258,19 +261,32 @@ mod tests {
 
     #[test]
     fn too_many_keywords_is_an_error() {
-        let ids: Vec<KeywordId> = (0..33).map(KeywordId).collect();
+        let ids: Vec<KeywordId> = (0..65).map(KeywordId).collect();
         assert!(matches!(
             QueryKeywords::new(ids),
-            Err(QueryKeywordsError::TooMany(33))
+            Err(QueryKeywordsError::TooMany(65))
         ));
     }
 
     #[test]
-    fn thirty_two_keywords_full_mask() {
-        let ids: Vec<KeywordId> = (0..32).map(KeywordId).collect();
+    fn sixty_four_keywords_full_mask() {
+        let ids: Vec<KeywordId> = (0..64).map(KeywordId).collect();
         let q = QueryKeywords::new(ids).unwrap();
-        assert_eq!(q.full_mask(), u32::MAX);
-        assert!(q.is_covering(u32::MAX));
+        assert_eq!(q.full_mask(), u64::MAX);
+        assert!(q.is_covering(u64::MAX));
+        assert!(!q.is_covering(u64::MAX >> 1));
+    }
+
+    #[test]
+    fn masks_above_bit_31_work() {
+        let ids: Vec<KeywordId> = (0..40).map(KeywordId).collect();
+        let q = QueryKeywords::new(ids).unwrap();
+        assert_eq!(q.full_mask(), (u64::MAX) >> 24);
+        let node = KeywordSet::new(vec![KeywordId(39)]);
+        assert_eq!(q.mask_of(&node), 1u64 << 39);
+        let missing: Vec<u32> = q.uncovered(1u64 << 39).map(|(b, _)| b).collect();
+        assert_eq!(missing.len(), 39);
+        assert!(!missing.contains(&39));
     }
 
     #[test]
@@ -303,29 +319,29 @@ mod tests {
 
     #[test]
     fn supersets_enumerate_exactly() {
-        let got: std::collections::BTreeSet<u32> = supersets_of(0b010, 0b111).collect();
-        let want: std::collections::BTreeSet<u32> =
+        let got: std::collections::BTreeSet<u64> = supersets_of(0b010, 0b111).collect();
+        let want: std::collections::BTreeSet<u64> =
             [0b010, 0b011, 0b110, 0b111].into_iter().collect();
         assert_eq!(got, want);
     }
 
     #[test]
     fn supersets_of_full_mask_is_self() {
-        let got: Vec<u32> = supersets_of(0b11, 0b11).collect();
+        let got: Vec<u64> = supersets_of(0b11, 0b11).collect();
         assert_eq!(got, vec![0b11]);
     }
 
     #[test]
     fn subsets_enumerate_exactly() {
-        let got: std::collections::BTreeSet<u32> = subsets_of(0b101).collect();
-        let want: std::collections::BTreeSet<u32> =
+        let got: std::collections::BTreeSet<u64> = subsets_of(0b101).collect();
+        let want: std::collections::BTreeSet<u64> =
             [0b101, 0b100, 0b001, 0b000].into_iter().collect();
         assert_eq!(got, want);
     }
 
     #[test]
     fn subsets_of_zero_is_zero() {
-        let got: Vec<u32> = subsets_of(0).collect();
+        let got: Vec<u64> = subsets_of(0).collect();
         assert_eq!(got, vec![0]);
     }
 }

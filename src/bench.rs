@@ -181,12 +181,15 @@ struct PassLatency {
 }
 
 fn latency_of(mut us: Vec<f64>) -> PassLatency {
-    assert!(!us.is_empty(), "benchmark pass produced no samples");
-    us.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| us[((p * (us.len() - 1) as f64).round() as usize).min(us.len() - 1)];
+    crate::percentile::sort_samples(&mut us);
+    let pct = |p: f64| crate::percentile::percentile_sorted(&us, p);
     PassLatency {
         median_us: pct(0.50),
-        mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        mean_us: if us.is_empty() {
+            0.0
+        } else {
+            us.iter().sum::<f64>() / us.len() as f64
+        },
         p95_us: pct(0.95),
     }
 }
@@ -381,6 +384,90 @@ pub fn run_bench(graph: &Graph, cfg: &BenchConfig) -> JsonValue {
     ])
 }
 
+/// Compares a fresh report against a committed baseline report,
+/// returning every violation (empty ⇒ the gate passes).
+///
+/// Two regression classes are checked:
+///
+/// * **warm/cold divergence** — the fresh run's `all_identical` must be
+///   true; a byte-level mismatch is a correctness bug, never tolerated;
+/// * **median regression** — when the two reports ran the same workload
+///   (`config` fields match), each algorithm's warm median must stay
+///   within `old × (1 + tolerance)`. When the workloads differ (CI's
+///   `--smoke` profile gated against the committed full-profile
+///   baseline), absolute latencies are not comparable, so the gate
+///   falls back to the scale-free invariant: the warm pass must not be
+///   slower than the cold pass beyond tolerance
+///   (`speedup_median ≥ 1 / (1 + tolerance)`).
+pub fn compare_with_baseline(
+    report: &JsonValue,
+    baseline: &JsonValue,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if report
+        .get("overall")
+        .and_then(|o| o.get("all_identical"))
+        .and_then(JsonValue::as_bool)
+        != Some(true)
+    {
+        failures.push("warm/cold divergence: all_identical is false".into());
+    }
+    let config_field = |doc: &JsonValue, key: &str| {
+        doc.get("config")
+            .and_then(|c| c.get(key))
+            .map(JsonValue::render)
+    };
+    let same_workload = ["nodes", "edges", "targets", "per_target", "budget", "seed"]
+        .iter()
+        .all(|k| config_field(report, k) == config_field(baseline, k));
+    fn algos_of(doc: &JsonValue) -> Vec<&JsonValue> {
+        doc.get("algos")
+            .and_then(JsonValue::as_arr)
+            .map(|a| a.iter().collect())
+            .unwrap_or_default()
+    }
+    let name_of = |a: &JsonValue| a.get("algo").and_then(JsonValue::as_str).map(str::to_owned);
+    let baseline_algos = algos_of(baseline);
+    for algo in algos_of(report) {
+        let Some(name) = name_of(algo) else { continue };
+        // Algorithms without a committed history pass by default.
+        let Some(base) = baseline_algos
+            .iter()
+            .find(|b| name_of(b).as_deref() == Some(&name))
+        else {
+            continue;
+        };
+        if same_workload {
+            let new_warm = algo
+                .get("warm")
+                .and_then(|w| w.get("median_us"))
+                .and_then(JsonValue::as_f64);
+            let old_warm = base
+                .get("warm")
+                .and_then(|w| w.get("median_us"))
+                .and_then(JsonValue::as_f64);
+            if let (Some(new), Some(old)) = (new_warm, old_warm) {
+                if new > old * (1.0 + tolerance) {
+                    failures.push(format!(
+                        "{name}: warm median {new:.1}us regressed past \
+                         {old:.1}us × (1 + {tolerance})"
+                    ));
+                }
+            }
+        } else if let Some(speedup) = algo.get("speedup_median").and_then(JsonValue::as_f64) {
+            let floor = 1.0 / (1.0 + tolerance);
+            if speedup < floor {
+                failures.push(format!(
+                    "{name}: warm pass slower than cold (speedup ×{speedup:.2} \
+                     < ×{floor:.2}) — cache stopped paying for itself"
+                ));
+            }
+        }
+    }
+    failures
+}
+
 /// Runs the benchmark on `graph` (or a generated road network when
 /// `None`) and writes the JSON report to `cfg.out`.
 pub fn run_bench_to_file(graph: Option<Graph>, cfg: &BenchConfig) -> Result<JsonValue, String> {
@@ -475,6 +562,59 @@ mod tests {
             assert_eq!(c % 4, 0);
             assert!(c >= 4);
         }
+    }
+
+    /// Minimal report document for gate tests.
+    fn doc(nodes: u64, warm_median: f64, speedup: f64, identical: bool) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"config":{{"nodes":{nodes},"edges":9,"targets":2,"per_target":2,
+                 "budget":25,"seed":1}},
+                "algos":[{{"algo":"exact","warm":{{"median_us":{warm_median}}},
+                           "speedup_median":{speedup},"identical":{identical}}}],
+                "overall":{{"all_identical":{identical}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_tolerance() {
+        let base = doc(100, 1000.0, 2.0, true);
+        let fresh = doc(100, 1400.0, 1.5, true);
+        assert!(compare_with_baseline(&fresh, &base, 0.5).is_empty());
+    }
+
+    #[test]
+    fn baseline_gate_flags_median_regression_on_same_workload() {
+        let base = doc(100, 1000.0, 2.0, true);
+        let fresh = doc(100, 1600.0, 2.0, true);
+        let failures = compare_with_baseline(&fresh, &base, 0.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("warm median"), "{failures:?}");
+    }
+
+    #[test]
+    fn baseline_gate_ignores_absolute_medians_across_workloads() {
+        // Smoke profile vs full baseline: medians differ wildly but the
+        // warm pass still beats cold, so the gate passes...
+        let base = doc(4000, 1000.0, 2.0, true);
+        let smoke_ok = doc(100, 50_000.0, 3.0, true);
+        assert!(compare_with_baseline(&smoke_ok, &base, 0.5).is_empty());
+        // ...unless warm is slower than cold beyond tolerance.
+        let smoke_bad = doc(100, 50_000.0, 0.5, true);
+        let failures = compare_with_baseline(&smoke_bad, &base, 0.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("slower than cold"), "{failures:?}");
+    }
+
+    #[test]
+    fn baseline_gate_never_tolerates_divergence() {
+        let base = doc(100, 1000.0, 2.0, true);
+        let fresh = doc(100, 10.0, 100.0, false);
+        let failures = compare_with_baseline(&fresh, &base, 10.0);
+        assert!(
+            failures.iter().any(|f| f.contains("divergence")),
+            "{failures:?}"
+        );
     }
 
     #[test]

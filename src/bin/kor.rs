@@ -140,6 +140,7 @@ fn usage() -> &'static str {
      \x20 kor bench [FILE] [--out BENCH_kor.json] [--nodes N] [--targets T]\n\
      \x20           [--per-target Q] [--budget X] [--seed N]\n\
      \x20           [--algos a,b,c] [--smoke]\n\
+     \x20           [--compare BASELINE.json] [--tolerance F]\n\
      \x20 kor serve [--addr HOST:PORT] [--threads N] [--io event|blocking]\n\
      \x20           [--queue N] [--dataset [NAME=]FILE]... [--deadline-ms N]\n\
      \x20           [--max-request-bytes N] [--journal DIR]\n\
@@ -951,6 +952,28 @@ fn bench(args: &[String]) -> Result<(), String> {
             "warm results diverged from cold (see the report's per-algo \"identical\" flags)"
                 .into(),
         );
+    }
+    if let Some(baseline_path) = flag(&flags, "compare") {
+        let tolerance: f64 = parse_num(&flags, "tolerance", 0.6)?;
+        if !tolerance.is_finite() || tolerance < 0.0 {
+            return Err("--tolerance must be a finite number ≥ 0".into());
+        }
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let baseline = kor::json::JsonValue::parse(&text)
+            .map_err(|e| format!("parsing baseline {baseline_path}: {e:?}"))?;
+        let failures = kor::bench::compare_with_baseline(&report, &baseline, tolerance);
+        if failures.is_empty() {
+            eprintln!("bench: no regression vs {baseline_path} (tolerance {tolerance})");
+        } else {
+            for f in &failures {
+                eprintln!("bench regression: {f}");
+            }
+            return Err(format!(
+                "{} regression(s) vs baseline {baseline_path}",
+                failures.len()
+            ));
+        }
     }
     Ok(())
 }

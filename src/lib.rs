@@ -88,6 +88,7 @@ pub mod bench;
 pub mod json;
 pub mod loadtest;
 pub mod mutate;
+pub mod percentile;
 pub mod recover;
 pub mod serve;
 pub mod shard;
@@ -95,7 +96,8 @@ pub mod shard;
 /// The most common imports in one place.
 pub mod prelude {
     pub use kor_apsp::{
-        CachedPairCosts, DenseApsp, PairCosts, PartitionConfig, PartitionedApsp, QueryContext,
+        CachedPairCosts, DenseApsp, Landmarks, PairCosts, PartitionConfig, PartitionedApsp,
+        QueryContext, DEFAULT_LANDMARKS,
     };
     pub use kor_core::{
         brute_force, bucket_bound, exact_labeling, greedy, os_scaling, top_k_bucket_bound,

@@ -365,8 +365,8 @@ fn latency_json(mut ms: Vec<f64>) -> JsonValue {
     if ms.is_empty() {
         return JsonValue::Null;
     }
-    ms.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| ms[((p * (ms.len() - 1) as f64).round() as usize).min(ms.len() - 1)];
+    crate::percentile::sort_samples(&mut ms);
+    let pct = |p: f64| crate::percentile::percentile_sorted(&ms, p);
     JsonValue::obj([
         ("p50", pct(0.50).into()),
         ("p95", pct(0.95).into()),

@@ -194,6 +194,8 @@ fn stats(ctx: &ServerContext, req: &Request) -> Result<JsonValue, WireError> {
                         ("ctx_misses", prep.ctx_misses.into()),
                         ("opt2_hits", prep.opt2_hits.into()),
                         ("opt2_misses", prep.opt2_misses.into()),
+                        ("reach_hits", prep.reach_hits.into()),
+                        ("reach_misses", prep.reach_misses.into()),
                         ("evictions", prep.evictions.into()),
                         ("invalidated", prep.invalidated.into()),
                         ("retained", prep.retained.into()),
